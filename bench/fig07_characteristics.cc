@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 7 — "Benchmark characteristics": execution-time breakdown
+ * into core / branch / ibs+tlb / sx components for every paper
+ * workload, via the perfect-component differential methodology of
+ * §4.2.
+ *
+ * Paper shape targets: SPECint95 ~30 % branch; SPECfp95 ~74 % core;
+ * TPC-C ~35 % sx.
+ */
+
+#include <cstdio>
+
+#include "analysis/experiment.hh"
+#include "analysis/report.hh"
+#include "model/breakdown.hh"
+
+using namespace s64v;
+
+int
+main()
+{
+    printHeader("Figure 7. Benchmark characteristics "
+                "(execution-time breakdown)");
+
+    Table t({"workload", "core", "branch", "ibs/tlb", "sx"});
+    for (const std::string &wl : workloadNames()) {
+        const Breakdown b = computeBreakdown(
+            sparc64vBase(), workloadByName(wl), upRunLength());
+        t.addRow({wl, fmtPercent(b.core), fmtPercent(b.branch),
+                  fmtPercent(b.ibsTlb), fmtPercent(b.sx)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+
+    std::puts("\npaper reference: SPECint95 branch ~30%, SPECfp95 "
+              "core ~74%, TPC-C sx ~35%");
+    return 0;
+}

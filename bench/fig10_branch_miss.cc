@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 10 — "Branch prediction failures": misprediction rates for
+ * the two BHT structures. Paper shape: SPEC rates identical across
+ * tables; TPC-C's 4k-2w.1t rate is ~60 % greater than 16k-4w.2t.
+ */
+
+#include <cstdio>
+
+#include "analysis/experiment.hh"
+#include "analysis/report.hh"
+
+using namespace s64v;
+
+namespace
+{
+
+double
+mispredictRatio(const MachineParams &machine, const std::string &wl)
+{
+    PerfModel model(machine);
+    model.loadWorkload(workloadByName(wl), upRunLength());
+    model.run();
+    return model.system().core(0).bpred().mispredictRatio();
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 10. Branch prediction failures");
+
+    const MachineParams big = sparc64vBase();
+    const MachineParams small = withSmallBht(sparc64vBase());
+
+    Table t({"workload", "16k-4w.2t", "4k-2w.1t", "4k/16k"});
+    for (const std::string &wl : workloadNames()) {
+        const double r_big = mispredictRatio(big, wl);
+        const double r_small = mispredictRatio(small, wl);
+        t.addRow({wl, fmtPercent(r_big, 2), fmtPercent(r_small, 2),
+                  fmtRatioPercent(r_small, r_big)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\npaper reference: SPEC ~100%; TPC-C ~160%");
+    return 0;
+}

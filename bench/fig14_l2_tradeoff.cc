@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 14 — "L2 cache: latency vs volume": IPC of the off-chip
+ * 8-MB 2-way and 8-MB direct-mapped L2 designs relative to the
+ * on-chip 2-MB 4-way design, on the UP workloads and on the 16-way
+ * SMP TPC-C model. Paper shape: off.8m-1w loses 14 % (TPC-C UP) and
+ * 12.4 % (16P); off.8m-2w gains slightly.
+ */
+
+#include <cstdio>
+
+#include "analysis/experiment.hh"
+#include "analysis/report.hh"
+
+using namespace s64v;
+
+int
+main()
+{
+    printHeader("Figure 14. L2 cache --- latency vs volume "
+                "(IPC ratio, base = on.2m-4w = 100%)");
+
+    Table t({"workload", "on.2m-4w IPC", "off.8m-2w", "off.8m-1w"});
+
+    auto add_row = [&](const std::string &wl, unsigned cpus) {
+        const MachineParams on = sparc64vBase(cpus);
+        const MachineParams off2 =
+            withOffChipL2(sparc64vBase(cpus), 2);
+        const MachineParams off1 =
+            withOffChipL2(sparc64vBase(cpus), 1);
+        auto run = [&](const MachineParams &m) {
+            const std::size_t n = m.sys.numCpus > 1 ? smpRunLength()
+                                                    : l2RunLength();
+            return PerfModel::simulate(m, workloadByName(wl), n).ipc;
+        };
+        const double base = run(on);
+        const double o2 = run(off2);
+        const double o1 = run(off1);
+        const std::string label =
+            cpus > 1 ? wl + " (" + std::to_string(cpus) + "P)" : wl;
+        t.addRow({label, fmtDouble(base),
+                  fmtRatioPercent(o2, base),
+                  fmtRatioPercent(o1, base)});
+    };
+
+    for (const std::string &wl : workloadNames())
+        add_row(wl, 1);
+    add_row("TPC-C", kSmpWidth);
+
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\npaper reference: off.8m-1w: TPC-C(UP) 86%, "
+              "TPC-C(16P) 87.6%; off.8m-2w slightly above 100%");
+    return 0;
+}

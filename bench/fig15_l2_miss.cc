@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 15 — "L2 cache miss": demand miss ratios of the three L2
+ * designs of Figure 14.
+ */
+
+#include <cstdio>
+
+#include "analysis/experiment.hh"
+#include "analysis/report.hh"
+
+using namespace s64v;
+
+namespace
+{
+
+double
+l2Miss(const MachineParams &machine, const std::string &wl)
+{
+    PerfModel model(machine);
+    const std::size_t n = machine.sys.numCpus > 1 ? smpRunLength()
+                                                  : l2RunLength();
+    model.loadWorkload(workloadByName(wl), n);
+    model.run();
+    return model.system().mem().l2DemandMissRatio();
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 15. L2 cache miss ratio (demand)");
+
+    Table t({"workload", "on.2m-4w", "off.8m-2w", "off.8m-1w"});
+
+    auto add_row = [&](const std::string &wl, unsigned cpus) {
+        const double on =
+            l2Miss(sparc64vBase(cpus), wl);
+        const double o2 =
+            l2Miss(withOffChipL2(sparc64vBase(cpus), 2), wl);
+        const double o1 =
+            l2Miss(withOffChipL2(sparc64vBase(cpus), 1), wl);
+        const std::string label =
+            cpus > 1 ? wl + " (" + std::to_string(cpus) + "P)" : wl;
+        t.addRow({label, fmtPercent(on, 2), fmtPercent(o2, 2),
+                  fmtPercent(o1, 2)});
+    };
+
+    for (const std::string &wl : workloadNames())
+        add_row(wl, 1);
+    add_row("TPC-C", kSmpWidth);
+
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\npaper reference: 8m-2w clearly below 2m-4w on "
+              "TPC-C; 8m-1w gives much of the capacity win back to "
+              "conflicts");
+    return 0;
+}

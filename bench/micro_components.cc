@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Component microbenches: per-operation costs of the hot simulator
+ * structures (cache lookup, BHT, bus arbitration, TLB).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "cpu/branch_pred.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/tlb.hh"
+
+using namespace s64v;
+
+namespace
+{
+
+void
+BM_CacheLookupHit(benchmark::State &state)
+{
+    stats::Group g("b");
+    CacheParams p;
+    p.sizeBytes = 128 << 10;
+    p.assoc = 2;
+    TimedCache cache(p, &g);
+    Rng rng(1);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 1024; ++i) {
+        const Addr a = rng.below(64 << 10);
+        cache.fill(a, 0, false);
+        addrs.push_back(a);
+    }
+    std::size_t i = 0;
+    Cycle c = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.lookup(addrs[i++ & 1023], false, ++c).ready);
+    }
+}
+
+void
+BM_CacheLookupMissStream(benchmark::State &state)
+{
+    stats::Group g("b");
+    CacheParams p;
+    p.sizeBytes = 2 << 20;
+    p.assoc = 4;
+    TimedCache cache(p, &g);
+    Addr a = 0;
+    Cycle c = 0;
+    for (auto _ : state) {
+        auto res = cache.lookup(a, false, ++c);
+        if (!res.hit && !res.merged)
+            cache.fill(a, c + 200, false);
+        a += 64;
+        benchmark::DoNotOptimize(res.ready);
+    }
+}
+
+void
+BM_BhtPredictUpdate(benchmark::State &state)
+{
+    stats::Group g("b");
+    BranchPredParams p;
+    BranchPredictor bp(p, &g);
+    Rng rng(2);
+    std::vector<Addr> pcs;
+    for (int i = 0; i < 4096; ++i)
+        pcs.push_back(0x10000 + 4 * rng.below(8192));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const Addr pc = pcs[i++ & 4095];
+        const bool t = (pc >> 3) & 1;
+        benchmark::DoNotOptimize(bp.predict(pc, t));
+        bp.update(pc, t);
+    }
+}
+
+void
+BM_BusTransfer(benchmark::State &state)
+{
+    stats::Group g("b");
+    Bus bus(BusParams{}, "bus", &g);
+    Cycle c = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bus.transfer(c, 64));
+        c += 4;
+    }
+}
+
+void
+BM_TlbTranslate(benchmark::State &state)
+{
+    stats::Group g("b");
+    Tlb tlb(TlbParams{}, "tlb", &g);
+    Rng rng(3);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 1024; ++i)
+        addrs.push_back(rng.below(1ull << 30));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tlb.translate(addrs[i++ & 1023], 0));
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_CacheLookupHit);
+BENCHMARK(BM_CacheLookupMissStream);
+BENCHMARK(BM_BhtPredictUpdate);
+BENCHMARK(BM_BusTransfer);
+BENCHMARK(BM_TlbTranslate);

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Simulation-speed microbench (§2.1): the paper's model ran at 7.8K
+ * instructions/second on a 1-GHz Pentium III for a multi-user
+ * interactive (TPC-C) trace in UP configuration. This measures our
+ * model's simulated-instructions-per-second on the same kind of
+ * workload.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "model/perf_model.hh"
+#include "workload/generator.hh"
+#include "workload/workloads.hh"
+
+using namespace s64v;
+
+namespace
+{
+
+void
+BM_SimSpeedTpccUp(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const InstrTrace trace = generateTrace(tpccProfile(), n);
+    for (auto _ : state) {
+        PerfModel m(sparc64vBase());
+        m.loadTrace(0, trace);
+        benchmark::DoNotOptimize(m.run().cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+
+void
+BM_SimSpeedSpecint(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const InstrTrace trace = generateTrace(specint2000Profile(), n);
+    for (auto _ : state) {
+        PerfModel m(sparc64vBase());
+        m.loadTrace(0, trace);
+        benchmark::DoNotOptimize(m.run().cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+
+void
+BM_SimSpeedTpccSmp4(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    TraceGenerator gen(tpccProfile(), 4);
+    std::vector<InstrTrace> traces;
+    for (CpuId c = 0; c < 4; ++c)
+        traces.push_back(gen.generate(n, c));
+    for (auto _ : state) {
+        PerfModel m(sparc64vBase(4));
+        for (CpuId c = 0; c < 4; ++c)
+            m.loadTrace(c, traces[c]);
+        benchmark::DoNotOptimize(m.run().cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 4 *
+        static_cast<std::int64_t>(n));
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            generateTrace(tpccProfile(), n).size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+
+} // namespace
+
+BENCHMARK(BM_SimSpeedTpccUp)->Arg(30000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimSpeedSpecint)->Arg(30000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimSpeedTpccSmp4)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceGeneration)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Design-space exploration: reproduce the §4 microarchitecture
+ * trade-off workflow on a workload of your choice — issue width, BHT
+ * geometry, L1 and L2 structures, prefetching, and reservation-
+ * station organization, all against the Table-1 baseline.
+ *
+ * Usage: design_space_sweep [workload=TPC-C] [instrs=60000]
+ */
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "model/perf_model.hh"
+#include "workload/workloads.hh"
+
+using namespace s64v;
+
+int
+main(int argc, char **argv)
+{
+    ConfigMap cfg;
+    cfg.parseArgs(argc, argv);
+    const std::string wl = cfg.getString("workload", "TPC-C");
+    const std::size_t n =
+        static_cast<std::size_t>(cfg.getU64("instrs", 60000));
+
+    const WorkloadProfile profile = workloadByName(wl);
+
+    struct Variant
+    {
+        const char *label;
+        MachineParams machine;
+    };
+    const std::vector<Variant> variants = {
+        {"base (Table 1)", sparc64vBase()},
+        {"2-way issue", withIssueWidth(sparc64vBase(), 2)},
+        {"BHT 4k-2w.1t", withSmallBht(sparc64vBase())},
+        {"L1 32k-1w.3c", withSmallL1(sparc64vBase())},
+        {"L2 off-chip 8M 2-way", withOffChipL2(sparc64vBase(), 2)},
+        {"L2 off-chip 8M 1-way", withOffChipL2(sparc64vBase(), 1)},
+        {"no prefetch", withPrefetch(sparc64vBase(), false)},
+        {"unified RS (1RS)", withUnifiedRs(sparc64vBase(), true)},
+        {"perfect bpred", withPerfectBranch(sparc64vBase())},
+        {"perfect L2", withPerfectL2(sparc64vBase())},
+    };
+
+    printHeader("Design-space sweep on " + wl);
+
+    double base_ipc = 0.0;
+    Table t({"variant", "IPC", "vs base", ""});
+    for (const Variant &v : variants) {
+        const SimResult res =
+            PerfModel::simulate(v.machine, profile, n);
+        if (base_ipc == 0.0)
+            base_ipc = res.ipc;
+        t.addRow({v.label, fmtDouble(res.ipc),
+                  fmtRatioPercent(res.ipc, base_ipc),
+                  fmtBar(res.ipc / (2 * base_ipc), 30)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    for (const std::string &key : cfg.unconsumedKeys())
+        warn("unused option '%s'", key.c_str());
+    return 0;
+}

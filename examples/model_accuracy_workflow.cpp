@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The paper's §2 development strategy as a runnable workflow: evolve
+ * the performance model through its version ladder, cross-verify each
+ * run the way the authors used their logic simulator (independent
+ * reference model + reverse-traced test programs), and track accuracy
+ * against the "physical machine" until convergence — Figures 1-3 and
+ * 19 in one program.
+ *
+ * Usage: model_accuracy_workflow [workload=SPECint2000]
+ *        [instrs=120000]
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/report.hh"
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "golden/checker.hh"
+#include "golden/reverse_tracer.hh"
+#include "model/perf_model.hh"
+#include "model/versions.hh"
+#include "workload/generator.hh"
+#include "workload/workloads.hh"
+
+using namespace s64v;
+
+int
+main(int argc, char **argv)
+{
+    ConfigMap cfg;
+    cfg.parseArgs(argc, argv);
+    const std::string wl = cfg.getString("workload", "SPECint2000");
+    const std::size_t n =
+        static_cast<std::size_t>(cfg.getU64("instrs", 120000));
+    const WorkloadProfile profile = workloadByName(wl);
+
+    // Step 1 (Figure 3, "Trace"): capture a workload trace and turn
+    // it into a performance test program (Reverse Tracer), verifying
+    // the round trip exactly.
+    const InstrTrace trace = generateTrace(profile, n);
+    const std::string rt_err = verifyReverseTrace(trace);
+    const TestProgram prog = TestProgram::fromTrace(trace);
+    std::printf("trace            : %zu records of %s\n",
+                trace.size(), wl.c_str());
+    std::printf("reverse tracer   : %s (%zu static instrs, "
+                "%.1f%% of trace size)\n",
+                rt_err.empty() ? "round-trip exact" : rt_err.c_str(),
+                prog.staticInstructions(),
+                prog.compressionRatio() * 100);
+
+    // Step 2 (Figure 2): the "physical machine" the project converges
+    // toward.
+    PerfModel physical(physicalMachine());
+    physical.loadTrace(0, trace);
+    const SimResult phys = physical.run();
+    std::printf("physical machine : IPC %.4f\n\n", phys.ipc);
+
+    // Step 3 (Figures 1/2, §2): evolve the model version by version;
+    // at every step, verify the run architecturally (the logic-
+    // simulator role) and record accuracy against the silicon.
+    printHeader("Model evolution (the paper's development timeline)");
+    Table t({"version", "IPC", "vs physical", "error", "verified",
+             "what changed"});
+    for (unsigned v = 1; v <= kNumModelVersions; ++v) {
+        PerfModel model(modelVersion(v));
+        model.loadTrace(0, trace);
+        const SimResult res = model.run();
+
+        std::string verified = checkReplay(trace, res);
+        if (verified.empty())
+            verified = checkAgainstGolden(trace, res, 1.8);
+        const double err = std::fabs(res.ipc / phys.ipc - 1.0);
+        t.addRow({"v" + std::to_string(v), fmtDouble(res.ipc, 4),
+                  fmtRatioPercent(res.ipc, phys.ipc),
+                  fmtPercent(err),
+                  verified.empty() ? "ok" : verified,
+                  modelVersionDescription(v)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    t.maybeWriteCsv("model_accuracy_workflow");
+
+    std::puts("\nthe final version's error against the physical "
+              "machine is the paper's headline accuracy figure "
+              "(<5% on SPEC CPU2000).");
+    for (const std::string &key : cfg.unconsumedKeys())
+        warn("unused option '%s'", key.c_str());
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Quickstart: configure the SPARC64 V performance model, synthesize a
+ * workload trace, run it, and read the headline numbers — the
+ * five-minute tour of the public API.
+ *
+ * Usage: quickstart [workload=TPC-C] [instrs=100000] [pipeview=N]
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "cpu/pipeview.hh"
+#include "model/breakdown.hh"
+#include "model/perf_model.hh"
+#include "workload/generator.hh"
+#include "workload/workloads.hh"
+
+using namespace s64v;
+
+int
+main(int argc, char **argv)
+{
+    ConfigMap cfg;
+    cfg.parseArgs(argc, argv);
+    const std::string wl = cfg.getString("workload", "TPC-C");
+    const std::size_t n =
+        static_cast<std::size_t>(cfg.getU64("instrs", 100000));
+
+    // 1. Pick a machine: the Table-1 SPARC64 V baseline.
+    const MachineParams machine = sparc64vBase();
+
+    // 2. Pick a workload profile and build the model.
+    const WorkloadProfile profile = workloadByName(wl);
+    PerfModel model(machine);
+    model.loadWorkload(profile, n);
+
+    // 3. Run (optionally recording a pipeline view of the last N
+    //    committed instructions).
+    const std::size_t pipeview_n =
+        static_cast<std::size_t>(cfg.getU64("pipeview", 0));
+    const SimResult res = model.run();
+
+    std::printf("machine     : %s\n", machine.name.c_str());
+    std::printf("workload    : %s (%zu instructions)\n",
+                profile.name.c_str(), n);
+    std::printf("cycles      : %llu\n",
+                static_cast<unsigned long long>(res.cycles));
+    std::printf("IPC         : %.3f\n", res.ipc);
+
+    // 4. Component statistics from the live system.
+    MemSystem &mem = model.system().mem();
+    std::printf("L1D miss    : %.2f%%\n",
+                mem.l1d(0).demandMissRatio() * 100);
+    std::printf("L1I miss    : %.2f%%\n",
+                mem.l1i(0).demandMissRatio() * 100);
+    std::printf("L2 miss     : %.2f%%\n",
+                mem.l2DemandMissRatio() * 100);
+    std::printf("br mispred  : %.2f%%\n",
+                model.system().core(0).bpred().mispredictRatio() *
+                    100);
+
+    // 5. The Figure-7-style execution-time breakdown.
+    const Breakdown b = computeBreakdown(machine, profile,
+                                         n > 40000 ? 40000 : n);
+    std::printf("breakdown   : %s\n", b.toString().c_str());
+
+    // 6. Optional pipeline view: run a short trace with a recorder
+    //    attached and print the stage-by-stage timeline of the last
+    //    N committed instructions.
+    if (pipeview_n > 0) {
+        PipeviewRecorder recorder(pipeview_n);
+        System sys(machine.sys, machine.name + "-pipeview");
+        sys.core(0).attachPipeview(&recorder);
+        sys.attachTrace(0, generateTrace(profile, 2000));
+        sys.run();
+        std::fputs(recorder.render().c_str(), stdout);
+    }
+    for (const std::string &key : cfg.unconsumedKeys())
+        warn("unused option '%s'", key.c_str());
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Trace tooling: synthesize workload traces to disk, inspect their
+ * characteristics, sample them (as the paper samples its TPC-C
+ * traces), and replay a trace file through the model — the
+ * trace-capture half of the paper's evaluation environment.
+ *
+ * Usage:
+ *   trace_tools mode=gen workload=TPC-C instrs=50000 out=tpcc.trc
+ *   trace_tools mode=gen workload=custom wl.load=0.3 wl.pool_mb=16 \
+ *               wl.pool_w=0.2 out=mine.trc
+ *   trace_tools mode=info in=tpcc.trc
+ *   trace_tools mode=sample in=tpcc.trc out=s.trc skip=1000 len=2000
+ *   trace_tools mode=run in=tpcc.trc
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "golden/checker.hh"
+#include "model/perf_model.hh"
+#include "trace/filters.hh"
+#include "trace/trace_io.hh"
+#include "workload/custom.hh"
+#include "workload/generator.hh"
+#include "workload/workloads.hh"
+
+using namespace s64v;
+
+int
+main(int argc, char **argv)
+{
+    ConfigMap cfg;
+    cfg.parseArgs(argc, argv);
+    const std::string mode = cfg.getString("mode", "gen");
+
+    if (mode == "gen") {
+        const std::string wl = cfg.getString("workload", "TPC-C");
+        const std::size_t n =
+            static_cast<std::size_t>(cfg.getU64("instrs", 50000));
+        const std::string out = cfg.getString("out", "trace.s64vtrc");
+        // "custom" builds a profile from wl.* keys (see
+        // workload/custom.hh for the knob list).
+        const WorkloadProfile profile = wl == "custom"
+            ? customProfile(cfg) : workloadByName(wl);
+        const InstrTrace t = generateTrace(profile, n);
+        writeTraceFile(out, t);
+        std::printf("wrote %zu records of %s to %s\n", t.size(),
+                    profile.name.c_str(), out.c_str());
+        return 0;
+    }
+
+    if (mode == "info") {
+        const InstrTrace t =
+            readTraceFile(cfg.getString("in", "trace.s64vtrc"));
+        std::printf("workload: %s\n", t.workloadName().c_str());
+        const std::string err = validateTrace(t);
+        std::printf("validity: %s\n",
+                    err.empty() ? "ok" : err.c_str());
+        std::fputs(summarizeTrace(t).toString().c_str(), stdout);
+        return 0;
+    }
+
+    if (mode == "sample") {
+        const InstrTrace t =
+            readTraceFile(cfg.getString("in", "trace.s64vtrc"));
+        const InstrTrace s = sampleTrace(
+            t, static_cast<std::size_t>(cfg.getU64("skip", 0)),
+            static_cast<std::size_t>(cfg.getU64("len", 10000)));
+        const std::string out =
+            cfg.getString("out", "sample.s64vtrc");
+        writeTraceFile(out, s);
+        std::printf("sampled %zu records to %s\n", s.size(),
+                    out.c_str());
+        return 0;
+    }
+
+    if (mode == "run") {
+        const InstrTrace t =
+            readTraceFile(cfg.getString("in", "trace.s64vtrc"));
+        PerfModel model(sparc64vBase());
+        model.loadTrace(0, t);
+        const SimResult res = model.run();
+        std::printf("instructions: %llu\ncycles: %llu\nIPC: %.3f\n",
+                    static_cast<unsigned long long>(
+                        res.instructions),
+                    static_cast<unsigned long long>(res.cycles),
+                    res.ipc);
+        const std::string replay = checkReplay(t, res);
+        std::printf("replay check: %s\n",
+                    replay.empty() ? "ok" : replay.c_str());
+        return 0;
+    }
+
+    std::fprintf(stderr,
+                 "unknown mode '%s' (gen|info|sample|run)\n",
+                 mode.c_str());
+    return 1;
+}

@@ -1,0 +1,65 @@
+#include "analysis/experiment.hh"
+
+#include <cstdlib>
+
+namespace s64v
+{
+
+namespace
+{
+
+std::size_t
+envSize(const char *name, std::size_t def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    const long long n = std::atoll(v);
+    return n > 0 ? static_cast<std::size_t>(n) : def;
+}
+
+} // namespace
+
+std::size_t
+upRunLength()
+{
+    return envSize("S64V_INSTRS", 300000);
+}
+
+std::size_t
+smpRunLength()
+{
+    return envSize("S64V_SMP_INSTRS", 100000);
+}
+
+std::size_t
+l2RunLength()
+{
+    return envSize("S64V_L2_INSTRS", 4000000);
+}
+
+void
+forEachWorkload(
+    const MachineParams &machine,
+    const std::function<void(const std::string &, PerfModel &,
+                             const SimResult &)> &per_workload)
+{
+    for (const std::string &name : workloadNames()) {
+        PerfModel model(machine);
+        model.loadWorkload(workloadByName(name), upRunLength());
+        const SimResult res = model.run();
+        per_workload(name, model, res);
+    }
+}
+
+SimResult
+runStandard(const MachineParams &machine,
+            const std::string &workload_name)
+{
+    const std::size_t n = machine.sys.numCpus > 1 ? smpRunLength()
+                                                  : upRunLength();
+    return PerfModel::simulate(machine, workloadByName(workload_name),
+                               n);
+}
+
+} // namespace s64v

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared machinery for the per-figure bench harnesses: standard run
+ * lengths, per-workload simulation sweeps, and cached trace reuse.
+ */
+
+#ifndef S64V_ANALYSIS_EXPERIMENT_HH
+#define S64V_ANALYSIS_EXPERIMENT_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/params.hh"
+#include "model/perf_model.hh"
+#include "workload/workloads.hh"
+
+namespace s64v
+{
+
+/**
+ * Standard trace lengths. Override via the environment variables
+ * S64V_INSTRS (uniprocessor) and S64V_SMP_INSTRS (per CPU of an SMP
+ * run) to trade accuracy against harness runtime.
+ */
+std::size_t upRunLength();
+std::size_t smpRunLength();
+
+/**
+ * Run length for the L2 capacity study (Figures 14/15): long enough
+ * for multi-megabyte reuse distances to establish. Override with
+ * S64V_L2_INSTRS.
+ */
+std::size_t l2RunLength();
+
+/** Number of processors in the paper's "TPC-C (16P)" SMP study. */
+constexpr unsigned kSmpWidth = 16;
+
+/** Result of simulating one (workload, machine) pair. */
+struct RunOutcome
+{
+    std::string workload;
+    std::string machine;
+    SimResult result;
+};
+
+/**
+ * Simulate @p machine on every paper workload (UP). @p per_workload
+ * is invoked after each run with the outcome and the model (for
+ * component statistics).
+ */
+void forEachWorkload(
+    const MachineParams &machine,
+    const std::function<void(const std::string &, PerfModel &,
+                             const SimResult &)> &per_workload);
+
+/**
+ * IPC of @p machine on @p workload_name with standard run lengths;
+ * UP unless the machine itself is SMP.
+ */
+SimResult runStandard(const MachineParams &machine,
+                      const std::string &workload_name);
+
+} // namespace s64v
+
+#endif // S64V_ANALYSIS_EXPERIMENT_HH

@@ -1,0 +1,101 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace s64v
+{
+
+namespace
+{
+
+std::string *logSink = nullptr;
+bool throwOnError = false;
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (n < 0)
+        return "<format error>";
+    std::string out(static_cast<std::size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    if (logSink) {
+        *logSink += tag;
+        *logSink += ": ";
+        *logSink += msg;
+        *logSink += '\n';
+    } else {
+        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    }
+}
+
+} // namespace
+
+void
+setLogSink(std::string *sink)
+{
+    logSink = sink;
+}
+
+void
+setThrowOnError(bool throw_on_error)
+{
+    throwOnError = throw_on_error;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    if (throwOnError)
+        throw std::runtime_error("panic: " + msg);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    if (throwOnError)
+        throw std::runtime_error("fatal: " + msg);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit("warn", vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit("info", vformat(fmt, ap));
+    va_end(ap);
+}
+
+} // namespace s64v

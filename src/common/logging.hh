@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 fatal/panic split:
+ * panic() is for internal model bugs (aborts), fatal() is for user
+ * errors such as bad configurations (clean exit), warn()/inform() are
+ * advisory.
+ */
+
+#ifndef S64V_COMMON_LOGGING_HH
+#define S64V_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace s64v
+{
+
+/**
+ * Abort the process because of an internal model bug. Never returns.
+ *
+ * @param fmt printf-style format for the diagnostic message.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit the process because of a user error (bad parameters, malformed
+ * trace file, ...). Never returns.
+ *
+ * @param fmt printf-style format for the diagnostic message.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about questionable but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Redirect warn()/inform() output into a string sink for tests; pass
+ * nullptr to restore stderr. Error paths (panic/fatal) are unaffected.
+ */
+void setLogSink(std::string *sink);
+
+/**
+ * Make panic()/fatal() throw std::runtime_error instead of
+ * terminating. Used by the test suite to assert on error paths.
+ */
+void setThrowOnError(bool throw_on_error);
+
+} // namespace s64v
+
+#endif // S64V_COMMON_LOGGING_HH

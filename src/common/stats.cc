@@ -1,0 +1,94 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace s64v::stats
+{
+
+Group::Group(std::string name, Group *parent)
+    : parent_(parent)
+{
+    if (parent_) {
+        path_ = parent_->path_ + "." + name;
+        parent_->children_.push_back(this);
+    } else {
+        path_ = std::move(name);
+    }
+}
+
+Scalar &
+Group::scalar(const std::string &name, const std::string &desc)
+{
+    auto [it, inserted] = scalars_.try_emplace(name);
+    if (inserted)
+        it->second.desc = desc;
+    return it->second.counter;
+}
+
+void
+Group::formula(const std::string &name, const std::string &desc,
+               std::function<double()> fn)
+{
+    formulas_[name] = Formula{desc, std::move(fn)};
+}
+
+const Scalar &
+Group::lookup(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    if (it == scalars_.end())
+        panic("stat '%s' not found in group '%s'",
+              name.c_str(), path_.c_str());
+    return it->second.counter;
+}
+
+double
+Group::evaluate(const std::string &name) const
+{
+    auto it = formulas_.find(name);
+    if (it == formulas_.end())
+        panic("formula '%s' not found in group '%s'",
+              name.c_str(), path_.c_str());
+    return it->second.fn();
+}
+
+bool
+Group::hasScalar(const std::string &name) const
+{
+    return scalars_.count(name) != 0;
+}
+
+void
+Group::resetAll()
+{
+    for (auto &[name, entry] : scalars_)
+        entry.counter.reset();
+    for (Group *child : children_)
+        child->resetAll();
+}
+
+void
+Group::dump(std::string &out) const
+{
+    char line[256];
+    for (const auto &[name, entry] : scalars_) {
+        std::snprintf(line, sizeof(line), "%-48s %16llu  # %s\n",
+                      (path_ + "." + name).c_str(),
+                      static_cast<unsigned long long>(
+                          entry.counter.value()),
+                      entry.desc.c_str());
+        out += line;
+    }
+    for (const auto &[name, f] : formulas_) {
+        std::snprintf(line, sizeof(line), "%-48s %16.6f  # %s\n",
+                      (path_ + "." + name).c_str(), f.fn(),
+                      f.desc.c_str());
+        out += line;
+    }
+    for (const Group *child : children_)
+        child->dump(out);
+}
+
+} // namespace s64v::stats

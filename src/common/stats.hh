@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Lightweight statistics package, loosely modelled on gem5's: named
+ * scalar counters registered in groups, derived formula values, and a
+ * text dump. Every model component owns a StatGroup.
+ */
+
+#ifndef S64V_COMMON_STATS_HH
+#define S64V_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace s64v::stats
+{
+
+/** A single named 64-bit event counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A named collection of counters and derived formulas, optionally
+ * nested under a parent group ("cpu0.l1d.hits").
+ */
+class Group
+{
+  public:
+    /**
+     * @param name group name; used as a dotted path prefix.
+     * @param parent enclosing group, or nullptr for a root group.
+     */
+    explicit Group(std::string name, Group *parent = nullptr);
+
+    /** Register a counter under @p name with a description. */
+    Scalar &scalar(const std::string &name, const std::string &desc);
+
+    /**
+     * Register a derived value computed on demand at dump time
+     * (e.g. miss ratio = misses / accesses).
+     */
+    void formula(const std::string &name, const std::string &desc,
+                 std::function<double()> fn);
+
+    /** Look up a counter by local name; panics if missing. */
+    const Scalar &lookup(const std::string &name) const;
+
+    /** Evaluate a formula by local name; panics if missing. */
+    double evaluate(const std::string &name) const;
+
+    /** @return true if a counter with this local name exists. */
+    bool hasScalar(const std::string &name) const;
+
+    /** Reset all counters here and in child groups. */
+    void resetAll();
+
+    /** Full dotted path of this group. */
+    const std::string &path() const { return path_; }
+
+    /**
+     * Append a human-readable dump of this group and all children to
+     * @p out, one "path value # desc" line per stat.
+     */
+    void dump(std::string &out) const;
+
+  private:
+    struct Entry
+    {
+        std::string desc;
+        Scalar counter;
+    };
+    struct Formula
+    {
+        std::string desc;
+        std::function<double()> fn;
+    };
+
+    std::string path_;
+    Group *parent_;
+    std::vector<Group *> children_;
+    std::map<std::string, Entry> scalars_;
+    std::map<std::string, Formula> formulas_;
+};
+
+} // namespace s64v::stats
+
+#endif // S64V_COMMON_STATS_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the performance model.
+ */
+
+#ifndef S64V_COMMON_TYPES_HH
+#define S64V_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace s64v
+{
+
+/** Physical/virtual byte address. The model uses a flat 64-bit space. */
+using Addr = std::uint64_t;
+
+/** Absolute CPU cycle count since reset. */
+using Cycle = std::uint64_t;
+
+/** Per-core identifier inside an SMP system. */
+using CpuId = std::uint32_t;
+
+/** Sentinel for "no cycle scheduled / never". */
+constexpr Cycle kCycleNever = ~Cycle{0};
+
+/** Sentinel for "no address". */
+constexpr Addr kAddrNone = ~Addr{0};
+
+} // namespace s64v
+
+#endif // S64V_COMMON_TYPES_HH

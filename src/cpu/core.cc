@@ -1,0 +1,554 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.hh"
+#include "isa/instr.hh"
+
+namespace s64v
+{
+
+Core::Core(const CoreParams &params, CpuId cpu, MemSystem &mem,
+           stats::Group *parent)
+    : params_(params), cpu_(cpu), mem_(mem),
+      statGroup_("cpu" + std::to_string(cpu), parent),
+      window_(params.windowEntries),
+      committed_(statGroup_.scalar("committed",
+                                   "instructions committed")),
+      committedLoads_(statGroup_.scalar("loads", "loads committed")),
+      committedStores_(statGroup_.scalar("stores",
+                                         "stores committed")),
+      committedBranches_(statGroup_.scalar("branches",
+                                           "branches committed")),
+      replays_(statGroup_.scalar("replays",
+                                 "speculative-dispatch cancels "
+                                 "(pipeline replays)")),
+      windowFullStalls_(statGroup_.scalar("window_full_stalls",
+                                          "issue stalls: window "
+                                          "full")),
+      fetchEmptyStalls_(statGroup_.scalar("fetch_empty_cycles",
+                                          "issue cycles with an "
+                                          "empty fetch queue")),
+      serializeStalls_(statGroup_.scalar("serialize_stalls",
+                                         "issue stalls: special-"
+                                         "instruction serialization")),
+      commitIdleCycles_(statGroup_.scalar("commit_idle_cycles",
+                                          "cycles with work in the "
+                                          "window but nothing to "
+                                          "commit"))
+{
+    bpred_ = std::make_unique<BranchPredictor>(params_.bpred,
+                                               &statGroup_);
+    fetch_ = std::make_unique<FetchUnit>(params_, cpu_, *bpred_, mem_,
+                                         &statGroup_);
+    lsq_ = std::make_unique<LoadStoreQueue>(params_, cpu_, mem_,
+                                            &statGroup_);
+    rename_ = std::make_unique<RenameUnit>(params_.intRenameRegs,
+                                           params_.fpRenameRegs,
+                                           &statGroup_);
+
+    rs_.resize(kNumRs);
+    rs_[kRsA] = std::make_unique<ReservationStation>(
+        "rsa", params_.rsaEntries, params_.numAgenUnits, &statGroup_);
+    rs_[kRsBr] = std::make_unique<ReservationStation>(
+        "rsbr", params_.rsbrEntries, 1, &statGroup_);
+    if (params_.unifiedRs) {
+        rs_[kRsE0] = std::make_unique<ReservationStation>(
+            "rse", params_.rseEntries * 2, 2, &statGroup_);
+        rs_[kRsF0] = std::make_unique<ReservationStation>(
+            "rsf", params_.rsfEntries * 2, 2, &statGroup_);
+    } else {
+        rs_[kRsE0] = std::make_unique<ReservationStation>(
+            "rse0", params_.rseEntries, 1, &statGroup_);
+        rs_[kRsE1] = std::make_unique<ReservationStation>(
+            "rse1", params_.rseEntries, 1, &statGroup_);
+        rs_[kRsF0] = std::make_unique<ReservationStation>(
+            "rsf0", params_.rsfEntries, 1, &statGroup_);
+        rs_[kRsF1] = std::make_unique<ReservationStation>(
+            "rsf1", params_.rsfEntries, 1, &statGroup_);
+    }
+
+    units_.reserve(7);
+    units_.emplace_back("eaga");
+    units_.emplace_back("eagb");
+    units_.emplace_back("exa");
+    units_.emplace_back("exb");
+    units_.emplace_back("fla");
+    units_.emplace_back("flb");
+    units_.emplace_back("br");
+}
+
+void
+Core::setTrace(TraceSource *source)
+{
+    fetch_->setSource(source);
+}
+
+Cycle
+Core::predReadyOf(std::uint64_t prod_seq, Cycle now) const
+{
+    if (prod_seq == 0 || !window_.contains(prod_seq))
+        return 0; // committed or no producer: ready.
+    const WindowEntry &e = window_.entry(prod_seq);
+    if (e.missKnownAt <= now)
+        return e.actualReady; // cancel broadcast arrived.
+    return e.predReady;
+}
+
+Cycle
+Core::actualReadyOf(std::uint64_t prod_seq) const
+{
+    if (prod_seq == 0 || !window_.contains(prod_seq))
+        return 0;
+    return window_.entry(prod_seq).actualReady;
+}
+
+bool
+Core::sourcesDispatchable(const WindowEntry &e, Cycle now,
+                          Cycle exec_start) const
+{
+    // Stores gate address generation on the address source only; the
+    // data register is checked before commit (pendingStoreStage).
+    const bool store = e.rec.isStore();
+    if (params_.speculativeDispatch) {
+        if (predReadyOf(e.src1Prod, now) > exec_start)
+            return false;
+        if (!store && predReadyOf(e.src2Prod, now) > exec_start)
+            return false;
+        return true;
+    }
+    // Without speculative dispatch only confirmed-ready sources allow
+    // dispatch (deep-pipeline bubbles are fully exposed).
+    const Cycle a1 = actualReadyOf(e.src1Prod);
+    if (a1 == kCycleNever || a1 > exec_start)
+        return false;
+    if (!store) {
+        const Cycle a2 = actualReadyOf(e.src2Prod);
+        if (a2 == kCycleNever || a2 > exec_start)
+            return false;
+    }
+    return true;
+}
+
+bool
+Core::sourcesValid(const WindowEntry &e, Cycle exec_start) const
+{
+    const bool store = e.rec.isStore();
+    const Cycle a1 = actualReadyOf(e.src1Prod);
+    if (a1 == kCycleNever || a1 > exec_start)
+        return false;
+    if (!store) {
+        const Cycle a2 = actualReadyOf(e.src2Prod);
+        if (a2 == kCycleNever || a2 > exec_start)
+            return false;
+    }
+    return true;
+}
+
+void
+Core::replay(WindowEntry &e, Cycle now)
+{
+    e.state = InstrState::Waiting;
+    e.predReady = kCycleNever;
+    e.actualReady = kCycleNever;
+    e.missKnownAt = kCycleNever;
+    // Cancelled operations re-enter selection after the pipeline
+    // recovers, not on the very next cycle.
+    e.notBefore = now + params_.dispatchToExec;
+    ++e.replays;
+    ++replays_;
+}
+
+RsId
+Core::stationFor(const TraceRecord &rec)
+{
+    if (rec.isMem())
+        return kRsA;
+    if (rec.isBranch())
+        return kRsBr;
+    if (isFpClass(rec.cls)) {
+        if (params_.unifiedRs)
+            return kRsF0;
+        return (rsfToggle_++ & 1) ? kRsF1 : kRsF0;
+    }
+    if (params_.unifiedRs)
+        return kRsE0;
+    return (rseToggle_++ & 1) ? kRsE1 : kRsE0;
+}
+
+void
+Core::commitStage(Cycle cycle)
+{
+    unsigned n = 0;
+    while (n < params_.commitWidth && !window_.empty()) {
+        WindowEntry &e = window_.head();
+        if (e.state != InstrState::Done || e.doneCycle > cycle)
+            break;
+        if (e.rec.isStore())
+            lsq_->commitStore(e.lsqIndex);
+        else if (e.rec.isLoad())
+            lsq_->freeLoad(e.lsqIndex);
+        rename_->release(e.usesIntRename, e.usesFpRename);
+        ++committed_;
+        if (e.rec.isLoad())
+            ++committedLoads_;
+        if (e.rec.isStore())
+            ++committedStores_;
+        if (e.rec.isBranch())
+            ++committedBranches_;
+        lastCommitCycle_ = cycle;
+        if (pipeview_) {
+            PipeRecord pr;
+            pr.seq = e.seq;
+            pr.pc = e.rec.pc;
+            pr.cls = e.rec.cls;
+            pr.issue = e.issueCycle;
+            pr.dispatch = e.dispatchCycle;
+            pr.execute = e.execCycle;
+            pr.complete = e.doneCycle;
+            pr.commit = cycle;
+            pr.replays = e.replays;
+            pipeview_->record(pr);
+        }
+        window_.retireHead();
+        ++n;
+    }
+    if (n == 0 && !window_.empty())
+        ++commitIdleCycles_;
+}
+
+void
+Core::loadCompletionStage(Cycle cycle)
+{
+    (void)cycle;
+    for (const LoadCompletion &lc : lsq_->completedLoads()) {
+        if (!window_.contains(lc.seq))
+            panic("load completion for retired instruction");
+        WindowEntry &e = window_.entry(lc.seq);
+        e.doneCycle = lc.completion;
+        e.actualReady = lc.completion + forwardDelay();
+        if (lc.l1Hit) {
+            e.predReady = e.actualReady;
+        } else {
+            // Keep the optimistic hit schedule visible to dependents
+            // until the cancel broadcast; then they see actualReady.
+            e.missKnownAt = lc.missKnownAt;
+        }
+        e.state = InstrState::Done;
+    }
+    lsq_->completedLoads().clear();
+}
+
+void
+Core::pendingStoreStage(Cycle cycle)
+{
+    (void)cycle;
+    auto it = pendingStores_.begin();
+    while (it != pendingStores_.end()) {
+        WindowEntry &e = window_.entry(*it);
+        const Cycle a = actualReadyOf(e.src2Prod);
+        if (a == kCycleNever) {
+            ++it;
+            continue;
+        }
+        // predReady holds the agen execute cycle for stores (they
+        // produce no register result).
+        e.doneCycle = std::max(e.predReady, a);
+        e.state = InstrState::Done;
+        it = pendingStores_.erase(it);
+    }
+}
+
+void
+Core::performExec(WindowEntry &e, Cycle exec_start, ExecUnit &unit)
+{
+    e.execCycle = exec_start;
+    rs_[e.rsId]->remove(e.seq);
+    rs_[e.rsId]->noteDispatch();
+
+    const InstrClass cls = e.rec.cls;
+    switch (cls) {
+      case InstrClass::Load:
+        lsq_->setAddress(e.lsqIndex, false, e.rec.ea, exec_start);
+        e.state = InstrState::Executing;
+        break;
+      case InstrClass::Store:
+        lsq_->setAddress(e.lsqIndex, true, e.rec.ea, exec_start);
+        e.predReady = exec_start; // agen time (see pendingStoreStage).
+        e.state = InstrState::Executing;
+        pendingStores_.push_back(e.seq);
+        break;
+      case InstrClass::BranchCond:
+      case InstrClass::BranchUncond:
+      case InstrClass::Call:
+      case InstrClass::Return:
+        if (e.rec.isCondBranch()) {
+            bpred_->update(e.rec.pc, e.rec.taken());
+            bpred_->noteOutcome(e.mispredicted);
+        }
+        if (e.mispredicted)
+            fetch_->redirect(exec_start);
+        e.doneCycle = exec_start;
+        e.actualReady = exec_start + forwardDelay();
+        e.predReady = e.actualReady;
+        e.state = InstrState::Done;
+        break;
+      default: {
+        unsigned lat = execLatency(cls);
+        if (cls == InstrClass::Special) {
+            switch (params_.specialMode) {
+              case SpecialInstrMode::OneCycle:
+                lat = 1;
+                break;
+              case SpecialInstrMode::FixedPenalty:
+                lat = params_.specialPenalty;
+                break;
+              case SpecialInstrMode::Precise:
+                lat = 3; // drain already enforced at issue.
+                break;
+            }
+        }
+        const Cycle done = exec_start + lat - 1;
+        e.doneCycle = done;
+        e.actualReady = done + forwardDelay();
+        e.predReady = e.actualReady;
+        e.state = InstrState::Done;
+        if (isUnpipelined(cls) ||
+            (cls == InstrClass::Special &&
+             params_.specialMode == SpecialInstrMode::FixedPenalty)) {
+            unit.occupyUntil(exec_start + lat);
+        }
+        break;
+      }
+    }
+}
+
+void
+Core::executeStage(Cycle cycle)
+{
+    for (ExecUnit &unit : units_) {
+        dueScratch_.clear();
+        unit.collectDue(cycle, dueScratch_);
+        for (const PendingExec &pe : dueScratch_) {
+            if (!window_.contains(pe.seq))
+                panic("in-flight instruction left the window");
+            WindowEntry &e = window_.entry(pe.seq);
+            if (e.state != InstrState::InFlight)
+                continue;
+            if (!sourcesValid(e, pe.execStart)) {
+                replay(e, cycle);
+                continue;
+            }
+            performExec(e, pe.execStart, unit);
+        }
+    }
+}
+
+void
+Core::dispatchStage(Cycle cycle)
+{
+    const Cycle exec_start = cycle + params_.dispatchToExec;
+
+    auto base_ok = [&](std::uint64_t seq) {
+        const WindowEntry &e = window_.entry(seq);
+        return e.state == InstrState::Waiting &&
+            cycle >= e.notBefore &&
+            sourcesDispatchable(e, cycle, exec_start);
+    };
+
+    auto dispatch_to = [&](std::uint64_t seq, ExecUnit &unit) {
+        WindowEntry &e = window_.entry(seq);
+        e.state = InstrState::InFlight;
+        e.dispatchCycle = cycle;
+        unit.push(seq, exec_start);
+        if (e.rec.isLoad()) {
+            // Speculative dispatch (§3.1): publish the L1-hit-based
+            // availability so dependents can dispatch to meet the
+            // forwarded data.
+            e.predReady = exec_start + mem_.params().l1d.latency + 2;
+        } else if (e.rec.cls != InstrClass::Store) {
+            e.predReady = exec_start + execLatency(e.rec.cls) - 1 +
+                forwardDelay();
+        }
+    };
+
+    // RSA -> the two address generators.
+    selectScratch_.clear();
+    rs_[kRsA]->select(base_ok, selectScratch_);
+    for (std::size_t i = 0; i < selectScratch_.size(); ++i)
+        dispatch_to(selectScratch_[i], units_[i]);
+
+    // RSBR -> branch unit.
+    selectScratch_.clear();
+    rs_[kRsBr]->select(base_ok, selectScratch_);
+    for (std::uint64_t seq : selectScratch_)
+        dispatch_to(seq, units_[6]);
+
+    // Integer and FP stations -> EX / FL units.
+    auto run_pair = [&](RsId first, unsigned unit_base) {
+        if (params_.unifiedRs) {
+            ExecUnit *pair[2] = {&units_[unit_base],
+                                 &units_[unit_base + 1]};
+            bool used[2] = {false, false};
+            auto ok = [&](std::uint64_t seq) {
+                return base_ok(seq) &&
+                    ((!used[0] && pair[0]->available(exec_start)) ||
+                     (!used[1] && pair[1]->available(exec_start)));
+            };
+            selectScratch_.clear();
+            rs_[first]->select(ok, selectScratch_);
+            for (std::uint64_t seq : selectScratch_) {
+                ExecUnit *u = nullptr;
+                for (unsigned k = 0; k < 2; ++k) {
+                    if (!used[k] && pair[k]->available(exec_start)) {
+                        u = pair[k];
+                        used[k] = true;
+                        break;
+                    }
+                }
+                if (!u)
+                    break;
+                dispatch_to(seq, *u);
+            }
+        } else {
+            for (unsigned i = 0; i < 2; ++i) {
+                ExecUnit &u = units_[unit_base + i];
+                auto ok = [&](std::uint64_t seq) {
+                    return base_ok(seq) && u.available(exec_start);
+                };
+                selectScratch_.clear();
+                rs_[first + i]->select(ok, selectScratch_);
+                for (std::uint64_t seq : selectScratch_)
+                    dispatch_to(seq, u);
+            }
+        }
+    };
+    run_pair(kRsE0, 2);
+    run_pair(kRsF0, 4);
+}
+
+void
+Core::issueStage(Cycle cycle)
+{
+    for (unsigned n = 0; n < params_.issueWidth; ++n) {
+        if (fetch_->queueEmpty()) {
+            if (n == 0)
+                ++fetchEmptyStalls_;
+            return;
+        }
+        const FetchedInstr &fi = fetch_->front();
+        const TraceRecord &rec = fi.rec;
+
+        if (window_.full()) {
+            ++windowFullStalls_;
+            return;
+        }
+        if (rec.cls == InstrClass::Special &&
+            params_.specialMode == SpecialInstrMode::Precise &&
+            (!window_.empty() || !lsq_->drained())) {
+            ++serializeStalls_;
+            return;
+        }
+
+        const bool need_int =
+            rec.dst != kNoReg && !isFpReg(rec.dst);
+        const bool need_fp = rec.dst != kNoReg && isFpReg(rec.dst);
+        if (!rename_->canAllocate(need_int, need_fp)) {
+            rename_->noteStall();
+            return;
+        }
+        if (rec.isLoad() && lsq_->lqFull()) {
+            lsq_->noteLqFullStall();
+            return;
+        }
+        if (rec.isStore() && lsq_->sqFull()) {
+            lsq_->noteSqFullStall();
+            return;
+        }
+
+        ReservationStation *station = nullptr;
+        RsId rsid = kRsA;
+        if (rec.cls != InstrClass::Nop) {
+            rsid = stationFor(rec);
+            station = rs_[rsid].get();
+            if (station->full() && !params_.unifiedRs) {
+                // Try the sibling station of a dealt pair.
+                RsId sibling = rsid;
+                if (rsid == kRsE0)
+                    sibling = kRsE1;
+                else if (rsid == kRsE1)
+                    sibling = kRsE0;
+                else if (rsid == kRsF0)
+                    sibling = kRsF1;
+                else if (rsid == kRsF1)
+                    sibling = kRsF0;
+                if (sibling != rsid && !rs_[sibling]->full()) {
+                    rsid = sibling;
+                    station = rs_[rsid].get();
+                }
+            }
+            if (station->full()) {
+                station->noteFullStall();
+                return;
+            }
+        }
+
+        WindowEntry &e = window_.allocate(rec, cycle);
+        e.usesIntRename = need_int;
+        e.usesFpRename = need_fp;
+        rename_->allocate(need_int, need_fp);
+        if (rec.isLoad())
+            e.lsqIndex = lsq_->allocateLoad(e.seq);
+        else if (rec.isStore())
+            e.lsqIndex = lsq_->allocateStore(e.seq);
+        if (rec.isMem() && e.lsqIndex < 0)
+            panic("LSQ allocation failed after capacity check");
+
+        e.predictedTaken = fi.predictedTaken;
+        e.mispredicted = fi.mispredicted;
+
+        auto producer = [&](RegId r) -> std::uint64_t {
+            if (r == kNoReg)
+                return 0;
+            const std::uint64_t p = lastProducer_[r];
+            return (p != 0 && window_.contains(p)) ? p : 0;
+        };
+        e.src1Prod = producer(rec.src1);
+        e.src2Prod = producer(rec.src2);
+        if (rec.dst != kNoReg)
+            lastProducer_[rec.dst] = e.seq;
+
+        if (rec.cls == InstrClass::Nop) {
+            e.state = InstrState::Done;
+            e.doneCycle = cycle;
+            e.predReady = e.actualReady = cycle + 1;
+        } else {
+            e.rsId = static_cast<std::uint8_t>(rsid);
+            station->insert(e.seq);
+            e.state = InstrState::Waiting;
+        }
+        fetch_->popFront();
+    }
+}
+
+void
+Core::tick(Cycle cycle)
+{
+    commitStage(cycle);
+    lsq_->tick(cycle);
+    loadCompletionStage(cycle);
+    pendingStoreStage(cycle);
+    executeStage(cycle);
+    dispatchStage(cycle);
+    issueStage(cycle);
+    fetch_->tick(cycle);
+}
+
+bool
+Core::done() const
+{
+    return fetch_->exhausted() && window_.empty() && lsq_->drained();
+}
+
+} // namespace s64v

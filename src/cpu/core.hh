@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The SPARC64 V out-of-order core model: 4-wide issue into a 64-entry
+ * instruction window, four kinds of reservation stations, speculative
+ * dispatch with data forwarding and cancel/replay (§3.1), dual
+ * non-blocking operand access (§3.2), and 4-wide in-order commit.
+ */
+
+#ifndef S64V_CPU_CORE_HH
+#define S64V_CPU_CORE_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/branch_pred.hh"
+#include "cpu/core_params.hh"
+#include "cpu/exec.hh"
+#include "cpu/fetch.hh"
+#include "cpu/lsq.hh"
+#include "cpu/pipeview.hh"
+#include "cpu/rename.hh"
+#include "cpu/rob.hh"
+#include "cpu/rs.hh"
+#include "mem/hierarchy.hh"
+#include "trace/trace.hh"
+
+namespace s64v
+{
+
+/** Identifiers for the reservation stations. */
+enum RsId : std::uint8_t
+{
+    kRsA = 0,  ///< address generation (10 entries, 2 dispatch).
+    kRsBr = 1, ///< branches (10 entries, 1 dispatch).
+    kRsE0 = 2, ///< integer station 0.
+    kRsE1 = 3, ///< integer station 1 (absent in 1RS mode).
+    kRsF0 = 4, ///< FP station 0.
+    kRsF1 = 5, ///< FP station 1 (absent in 1RS mode).
+    kNumRs = 6
+};
+
+/** One processor core. */
+class Core
+{
+  public:
+    Core(const CoreParams &params, CpuId cpu, MemSystem &mem,
+         stats::Group *parent);
+
+    /** Attach the trace this core replays. */
+    void setTrace(TraceSource *source);
+
+    /**
+     * Attach a pipeline recorder; committed instructions' stage
+     * timestamps are pushed into it. Pass nullptr to detach.
+     */
+    void attachPipeview(PipeviewRecorder *recorder)
+    {
+        pipeview_ = recorder;
+    }
+
+    /** Advance the core by one cycle. */
+    void tick(Cycle cycle);
+
+    /** @return true when the trace is fully executed and drained. */
+    bool done() const;
+
+    std::uint64_t committed() const { return committed_.value(); }
+    Cycle lastCommitCycle() const { return lastCommitCycle_; }
+
+    /** Component access for experiments and tests. @{ */
+    BranchPredictor &bpred() { return *bpred_; }
+    FetchUnit &fetchUnit() { return *fetch_; }
+    LoadStoreQueue &lsq() { return *lsq_; }
+    const CoreParams &params() const { return params_; }
+    std::uint64_t replays() const { return replays_.value(); }
+    std::uint64_t windowFullStalls() const
+    {
+        return windowFullStalls_.value();
+    }
+    /** @} */
+
+  private:
+    /**
+     * Predicted consumer-usable cycle of @p prod_seq's result as the
+     * reservation stations see it at cycle @p now (before a load's
+     * miss-cancel broadcast they still believe the hit schedule).
+     */
+    Cycle predReadyOf(std::uint64_t prod_seq, Cycle now) const;
+    /** Confirmed consumer-usable cycle (kCycleNever if unknown). */
+    Cycle actualReadyOf(std::uint64_t prod_seq) const;
+
+    bool sourcesDispatchable(const WindowEntry &e, Cycle now,
+                             Cycle exec_start) const;
+    bool sourcesValid(const WindowEntry &e, Cycle exec_start) const;
+
+    void commitStage(Cycle cycle);
+    void loadCompletionStage(Cycle cycle);
+    void pendingStoreStage(Cycle cycle);
+    void executeStage(Cycle cycle);
+    void dispatchStage(Cycle cycle);
+    void issueStage(Cycle cycle);
+
+    /** Execute-stage action once operands are validated. */
+    void performExec(WindowEntry &e, Cycle exec_start, ExecUnit &unit);
+    void replay(WindowEntry &e, Cycle now);
+
+    RsId stationFor(const TraceRecord &rec);
+    unsigned forwardDelay() const
+    {
+        return params_.dataForwarding ? 1 : 3;
+    }
+
+    CoreParams params_;
+    CpuId cpu_;
+    MemSystem &mem_;
+
+    stats::Group statGroup_;
+    std::unique_ptr<BranchPredictor> bpred_;
+    std::unique_ptr<FetchUnit> fetch_;
+    std::unique_ptr<LoadStoreQueue> lsq_;
+    std::unique_ptr<RenameUnit> rename_;
+    InstrWindow window_;
+    std::vector<std::unique_ptr<ReservationStation>> rs_;
+    std::vector<ExecUnit> units_; ///< 0-1 agen, 2-3 int, 4-5 fp, 6 br.
+
+    std::array<std::uint64_t, kNumIntRegs + kNumFpRegs> lastProducer_{};
+    std::vector<std::uint64_t> pendingStores_; ///< waiting for data.
+    unsigned rseToggle_ = 0;
+    unsigned rsfToggle_ = 0;
+    Cycle lastCommitCycle_ = 0;
+    PipeviewRecorder *pipeview_ = nullptr;
+
+    std::vector<std::uint64_t> selectScratch_;
+    std::vector<PendingExec> dueScratch_;
+
+    stats::Scalar &committed_;
+    stats::Scalar &committedLoads_;
+    stats::Scalar &committedStores_;
+    stats::Scalar &committedBranches_;
+    stats::Scalar &replays_;
+    stats::Scalar &windowFullStalls_;
+    stats::Scalar &fetchEmptyStalls_;
+    stats::Scalar &serializeStalls_;
+    stats::Scalar &commitIdleCycles_;
+};
+
+} // namespace s64v
+
+#endif // S64V_CPU_CORE_HH

@@ -1,0 +1,8 @@
+#include "cpu/exec.hh"
+
+// ExecUnit is header-only; this translation unit exists for symmetry
+// and future out-of-line growth.
+
+namespace s64v
+{
+} // namespace s64v

@@ -1,0 +1,154 @@
+#include "cpu/fetch.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+FetchUnit::FetchUnit(const CoreParams &params, CpuId cpu,
+                     BranchPredictor &bpred, MemSystem &mem,
+                     stats::Group *parent)
+    : params_(params), cpu_(cpu), bpred_(bpred), mem_(mem),
+      statGroup_("fetch", parent),
+      groups_(statGroup_.scalar("groups", "fetch groups formed")),
+      instrsFetched_(statGroup_.scalar("instrs",
+                                       "instructions fetched")),
+      takenBubbleCycles_(statGroup_.scalar("taken_bubbles",
+                                           "bubble cycles after "
+                                           "predicted-taken "
+                                           "branches")),
+      icacheStallGroups_(statGroup_.scalar("icache_miss_groups",
+                                           "groups delayed by L1I "
+                                           "misses")),
+      mispredictStalls_(statGroup_.scalar("mispredict_stalls",
+                                          "fetch stalls entered for "
+                                          "mispredicted branches"))
+{
+}
+
+void
+FetchUnit::setSource(TraceSource *source)
+{
+    source_ = source;
+}
+
+void
+FetchUnit::redirect(Cycle resolve_cycle)
+{
+    if (!stalledOnBranch_)
+        panic("fetch redirect without a pending mispredict");
+    stalledOnBranch_ = false;
+    nextGroupStart_ = std::max(nextGroupStart_,
+                               resolve_cycle +
+                                   params_.mispredictRedirect);
+}
+
+bool
+FetchUnit::exhausted() const
+{
+    TraceRecord dummy;
+    return source_ && !source_->peek(dummy) && inflight_.empty() &&
+        queue_.empty();
+}
+
+void
+FetchUnit::formGroup(Cycle cycle)
+{
+    Group group;
+    TraceRecord rec;
+    if (!source_->peek(rec))
+        return;
+
+    const Addr line_base = alignDown(rec.pc, params_.fetchBytes);
+    const unsigned max_instrs = params_.fetchBytes / 4;
+    Addr prev_pc = rec.pc - 4;
+    bool ends_taken = false;
+
+    while (group.instrs.size() < max_instrs && source_->peek(rec)) {
+        if (!group.instrs.empty()) {
+            if (alignDown(rec.pc, params_.fetchBytes) != line_base)
+                break; // crossed the fetch-block boundary.
+            if (rec.pc != prev_pc + 4)
+                break; // control-flow discontinuity (trap entry).
+        }
+        source_->pop();
+
+        FetchedInstr fi;
+        fi.rec = rec;
+        if (rec.isCondBranch()) {
+            fi.predictedTaken = bpred_.predict(rec.pc, rec.taken());
+            fi.mispredicted = fi.predictedTaken != rec.taken();
+        } else if (rec.isBranch()) {
+            // Unconditional transfers: target known from the BTB/RAS;
+            // modelled as always predicted correctly.
+            fi.predictedTaken = true;
+            fi.mispredicted = false;
+        }
+        prev_pc = rec.pc;
+        group.instrs.push_back(fi);
+        ++instrsFetched_;
+
+        if (fi.rec.isBranch()) {
+            if (fi.mispredicted) {
+                stalledOnBranch_ = true;
+                ++mispredictStalls_;
+            } else if (fi.predictedTaken || fi.rec.taken()) {
+                ends_taken = true;
+            }
+            break;
+        }
+    }
+
+    if (group.instrs.empty())
+        return;
+    ++groups_;
+
+    // L1I access for the block; the two non-access pipe stages
+    // (priority + validate) are added on top of the cache time.
+    const AccessResult res = mem_.fetch(cpu_, line_base, cycle);
+    group.availableAt = res.ready + 2;
+
+    Cycle next = cycle + 1;
+    if (!res.l1Hit) {
+        // In-order fetch: the next group starts once the line is in.
+        ++icacheStallGroups_;
+        next = std::max(next, res.ready);
+    }
+    if (ends_taken && !stalledOnBranch_) {
+        next += params_.bpred.takenBubbles;
+        takenBubbleCycles_ += params_.bpred.takenBubbles;
+    }
+    nextGroupStart_ = std::max(nextGroupStart_, next);
+
+    inflight_.push_back(std::move(group));
+}
+
+void
+FetchUnit::tick(Cycle cycle)
+{
+    if (!source_)
+        panic("fetch unit has no trace source");
+
+    // Land groups whose fetch pipeline completed.
+    while (!inflight_.empty() &&
+           inflight_.front().availableAt <= cycle) {
+        for (FetchedInstr &fi : inflight_.front().instrs)
+            queue_.push_back(fi);
+        inflight_.pop_front();
+    }
+
+    // Start at most one new group per cycle.
+    if (stalledOnBranch_ || cycle < nextGroupStart_)
+        return;
+    std::size_t buffered = queue_.size();
+    for (const Group &g : inflight_)
+        buffered += g.instrs.size();
+    if (buffered + params_.fetchBytes / 4 > params_.fetchQueueEntries)
+        return;
+    formGroup(cycle);
+}
+
+} // namespace s64v

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Instruction fetch: the five-stage fetch pipeline (priority, three
+ * L1I-access cycles, validate), 32-byte/8-instruction fetch groups,
+ * BHT-driven direction prediction with taken-branch bubbles, and the
+ * trace-driven misprediction model (fetch stalls at a mispredicted
+ * branch until it resolves, then pays the redirect penalty).
+ */
+
+#ifndef S64V_CPU_FETCH_HH
+#define S64V_CPU_FETCH_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/branch_pred.hh"
+#include "cpu/core_params.hh"
+#include "mem/hierarchy.hh"
+#include "trace/trace.hh"
+
+namespace s64v
+{
+
+/** A fetched instruction waiting for decode. */
+struct FetchedInstr
+{
+    TraceRecord rec;
+    bool predictedTaken = false;
+    bool mispredicted = false;
+};
+
+/** The I-unit's fetch machinery. */
+class FetchUnit
+{
+  public:
+    FetchUnit(const CoreParams &params, CpuId cpu,
+              BranchPredictor &bpred, MemSystem &mem,
+              stats::Group *parent);
+
+    /** Attach the instruction trace to replay. */
+    void setSource(TraceSource *source);
+
+    /** Advance one cycle: form a group, land arrived groups. */
+    void tick(Cycle cycle);
+
+    bool queueEmpty() const { return queue_.empty(); }
+    std::size_t queueSize() const { return queue_.size(); }
+    const FetchedInstr &front() const { return queue_.front(); }
+    void popFront() { queue_.pop_front(); }
+
+    /**
+     * A mispredicted branch resolved at @p resolve_cycle; fetch
+     * resumes after the redirect penalty.
+     */
+    void redirect(Cycle resolve_cycle);
+
+    /** @return true when the trace and all buffers are empty. */
+    bool exhausted() const;
+
+    /** @return true while fetch waits on an unresolved mispredict. */
+    bool stalledOnBranch() const { return stalledOnBranch_; }
+
+  private:
+    struct Group
+    {
+        Cycle availableAt = 0;
+        std::vector<FetchedInstr> instrs;
+    };
+
+    /** Form one fetch group from the trace; updates stall state. */
+    void formGroup(Cycle cycle);
+
+    const CoreParams params_;
+    CpuId cpu_;
+    BranchPredictor &bpred_;
+    MemSystem &mem_;
+    TraceSource *source_ = nullptr;
+
+    std::deque<Group> inflight_;
+    std::deque<FetchedInstr> queue_;
+    Cycle nextGroupStart_ = 0;
+    bool stalledOnBranch_ = false;
+
+    stats::Group statGroup_;
+    stats::Scalar &groups_;
+    stats::Scalar &instrsFetched_;
+    stats::Scalar &takenBubbleCycles_;
+    stats::Scalar &icacheStallGroups_;
+    stats::Scalar &mispredictStalls_;
+};
+
+} // namespace s64v
+
+#endif // S64V_CPU_FETCH_HH

@@ -1,0 +1,260 @@
+#include "cpu/lsq.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+LoadStoreQueue::LoadStoreQueue(const CoreParams &params, CpuId cpu,
+                               MemSystem &mem, stats::Group *parent)
+    : params_(params), cpu_(cpu), mem_(mem),
+      loads_(params.loadQueueEntries),
+      stores_(params.storeQueueEntries),
+      statGroup_("lsq", parent),
+      loadIssues_(statGroup_.scalar("load_issues",
+                                    "loads sent to the L1D")),
+      storeIssues_(statGroup_.scalar("store_issues",
+                                     "store writes sent to the L1D")),
+      bankConflicts_(statGroup_.scalar("bank_conflicts",
+                                       "accesses aborted by L1D bank "
+                                       "conflicts")),
+      storeForwards_(statGroup_.scalar("store_forwards",
+                                       "loads satisfied from the "
+                                       "store queue")),
+      lqFullStalls_(statGroup_.scalar("lq_full_stalls",
+                                      "issue stalls: load queue "
+                                      "full")),
+      sqFullStalls_(statGroup_.scalar("sq_full_stalls",
+                                      "issue stalls: store queue "
+                                      "full")),
+      forwardWaits_(statGroup_.scalar("forward_waits",
+                                      "load issue attempts waiting "
+                                      "on store data"))
+{
+}
+
+unsigned
+LoadStoreQueue::bankOf(Addr addr) const
+{
+    // The SPARC64 V banks the L1D in 4-byte slices; since the model's
+    // accesses are doubleword-granular (each spanning a bank pair),
+    // banking is applied at dword granularity.
+    return static_cast<unsigned>((addr >> 3) &
+                                 (params_.l1dBanks - 1));
+}
+
+std::int32_t
+LoadStoreQueue::allocateLoad(std::uint64_t seq)
+{
+    for (std::size_t i = 0; i < loads_.size(); ++i) {
+        if (!loads_[i].valid) {
+            loads_[i] = LsqEntry{};
+            loads_[i].valid = true;
+            loads_[i].seq = seq;
+            return static_cast<std::int32_t>(i);
+        }
+    }
+    return -1;
+}
+
+std::int32_t
+LoadStoreQueue::allocateStore(std::uint64_t seq)
+{
+    for (std::size_t i = 0; i < stores_.size(); ++i) {
+        if (!stores_[i].valid) {
+            stores_[i] = LsqEntry{};
+            stores_[i].valid = true;
+            stores_[i].isStore = true;
+            stores_[i].seq = seq;
+            return static_cast<std::int32_t>(i);
+        }
+    }
+    return -1;
+}
+
+void
+LoadStoreQueue::setAddress(std::int32_t slot, bool is_store, Addr addr,
+                           Cycle addr_ready)
+{
+    LsqEntry &e = is_store ? stores_[slot] : loads_[slot];
+    if (!e.valid)
+        panic("setAddress on invalid LSQ slot");
+    e.addr = addr;
+    e.addrKnown = true;
+    e.addrReady = addr_ready;
+}
+
+void
+LoadStoreQueue::commitStore(std::int32_t slot)
+{
+    LsqEntry &e = stores_[slot];
+    if (!e.valid || !e.addrKnown)
+        panic("committing an invalid or address-less store");
+    e.committed = true;
+}
+
+void
+LoadStoreQueue::freeLoad(std::int32_t slot)
+{
+    loads_[slot].valid = false;
+}
+
+std::int32_t
+LoadStoreQueue::oldestStore() const
+{
+    std::int32_t best = -1;
+    for (std::size_t i = 0; i < stores_.size(); ++i) {
+        if (stores_[i].valid &&
+            (best < 0 || stores_[i].seq < stores_[best].seq)) {
+            best = static_cast<std::int32_t>(i);
+        }
+    }
+    return best;
+}
+
+void
+LoadStoreQueue::tick(Cycle cycle)
+{
+    // Release completed stores in order (FIFO retirement of the SQ).
+    for (;;) {
+        const std::int32_t head = oldestStore();
+        if (head < 0)
+            break;
+        LsqEntry &e = stores_[head];
+        if (e.issued && e.completion <= cycle)
+            e.valid = false;
+        else
+            break;
+    }
+
+    // Collect issue candidates: committed store writes and loads with
+    // generated addresses, oldest first.
+    struct Candidate
+    {
+        LsqEntry *entry;
+        std::int32_t slot;
+        bool isStore;
+    };
+    std::vector<Candidate> cands;
+    for (std::size_t i = 0; i < stores_.size(); ++i) {
+        LsqEntry &e = stores_[i];
+        if (e.valid && e.committed && !e.issued)
+            cands.push_back({&e, static_cast<std::int32_t>(i), true});
+    }
+    for (std::size_t i = 0; i < loads_.size(); ++i) {
+        LsqEntry &e = loads_[i];
+        if (e.valid && e.addrKnown && !e.issued &&
+            e.addrReady <= cycle) {
+            cands.push_back({&e, static_cast<std::int32_t>(i), false});
+        }
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.entry->seq < b.entry->seq;
+              });
+
+    unsigned ports_used = 0;
+    unsigned banks_used = 0; // bitmask over <= 32 banks.
+    for (const Candidate &c : cands) {
+        if (ports_used >= params_.l1dPorts)
+            break;
+        LsqEntry &e = *c.entry;
+        const unsigned bank = bankOf(e.addr);
+        if (banks_used & (1u << bank)) {
+            // Lower-priority request aborted; retried next cycle.
+            ++bankConflicts_;
+            continue;
+        }
+
+        if (!c.isStore) {
+            // Store-to-load forwarding: youngest older store to the
+            // same doubleword.
+            LsqEntry *fwd = nullptr;
+            bool must_wait = false;
+            for (LsqEntry &s : stores_) {
+                if (!s.valid || s.seq >= e.seq || !s.addrKnown)
+                    continue;
+                if ((s.addr >> 3) != (e.addr >> 3))
+                    continue;
+                if (!fwd || s.seq > fwd->seq)
+                    fwd = &s;
+            }
+            if (fwd) {
+                // Data is produced by the store's source register;
+                // the store entry exists until its write completes,
+                // so data is forwardable once the store could commit.
+                if (fwd->addrReady <= cycle) {
+                    e.issued = true;
+                    e.completion = cycle + 1;
+                    ++storeForwards_;
+                    completedLoads_.push_back(
+                        {e.seq, c.slot, e.completion, true,
+                         kCycleNever});
+                    banks_used |= 1u << bank;
+                    ++ports_used;
+                } else {
+                    ++forwardWaits_;
+                    must_wait = true;
+                }
+                if (must_wait)
+                    continue;
+                continue;
+            }
+            const AccessResult res = mem_.data(cpu_, e.addr, false,
+                                               cycle);
+            e.issued = true;
+            e.completion = res.ready;
+            ++loadIssues_;
+            // On a miss, the cancel broadcast reaches the stations
+            // when the (absent) data would have been delivered.
+            const Cycle miss_known = res.l1Hit
+                ? kCycleNever
+                : cycle + mem_.params().l1d.latency + 1;
+            completedLoads_.push_back(
+                {e.seq, c.slot, e.completion, res.l1Hit, miss_known});
+            banks_used |= 1u << bank;
+            ++ports_used;
+        } else {
+            const AccessResult res = mem_.data(cpu_, e.addr, true,
+                                               cycle);
+            e.issued = true;
+            e.completion = res.ready;
+            ++storeIssues_;
+            banks_used |= 1u << bank;
+            ++ports_used;
+        }
+    }
+}
+
+bool
+LoadStoreQueue::lqFull() const
+{
+    return std::all_of(loads_.begin(), loads_.end(),
+                       [](const LsqEntry &e) { return e.valid; });
+}
+
+bool
+LoadStoreQueue::sqFull() const
+{
+    return std::all_of(stores_.begin(), stores_.end(),
+                       [](const LsqEntry &e) { return e.valid; });
+}
+
+bool
+LoadStoreQueue::sqEmpty() const
+{
+    return std::none_of(stores_.begin(), stores_.end(),
+                        [](const LsqEntry &e) { return e.valid; });
+}
+
+bool
+LoadStoreQueue::drained() const
+{
+    return sqEmpty() &&
+        std::none_of(loads_.begin(), loads_.end(),
+                     [](const LsqEntry &e) { return e.valid; });
+}
+
+} // namespace s64v

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Load queue (16 entries) and store queue (10 entries) implementing
+ * the non-blocking dual operand access of §3.2: up to two requests
+ * per cycle to the eight-banked L1 operand cache, bank-conflict
+ * abort/retry, store-to-load forwarding, and store-queue residency
+ * until a missing line returns.
+ */
+
+#ifndef S64V_CPU_LSQ_HH
+#define S64V_CPU_LSQ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/core_params.hh"
+#include "mem/hierarchy.hh"
+
+namespace s64v
+{
+
+/** One load- or store-queue slot. */
+struct LsqEntry
+{
+    std::uint64_t seq = 0;
+    Addr addr = 0;
+    bool valid = false;
+    bool isStore = false;
+    bool addrKnown = false;
+    bool committed = false; ///< stores: retired, write may issue.
+    bool issued = false;    ///< cache access sent (or forwarded).
+    Cycle addrReady = kCycleNever;
+    Cycle completion = kCycleNever;
+};
+
+/** A load whose data-return time became known this cycle. */
+struct LoadCompletion
+{
+    std::uint64_t seq = 0;
+    std::int32_t slot = 0;
+    Cycle completion = 0;
+    bool l1Hit = true;
+    /** Miss-discovery broadcast time (see WindowEntry::missKnownAt). */
+    Cycle missKnownAt = kCycleNever;
+};
+
+/** The combined load/store queue machinery. */
+class LoadStoreQueue
+{
+  public:
+    LoadStoreQueue(const CoreParams &params, CpuId cpu,
+                   MemSystem &mem, stats::Group *parent);
+
+    /** Allocate a slot at issue. @return slot index or -1 if full. */
+    std::int32_t allocateLoad(std::uint64_t seq);
+    std::int32_t allocateStore(std::uint64_t seq);
+
+    /** Record the generated address (agen execute stage). */
+    void setAddress(std::int32_t slot, bool is_store, Addr addr,
+                    Cycle addr_ready);
+
+    /** Mark a store retired; its write may now issue. */
+    void commitStore(std::int32_t slot);
+
+    /** Release a load slot at commit. */
+    void freeLoad(std::int32_t slot);
+
+    /**
+     * Per-cycle port/bank arbitration and cache access issue.
+     * Newly determined load completions are appended to
+     * completedLoads() for the core to consume.
+     */
+    void tick(Cycle cycle);
+
+    /** Completions discovered by the latest tick()s; caller clears. */
+    std::vector<LoadCompletion> &completedLoads()
+    {
+        return completedLoads_;
+    }
+
+    bool lqFull() const;
+    bool sqFull() const;
+    bool sqEmpty() const;
+    bool drained() const;
+
+    /** Issue-stall accounting hooks. @{ */
+    void noteLqFullStall() { ++lqFullStalls_; }
+    void noteSqFullStall() { ++sqFullStalls_; }
+    /** @} */
+
+    std::uint64_t bankConflicts() const
+    {
+        return bankConflicts_.value();
+    }
+    std::uint64_t storeForwards() const
+    {
+        return storeForwards_.value();
+    }
+
+  private:
+    unsigned bankOf(Addr addr) const;
+
+    /** Oldest valid store, or -1. */
+    std::int32_t oldestStore() const;
+
+    const CoreParams params_;
+    CpuId cpu_;
+    MemSystem &mem_;
+
+    std::vector<LsqEntry> loads_;
+    std::vector<LsqEntry> stores_;
+    std::vector<LoadCompletion> completedLoads_;
+
+    stats::Group statGroup_;
+    stats::Scalar &loadIssues_;
+    stats::Scalar &storeIssues_;
+    stats::Scalar &bankConflicts_;
+    stats::Scalar &storeForwards_;
+    stats::Scalar &lqFullStalls_;
+    stats::Scalar &sqFullStalls_;
+    stats::Scalar &forwardWaits_;
+};
+
+} // namespace s64v
+
+#endif // S64V_CPU_LSQ_HH

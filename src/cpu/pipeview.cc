@@ -1,0 +1,98 @@
+#include "cpu/pipeview.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+PipeviewRecorder::PipeviewRecorder(std::size_t capacity)
+{
+    if (capacity == 0)
+        fatal("pipeview recorder needs a nonzero capacity");
+    buf_.resize(capacity);
+}
+
+void
+PipeviewRecorder::record(const PipeRecord &rec)
+{
+    buf_[head_] = rec;
+    head_ = (head_ + 1) % buf_.size();
+    if (head_ == 0)
+        full_ = true;
+    ++recorded_;
+}
+
+std::vector<PipeRecord>
+PipeviewRecorder::snapshot() const
+{
+    std::vector<PipeRecord> out;
+    out.reserve(size());
+    if (full_) {
+        for (std::size_t i = head_; i < buf_.size(); ++i)
+            out.push_back(buf_[i]);
+    }
+    for (std::size_t i = 0; i < head_; ++i)
+        out.push_back(buf_[i]);
+    return out;
+}
+
+std::string
+PipeviewRecorder::render() const
+{
+    const std::vector<PipeRecord> recs = snapshot();
+    if (recs.empty())
+        return "(no committed instructions recorded)\n";
+
+    Cycle lo = kCycleNever, hi = 0;
+    for (const PipeRecord &r : recs) {
+        lo = std::min(lo, r.issue);
+        hi = std::max(hi, r.commit);
+    }
+    constexpr Cycle kMaxSpan = 200;
+    if (hi - lo > kMaxSpan)
+        lo = hi - kMaxSpan; // clip ancient history.
+
+    std::string out;
+    char head[96];
+    std::snprintf(head, sizeof(head),
+                  "pipeview: cycles [%llu, %llu], %zu instructions\n",
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi), recs.size());
+    out += head;
+
+    for (const PipeRecord &r : recs) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "%6llu %-5s %08llx |",
+                      static_cast<unsigned long long>(r.seq),
+                      className(r.cls),
+                      static_cast<unsigned long long>(r.pc));
+        out += label;
+
+        std::string lane(static_cast<std::size_t>(hi - lo) + 1, '.');
+        auto mark = [&](Cycle c, char ch) {
+            if (c >= lo && c <= hi)
+                lane[static_cast<std::size_t>(c - lo)] = ch;
+        };
+        // Fill the issue->commit span, then overlay stage markers.
+        if (r.commit >= lo) {
+            const Cycle start = std::max(r.issue, lo);
+            for (Cycle c = start; c <= r.commit; ++c)
+                lane[static_cast<std::size_t>(c - lo)] = '-';
+        }
+        mark(r.issue, 'i');
+        mark(r.dispatch, 'd');
+        mark(r.execute, 'x');
+        mark(r.complete, 'c');
+        mark(r.commit, 'R');
+        out += lane;
+        if (r.replays)
+            out += "  (replayed x" + std::to_string(r.replays) + ")";
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace s64v

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Pipeline visualization: a ring buffer of per-instruction stage
+ * timestamps recorded at commit, renderable as a gem5-pipeview-style
+ * ASCII timeline. Performance architects used exactly this kind of
+ * view to discuss model output with hardware architects (§2,
+ * "mutual feedback").
+ */
+
+#ifndef S64V_CPU_PIPEVIEW_HH
+#define S64V_CPU_PIPEVIEW_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instr.hh"
+
+namespace s64v
+{
+
+/** Stage timestamps of one committed instruction. */
+struct PipeRecord
+{
+    std::uint64_t seq = 0;
+    Addr pc = 0;
+    InstrClass cls = InstrClass::Nop;
+    Cycle issue = 0;     ///< entered the instruction window.
+    Cycle dispatch = 0;  ///< left a reservation station.
+    Cycle execute = 0;   ///< reached the execute stage.
+    Cycle complete = 0;  ///< result produced.
+    Cycle commit = 0;    ///< retired.
+    std::uint8_t replays = 0;
+};
+
+/**
+ * Fixed-capacity ring of the most recently committed instructions.
+ * Attach to a Core with Core::attachPipeview().
+ */
+class PipeviewRecorder
+{
+  public:
+    explicit PipeviewRecorder(std::size_t capacity = 64);
+
+    void record(const PipeRecord &rec);
+
+    /** Records in commit order, oldest first. */
+    std::vector<PipeRecord> snapshot() const;
+
+    std::size_t size() const
+    {
+        return full_ ? buf_.size() : head_;
+    }
+    std::size_t capacity() const { return buf_.size(); }
+    std::uint64_t recorded() const { return recorded_; }
+
+    /**
+     * Render the buffered instructions as an ASCII timeline:
+     * one row per instruction, one column per cycle, with
+     * i=issue, d=dispatch, x=execute, c=complete, R=retire.
+     */
+    std::string render() const;
+
+  private:
+    std::vector<PipeRecord> buf_;
+    std::size_t head_ = 0;
+    bool full_ = false;
+    std::uint64_t recorded_ = 0;
+};
+
+} // namespace s64v
+
+#endif // S64V_CPU_PIPEVIEW_HH

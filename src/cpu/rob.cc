@@ -1,0 +1,59 @@
+#include "cpu/rob.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+InstrWindow::InstrWindow(unsigned capacity)
+    : capacity_(capacity)
+{
+    if (capacity_ == 0)
+        fatal("instruction window must have at least one entry");
+    std::uint64_t sz = 1;
+    while (sz < capacity_)
+        sz <<= 1;
+    buf_.resize(sz);
+}
+
+WindowEntry &
+InstrWindow::allocate(const TraceRecord &rec, Cycle cycle)
+{
+    if (full())
+        panic("instruction window overflow");
+    WindowEntry &e = buf_[tail_ & (buf_.size() - 1)];
+    e = WindowEntry{};
+    e.rec = rec;
+    e.seq = tail_;
+    e.issueCycle = cycle;
+    ++tail_;
+    return e;
+}
+
+void
+InstrWindow::retireHead()
+{
+    if (empty())
+        panic("retire from empty window");
+    ++head_;
+}
+
+WindowEntry &
+InstrWindow::entry(std::uint64_t seq)
+{
+    if (!contains(seq))
+        panic("window entry %llu out of range [%llu, %llu)",
+              static_cast<unsigned long long>(seq),
+              static_cast<unsigned long long>(head_),
+              static_cast<unsigned long long>(tail_));
+    return buf_[seq & (buf_.size() - 1)];
+}
+
+const WindowEntry &
+InstrWindow::entry(std::uint64_t seq) const
+{
+    return const_cast<InstrWindow *>(this)->entry(seq);
+}
+
+} // namespace s64v

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reservation stations. The SPARC64 V has four kinds (RSA, RSE x2,
+ * RSF x2, RSBR); each holds issued instructions until their sources
+ * are (speculatively) ready and a matching execution unit is free.
+ * Selection is oldest-first among dispatchable entries.
+ */
+
+#ifndef S64V_CPU_RS_HH
+#define S64V_CPU_RS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace s64v
+{
+
+/**
+ * A single reservation station holding window sequence numbers.
+ * Entries keep their slot from issue until their execution is
+ * confirmed (replayed instructions revert to waiting without
+ * re-allocation).
+ */
+class ReservationStation
+{
+  public:
+    /**
+     * @param name stat name ("rsa", "rse0", ...).
+     * @param entries buffer capacity.
+     * @param dispatch_width max dispatches per cycle.
+     */
+    ReservationStation(const std::string &name, unsigned entries,
+                       unsigned dispatch_width, stats::Group *parent);
+
+    bool full() const { return seqs_.size() >= entries_; }
+    bool empty() const { return seqs_.empty(); }
+    std::size_t occupancy() const { return seqs_.size(); }
+    unsigned dispatchWidth() const { return dispatchWidth_; }
+
+    /** Insert a newly issued instruction. */
+    void insert(std::uint64_t seq);
+
+    /** Remove an entry whose execution was confirmed. */
+    void remove(std::uint64_t seq);
+
+    /**
+     * Select up to dispatchWidth() oldest entries for which
+     * @p dispatchable returns true. Selected entries stay in the
+     * station (they are removed only on confirmation).
+     *
+     * @param dispatchable predicate: can this seq dispatch now?
+     * @param out selected sequence numbers, oldest first.
+     */
+    void select(const std::function<bool(std::uint64_t)> &dispatchable,
+                std::vector<std::uint64_t> &out);
+
+    std::uint64_t dispatches() const { return dispatches_.value(); }
+
+    /** Count a dispatch made from this station. */
+    void noteDispatch() { ++dispatches_; }
+
+  private:
+    unsigned entries_;
+    unsigned dispatchWidth_;
+    std::vector<std::uint64_t> seqs_; ///< kept sorted (oldest first).
+
+    stats::Group statGroup_;
+    stats::Scalar &inserts_;
+    stats::Scalar &dispatches_;
+    stats::Scalar &fullStalls_;
+
+  public:
+    /** Count an issue stall caused by this station being full. */
+    void noteFullStall() { ++fullStalls_; }
+};
+
+} // namespace s64v
+
+#endif // S64V_CPU_RS_HH

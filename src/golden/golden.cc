@@ -1,0 +1,90 @@
+#include "golden/golden.hh"
+
+#include <array>
+
+#include "isa/instr.hh"
+
+namespace s64v
+{
+
+GoldenModel::GoldenModel(const GoldenParams &params)
+    : params_(params)
+{
+}
+
+GoldenResult
+GoldenModel::run(const InstrTrace &trace)
+{
+    GoldenResult res;
+    SimpleCache l1i(params_.l1Lines), l1d(params_.l1Lines);
+    SimpleCache l2(params_.l2Lines);
+    // Bimodal predictor: per-PC 2-bit counters (unbounded table; the
+    // reference model idealizes predictor capacity on purpose so the
+    // two implementations differ structurally).
+    std::unordered_map<Addr, std::uint8_t> counters;
+    std::array<Cycle, kNumIntRegs + kNumFpRegs> reg_ready{};
+
+    Cycle cycle = 0;
+    for (const TraceRecord &r : trace.records()) {
+        ++res.instructions;
+        ++cycle;
+
+        // Register dependences: stall until sources are ready.
+        for (RegId src : {r.src1, r.src2}) {
+            if (src != kNoReg && reg_ready[src] > cycle)
+                cycle = reg_ready[src];
+        }
+
+        // Instruction-side memory.
+        if (!l1i.access(r.pc)) {
+            if (l2.access(r.pc))
+                cycle += params_.l2Latency;
+            else
+                cycle += params_.memLatency;
+        }
+
+        Cycle result_at = cycle + execLatency(r.cls);
+        if (r.isMem()) {
+            if (!l1d.access(r.ea)) {
+                ++res.l1Misses;
+                if (l2.access(r.ea)) {
+                    result_at += params_.l2Latency;
+                } else {
+                    ++res.l2Misses;
+                    result_at += params_.memLatency;
+                }
+            } else {
+                result_at += params_.l1Latency;
+            }
+            // In-order: the pipeline waits for loads.
+            if (r.isLoad())
+                cycle = result_at;
+        }
+
+        if (r.isCondBranch()) {
+            std::uint8_t &c = counters[r.pc];
+            const bool pred = c >= 2;
+            if (pred != r.taken()) {
+                ++res.branchMisses;
+                cycle += params_.branchMissPenalty;
+            }
+            if (r.taken() && c < 3)
+                ++c;
+            else if (!r.taken() && c > 0)
+                --c;
+        }
+
+        if (r.dst != kNoReg)
+            reg_ready[r.dst] = result_at;
+    }
+
+    res.cycles = cycle;
+    res.ipc = cycle ? static_cast<double>(res.instructions) / cycle
+                    : 0.0;
+    res.cpi = res.instructions
+        ? static_cast<double>(cycle) / res.instructions
+        : 0.0;
+    return res;
+}
+
+} // namespace s64v

@@ -1,0 +1,205 @@
+#include "golden/reverse_tracer.hh"
+
+#include <cstdio>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+namespace
+{
+
+constexpr std::uint8_t kStaticFlagMask =
+    kFlagPrivileged | kFlagSharedData;
+
+} // namespace
+
+TestProgram
+TestProgram::fromTrace(const InstrTrace &trace)
+{
+    TestProgram p;
+    p.name_ = trace.workloadName();
+    p.pathLength_ = trace.size();
+    if (trace.empty())
+        return p;
+    p.entryPc_ = trace[0].pc;
+
+    // Pass 1: recover the static code and classify branch sites.
+    std::set<Addr> leaders{p.entryPc_};
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceRecord &r = trace[i];
+        auto [it, fresh] = p.code_.try_emplace(r.pc);
+        StaticInstr &si = it->second;
+        if (fresh) {
+            si.cls = r.cls;
+            si.dst = r.dst;
+            si.src1 = r.src1;
+            si.src2 = r.src2;
+            si.size = r.size;
+            si.staticFlags = r.flags & kStaticFlagMask;
+            si.fallthrough = r.pc + 4;
+            if (r.isBranch())
+                si.takenTarget = r.ea;
+        } else {
+            if (si.cls != r.cls)
+                fatal("reverse tracer: PC %#llx changes class; the "
+                      "input is not a fixed program",
+                      static_cast<unsigned long long>(r.pc));
+            if (r.isBranch() && si.takenTarget != r.ea)
+                si.multiTarget = true;
+            if (si.dst != r.dst || si.src1 != r.src1 ||
+                si.src2 != r.src2) {
+                si.regsVary = true;
+            }
+        }
+        if (r.isBranch()) {
+            leaders.insert(r.ea);
+            if (i + 1 < trace.size())
+                leaders.insert(trace[i + 1].pc);
+        }
+    }
+    p.leaders_ = leaders.size();
+
+    // Pass 2: extract the dynamic streams.
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceRecord &r = trace[i];
+        const StaticInstr &si = p.code_.at(r.pc);
+
+        if (si.regsVary) {
+            p.regStream_.push_back(r.dst);
+            p.regStream_.push_back(r.src1);
+            p.regStream_.push_back(r.src2);
+        }
+
+        Addr next_pc = r.pc + 4;
+        if (r.isBranch()) {
+            p.takenStream_.push_back(r.taken());
+            if (si.multiTarget)
+                p.targetStream_.push_back(r.ea);
+            if (r.taken())
+                next_pc = r.ea;
+        } else if (r.isMem()) {
+            p.addressStream_.push_back(r.ea);
+        }
+
+        if (i + 1 < trace.size() && trace[i + 1].pc != next_pc) {
+            if (r.isBranch()) {
+                // A branch's next PC is fully determined by outcome
+                // and target; any other divergence is a trap.
+                if ((r.taken() && trace[i + 1].pc == r.ea))
+                    continue;
+            }
+            p.discontinuities_.emplace_back(i + 1, trace[i + 1].pc);
+        }
+    }
+    return p;
+}
+
+InstrTrace
+TestProgram::replay() const
+{
+    InstrTrace out(name_);
+    out.reserve(pathLength_);
+
+    Addr pc = entryPc_;
+    std::size_t taken_idx = 0, target_idx = 0, addr_idx = 0;
+    std::size_t disc_idx = 0, reg_idx = 0;
+
+    for (std::uint64_t step = 0; step < pathLength_; ++step) {
+        if (disc_idx < discontinuities_.size() &&
+            discontinuities_[disc_idx].first == step) {
+            pc = discontinuities_[disc_idx].second;
+            ++disc_idx;
+        }
+        auto it = code_.find(pc);
+        if (it == code_.end())
+            panic("replay reached unknown PC %#llx at step %llu",
+                  static_cast<unsigned long long>(pc),
+                  static_cast<unsigned long long>(step));
+        const StaticInstr &si = it->second;
+
+        TraceRecord r;
+        r.pc = pc;
+        r.cls = si.cls;
+        r.size = si.size;
+        r.flags = si.staticFlags;
+        if (si.regsVary) {
+            r.dst = regStream_[reg_idx];
+            r.src1 = regStream_[reg_idx + 1];
+            r.src2 = regStream_[reg_idx + 2];
+            reg_idx += 3;
+        } else {
+            r.dst = si.dst;
+            r.src1 = si.src1;
+            r.src2 = si.src2;
+        }
+
+        Addr next_pc = si.fallthrough;
+        if (isBranchClass(si.cls)) {
+            const bool taken = takenStream_[taken_idx++];
+            const Addr target = si.multiTarget
+                ? targetStream_[target_idx++]
+                : si.takenTarget;
+            r.ea = target;
+            if (taken) {
+                r.flags |= kFlagTaken;
+                next_pc = target;
+            }
+        } else if (isMemClass(si.cls)) {
+            r.ea = addressStream_[addr_idx++];
+        }
+        out.append(r);
+        pc = next_pc;
+    }
+    return out;
+}
+
+double
+TestProgram::compressionRatio() const
+{
+    if (pathLength_ == 0)
+        return 1.0;
+    const double program_bytes =
+        static_cast<double>(code_.size()) * 32 +
+        static_cast<double>(takenStream_.size()) / 8 +
+        static_cast<double>(targetStream_.size() +
+                            addressStream_.size()) * 8 +
+        static_cast<double>(regStream_.size()) +
+        static_cast<double>(discontinuities_.size()) * 16;
+    const double trace_bytes =
+        static_cast<double>(pathLength_) * sizeof(TraceRecord);
+    return program_bytes / trace_bytes;
+}
+
+std::string
+verifyReverseTrace(const InstrTrace &trace)
+{
+    const TestProgram prog = TestProgram::fromTrace(trace);
+    const InstrTrace back = prog.replay();
+    char buf[160];
+    if (back.size() != trace.size()) {
+        std::snprintf(buf, sizeof(buf),
+                      "replay length %zu != trace length %zu",
+                      back.size(), trace.size());
+        return buf;
+    }
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceRecord &a = trace[i];
+        const TraceRecord &b = back[i];
+        if (a.pc != b.pc || a.cls != b.cls || a.ea != b.ea ||
+            a.dst != b.dst || a.src1 != b.src1 || a.src2 != b.src2 ||
+            a.flags != b.flags || a.size != b.size) {
+            std::snprintf(buf, sizeof(buf),
+                          "divergence at record %zu (pc %#llx vs "
+                          "%#llx)", i,
+                          static_cast<unsigned long long>(a.pc),
+                          static_cast<unsigned long long>(b.pc));
+            return buf;
+        }
+    }
+    return "";
+}
+
+} // namespace s64v

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Reverse Tracer (after Sakamoto et al., HPCA-8 [11]): converts an
+ * instruction trace into a compact *performance test program* — a
+ * reconstructed control-flow graph plus branch-outcome and
+ * effective-address streams — whose replay reproduces the original
+ * trace exactly. The paper used such programs to run the same
+ * execution on the logic simulator and the performance model; here
+ * they let the test suite verify that a trace, its program form, and
+ * its replay are equivalent, and they compress traces whose code
+ * footprint is much smaller than their dynamic length.
+ */
+
+#ifndef S64V_GOLDEN_REVERSE_TRACER_HH
+#define S64V_GOLDEN_REVERSE_TRACER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace s64v
+{
+
+/**
+ * A performance test program recovered from a trace: static code
+ * (deduplicated instruction templates keyed by PC), the dynamic
+ * control path, and the data streams needed to replay it.
+ */
+class TestProgram
+{
+  public:
+    /** Build a test program from @p trace (the "reverse" step). */
+    static TestProgram fromTrace(const InstrTrace &trace);
+
+    /** Replay the program back into a trace (must equal the input). */
+    InstrTrace replay() const;
+
+    /** Number of distinct static instructions recovered. */
+    std::size_t staticInstructions() const { return code_.size(); }
+
+    /** Dynamic length of the program. */
+    std::size_t dynamicLength() const { return pathLength_; }
+
+    /** Recovered basic-block leaders (entry PCs). */
+    std::size_t basicBlocks() const { return leaders_; }
+
+    /**
+     * Compression: bytes of the program form relative to the raw
+     * trace (static code + outcome bits + address stream vs records).
+     */
+    double compressionRatio() const;
+
+    const std::string &workloadName() const { return name_; }
+
+  private:
+    /** Static instruction template: everything but the dynamics. */
+    struct StaticInstr
+    {
+        InstrClass cls = InstrClass::Nop;
+        RegId dst = kNoReg;
+        RegId src1 = kNoReg;
+        RegId src2 = kNoReg;
+        std::uint8_t size = 0;
+        std::uint8_t staticFlags = 0; ///< privilege bit.
+        Addr fallthrough = 0;         ///< next PC when not taken.
+        Addr takenTarget = 0;         ///< branch target (first seen).
+        bool multiTarget = false;     ///< indirect: targets vary.
+        bool regsVary = false;        ///< operands differ by instance.
+    };
+
+    std::string name_;
+    std::map<Addr, StaticInstr> code_;
+    Addr entryPc_ = 0;
+    std::size_t pathLength_ = 0;
+    std::size_t leaders_ = 0;
+
+    /** Dynamic streams consumed in order during replay. @{ */
+    std::vector<bool> takenStream_;   ///< one per branch instance.
+    std::vector<Addr> targetStream_;  ///< per multi-target instance.
+    std::vector<Addr> addressStream_; ///< one per memory instance.
+    /** Operand triples for regsVary sites: dst, src1, src2. */
+    std::vector<RegId> regStream_;
+    /** Trap entries: (dynamic step, entry PC), in order. */
+    std::vector<std::pair<std::uint64_t, Addr>> discontinuities_;
+    /** @} */
+};
+
+/**
+ * Round-trip verification: reverse @p trace and replay it.
+ * @return empty string on an exact match, else a description of the
+ * first divergence.
+ */
+std::string verifyReverseTrace(const InstrTrace &trace);
+
+} // namespace s64v
+
+#endif // S64V_GOLDEN_REVERSE_TRACER_HH

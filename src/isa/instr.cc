@@ -1,0 +1,134 @@
+#include "isa/instr.hh"
+
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+bool
+isMemClass(InstrClass c)
+{
+    return c == InstrClass::Load || c == InstrClass::Store;
+}
+
+bool
+isLoadClass(InstrClass c)
+{
+    return c == InstrClass::Load;
+}
+
+bool
+isStoreClass(InstrClass c)
+{
+    return c == InstrClass::Store;
+}
+
+bool
+isBranchClass(InstrClass c)
+{
+    return c == InstrClass::BranchCond || c == InstrClass::BranchUncond ||
+           c == InstrClass::Call || c == InstrClass::Return;
+}
+
+bool
+isCondBranchClass(InstrClass c)
+{
+    return c == InstrClass::BranchCond;
+}
+
+bool
+isFpClass(InstrClass c)
+{
+    return c == InstrClass::FpAdd || c == InstrClass::FpMul ||
+           c == InstrClass::FpMulAdd || c == InstrClass::FpDiv;
+}
+
+bool
+isIntExecClass(InstrClass c)
+{
+    return c == InstrClass::IntAlu || c == InstrClass::IntMul ||
+           c == InstrClass::IntDiv || c == InstrClass::Nop ||
+           c == InstrClass::Special;
+}
+
+bool
+isSpecialClass(InstrClass c)
+{
+    return c == InstrClass::Special;
+}
+
+unsigned
+execLatency(InstrClass c)
+{
+    switch (c) {
+      case InstrClass::IntAlu:
+      case InstrClass::Nop:
+        return 1;
+      case InstrClass::IntMul:
+        return 4;
+      case InstrClass::IntDiv:
+        return 37;
+      case InstrClass::FpAdd:
+        return 4;
+      case InstrClass::FpMul:
+        return 4;
+      case InstrClass::FpMulAdd:
+        return 4;
+      case InstrClass::FpDiv:
+        return 19;
+      case InstrClass::Load:
+      case InstrClass::Store:
+        return 1; // address generation; cache time added separately
+      case InstrClass::BranchCond:
+      case InstrClass::BranchUncond:
+      case InstrClass::Call:
+      case InstrClass::Return:
+        return 1;
+      case InstrClass::Special:
+        return 1; // modelled separately (see SpecialInstrMode)
+      default:
+        panic("execLatency: bad class %d", static_cast<int>(c));
+    }
+}
+
+bool
+isUnpipelined(InstrClass c)
+{
+    return c == InstrClass::IntDiv || c == InstrClass::FpDiv;
+}
+
+const char *
+className(InstrClass c)
+{
+    switch (c) {
+      case InstrClass::IntAlu: return "int";
+      case InstrClass::IntMul: return "imul";
+      case InstrClass::IntDiv: return "idiv";
+      case InstrClass::FpAdd: return "fadd";
+      case InstrClass::FpMul: return "fmul";
+      case InstrClass::FpMulAdd: return "fma";
+      case InstrClass::FpDiv: return "fdiv";
+      case InstrClass::Load: return "ld";
+      case InstrClass::Store: return "st";
+      case InstrClass::BranchCond: return "bcc";
+      case InstrClass::BranchUncond: return "ba";
+      case InstrClass::Call: return "call";
+      case InstrClass::Return: return "ret";
+      case InstrClass::Special: return "spec";
+      case InstrClass::Nop: return "nop";
+      default: return "?";
+    }
+}
+
+InstrClass
+classFromName(const std::string &name)
+{
+    for (int i = 0; i < static_cast<int>(InstrClass::NumClasses); ++i) {
+        auto c = static_cast<InstrClass>(i);
+        if (name == className(c))
+            return c;
+    }
+    panic("unknown instruction class name '%s'", name.c_str());
+}
+
+} // namespace s64v

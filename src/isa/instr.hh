@@ -1,0 +1,84 @@
+/**
+ * @file
+ * SPARC-V9-flavoured instruction abstraction. The performance model is
+ * trace driven, so instructions carry only the attributes that affect
+ * timing: an operation class, register operands, and (for memory and
+ * control transfer) effective address / outcome information recorded
+ * in the trace.
+ */
+
+#ifndef S64V_ISA_INSTR_HH
+#define S64V_ISA_INSTR_HH
+
+#include <cstdint>
+#include <string>
+
+namespace s64v
+{
+
+/** Timing-relevant operation classes. */
+enum class InstrClass : std::uint8_t
+{
+    IntAlu,      ///< add/sub/logical/shift/sethi; 1-cycle integer op.
+    IntMul,      ///< integer multiply.
+    IntDiv,      ///< integer divide (long, unpipelined).
+    FpAdd,       ///< FP add/sub/compare/convert.
+    FpMul,       ///< FP multiply.
+    FpMulAdd,    ///< fused multiply-add (the SPARC64 V FL units).
+    FpDiv,       ///< FP divide / sqrt (long, unpipelined).
+    Load,        ///< memory load.
+    Store,       ///< memory store.
+    BranchCond,  ///< conditional branch.
+    BranchUncond,///< unconditional branch / jump.
+    Call,        ///< call (writes link register).
+    Return,      ///< return (jmpl through link).
+    Special,     ///< membar / atomic / register-window spill-fill etc.
+    Nop,         ///< no-op.
+    NumClasses
+};
+
+/** Register identifiers: 0..63 integer, 64..127 floating point. */
+using RegId = std::uint8_t;
+
+constexpr RegId kNoReg = 0xff;
+constexpr RegId kFirstFpReg = 64;
+constexpr unsigned kNumIntRegs = 64;
+constexpr unsigned kNumFpRegs = 64;
+
+/** @return true iff @p r names a floating-point register. */
+constexpr bool
+isFpReg(RegId r)
+{
+    return r != kNoReg && r >= kFirstFpReg;
+}
+
+/** Static attribute queries on an operation class. @{ */
+bool isMemClass(InstrClass c);
+bool isLoadClass(InstrClass c);
+bool isStoreClass(InstrClass c);
+bool isBranchClass(InstrClass c);
+bool isCondBranchClass(InstrClass c);
+bool isFpClass(InstrClass c);
+bool isIntExecClass(InstrClass c);
+bool isSpecialClass(InstrClass c);
+/** @} */
+
+/**
+ * Execution latency in cycles for @p c on the SPARC64 V pipelines
+ * (loads report the address-generation part only; cache access time
+ * is added by the memory model).
+ */
+unsigned execLatency(InstrClass c);
+
+/** @return true iff the unit is busy (unpipelined) while executing. */
+bool isUnpipelined(InstrClass c);
+
+/** Short mnemonic-like name for dumps ("int", "fma", "ld", ...). */
+const char *className(InstrClass c);
+
+/** Parse the result of className(); panics on unknown names. */
+InstrClass classFromName(const std::string &name);
+
+} // namespace s64v
+
+#endif // S64V_ISA_INSTR_HH

@@ -1,0 +1,50 @@
+#include "mem/bus.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+Bus::Bus(const BusParams &params, const std::string &name,
+         stats::Group *parent)
+    : params_(params), statGroup_(name, parent),
+      transactions_(statGroup_.scalar("transactions",
+                                      "bus transactions")),
+      busyCycles_(statGroup_.scalar("busy_cycles",
+                                    "cycles the bus was occupied")),
+      conflictCycles_(statGroup_.scalar("conflict_cycles",
+                                        "cycles requests waited for "
+                                        "the bus"))
+{
+    if (params_.bytesPerCycle == 0)
+        fatal("bus '%s': zero bandwidth", name.c_str());
+}
+
+Cycle
+Bus::occupy(Cycle *busy_until, Cycle cycle, Cycle duration)
+{
+    ++transactions_;
+    const Cycle start = std::max(cycle, *busy_until);
+    conflictCycles_ += start - cycle;
+    busyCycles_ += duration;
+    *busy_until = start + duration;
+    return *busy_until;
+}
+
+Cycle
+Bus::transfer(Cycle cycle, unsigned bytes)
+{
+    const Cycle duration =
+        (bytes + params_.bytesPerCycle - 1) / params_.bytesPerCycle;
+    return occupy(&dataBusyUntil_, cycle, duration);
+}
+
+Cycle
+Bus::command(Cycle cycle)
+{
+    return occupy(&addrBusyUntil_, cycle, params_.requestLatency);
+}
+
+} // namespace s64v

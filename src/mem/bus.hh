@@ -1,0 +1,71 @@
+/**
+ * @file
+ * System bus model: a shared, bandwidth-limited resource connecting
+ * the per-processor SX-units to the memory controller and to each
+ * other. Occupancy-based: each transaction reserves the bus for
+ * bytes / bytesPerCycle cycles; later requests queue behind it.
+ */
+
+#ifndef S64V_MEM_BUS_HH
+#define S64V_MEM_BUS_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/memtypes.hh"
+
+namespace s64v
+{
+
+/** Shared system bus with occupancy accounting. */
+class Bus
+{
+  public:
+    Bus(const BusParams &params, const std::string &name,
+        stats::Group *parent);
+
+    /**
+     * Reserve the bus for a transaction of @p bytes starting no
+     * earlier than @p cycle.
+     * @return the cycle the transaction's transfer completes.
+     */
+    Cycle transfer(Cycle cycle, unsigned bytes);
+
+    /**
+     * Address/command-only transaction (snoop broadcast, upgrade).
+     * @return completion cycle of the command phase.
+     */
+    Cycle command(Cycle cycle);
+
+    /** Earliest cycle the data bus is free (for tests). */
+    Cycle freeAt() const { return dataBusyUntil_; }
+
+    std::uint64_t transactions() const
+    {
+        return transactions_.value();
+    }
+    std::uint64_t conflictCycles() const
+    {
+        return conflictCycles_.value();
+    }
+
+  private:
+    Cycle occupy(Cycle *busy_until, Cycle cycle, Cycle duration);
+
+    BusParams params_;
+    /**
+     * Split-transaction bus: the address/command phase and the data
+     * phase arbitrate independently, so a long-latency request's
+     * future data transfer does not block younger commands.
+     */
+    Cycle addrBusyUntil_ = 0;
+    Cycle dataBusyUntil_ = 0;
+
+    stats::Group statGroup_;
+    stats::Scalar &transactions_;
+    stats::Scalar &busyCycles_;
+    stats::Scalar &conflictCycles_;
+};
+
+} // namespace s64v
+
+#endif // S64V_MEM_BUS_HH

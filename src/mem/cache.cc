@@ -1,0 +1,303 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+CacheArray::CacheArray(const CacheParams &params)
+    : numSets_(params.numSets()), assoc_(params.assoc),
+      usableWays_(params.assoc - params.ras.degradedWays)
+{
+    if (assoc_ == 0)
+        fatal("cache '%s': zero associativity", params.name.c_str());
+    if (params.ras.degradedWays >= assoc_)
+        fatal("cache '%s': cannot degrade %u of %u ways",
+              params.name.c_str(), params.ras.degradedWays, assoc_);
+    if (params.sizeBytes %
+            (static_cast<std::uint64_t>(kLineSize) * assoc_) != 0 ||
+        numSets_ == 0 || !isPowerOf2(numSets_)) {
+        fatal("cache '%s': size %llu is not a power-of-two set count "
+              "of %u-way 64-B lines", params.name.c_str(),
+              static_cast<unsigned long long>(params.sizeBytes),
+              assoc_);
+    }
+    lines_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+unsigned
+CacheArray::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr / kLineSize) & (numSets_ - 1));
+}
+
+Addr
+CacheArray::lineTag(Addr addr) const
+{
+    return addr / kLineSize / numSets_;
+}
+
+CacheArray::Line *
+CacheArray::find(Addr addr)
+{
+    const unsigned set = setIndex(addr);
+    const Addr tag = lineTag(addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * assoc_];
+    for (unsigned w = 0; w < usableWays_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CacheArray::Line *
+CacheArray::find(Addr addr) const
+{
+    return const_cast<CacheArray *>(this)->find(addr);
+}
+
+bool
+CacheArray::access(Addr addr)
+{
+    Line *line = find(addr);
+    if (!line)
+        return false;
+    line->lru = ++lruTick_;
+    return true;
+}
+
+bool
+CacheArray::probe(Addr addr) const
+{
+    return find(addr) != nullptr;
+}
+
+Eviction
+CacheArray::insert(Addr addr, bool dirty, bool prefetched)
+{
+    Eviction ev;
+    const unsigned set = setIndex(addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * assoc_];
+
+    // Reuse an existing copy or an invalid (usable) way first.
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < usableWays_; ++w) {
+        if (base[w].valid && base[w].tag == lineTag(addr)) {
+            victim = &base[w];
+            ev.valid = false;
+            break;
+        }
+        if (!base[w].valid && !victim)
+            victim = &base[w];
+    }
+    if (!victim) {
+        victim = base;
+        for (unsigned w = 1; w < usableWays_; ++w) {
+            if (base[w].lru < victim->lru)
+                victim = &base[w];
+        }
+        ev.valid = true;
+        ev.dirty = victim->dirty;
+        ev.lineAddr = (victim->tag * numSets_ + set) * kLineSize;
+    }
+
+    victim->tag = lineTag(addr);
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->prefetched = prefetched;
+    victim->lru = ++lruTick_;
+    return ev;
+}
+
+bool
+CacheArray::setDirty(Addr addr)
+{
+    Line *line = find(addr);
+    if (!line)
+        return false;
+    line->dirty = true;
+    return true;
+}
+
+bool
+CacheArray::isDirty(Addr addr) const
+{
+    const Line *line = find(addr);
+    return line && line->dirty;
+}
+
+bool
+CacheArray::consumePrefetched(Addr addr)
+{
+    Line *line = find(addr);
+    if (!line || !line->prefetched)
+        return false;
+    line->prefetched = false;
+    return true;
+}
+
+bool
+CacheArray::invalidate(Addr addr)
+{
+    Line *line = find(addr);
+    if (!line)
+        return false;
+    const bool was_dirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    line->prefetched = false;
+    return was_dirty;
+}
+
+void
+CacheArray::flush()
+{
+    for (Line &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+        line.prefetched = false;
+    }
+}
+
+std::size_t
+CacheArray::validLines() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(lines_.begin(), lines_.end(),
+                      [](const Line &l) { return l.valid; }));
+}
+
+TimedCache::TimedCache(const CacheParams &params, stats::Group *parent)
+    : params_(params), array_(params),
+      statGroup_(params.name, parent),
+      errors_(params.ras, "ras", &statGroup_),
+      accesses_(statGroup_.scalar("accesses", "tag lookups")),
+      misses_(statGroup_.scalar("misses", "lookups that missed")),
+      mshrMerges_(statGroup_.scalar("mshr_merges",
+                                    "misses merged into in-flight "
+                                    "fills")),
+      mshrFullStalls_(statGroup_.scalar("mshr_full",
+                                        "misses delayed by MSHR "
+                                        "exhaustion")),
+      writebacks_(statGroup_.scalar("writebacks",
+                                    "dirty lines written back")),
+      prefetchesIssued_(statGroup_.scalar("prefetches",
+                                          "prefetch fills issued")),
+      prefetchesUseful_(statGroup_.scalar("prefetches_useful",
+                                          "prefetched lines hit by "
+                                          "demand requests")),
+      demandAccesses_(statGroup_.scalar("demand_accesses",
+                                        "accesses excluding "
+                                        "prefetches")),
+      demandMisses_(statGroup_.scalar("demand_misses",
+                                      "misses excluding prefetches")),
+      invalidations_(statGroup_.scalar("invalidations",
+                                       "lines invalidated by "
+                                       "coherence"))
+{
+    statGroup_.formula("miss_ratio", "misses / accesses",
+                       [this] { return missRatio(); });
+}
+
+void
+TimedCache::expireMshrs(Cycle cycle)
+{
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+        if (it->second <= cycle)
+            it = inflight_.erase(it);
+        else
+            ++it;
+    }
+}
+
+TimedCache::LookupResult
+TimedCache::lookup(Addr addr, bool is_write, Cycle cycle)
+{
+    ++accesses_;
+    LookupResult res;
+    const Addr line = alignDown(addr, kLineSize);
+
+    // A line whose fill is still in flight sits in the tag array
+    // already (fill() installs eagerly); such accesses merge with the
+    // outstanding MSHR rather than hitting.
+    expireMshrs(cycle);
+    if (auto it = inflight_.find(line); it != inflight_.end()) {
+        ++misses_;
+        ++mshrMerges_;
+        if (is_write)
+            array_.setDirty(addr);
+        res.merged = true;
+        res.ready = it->second;
+        return res;
+    }
+
+    const unsigned ecc_penalty = errors_.onAccess();
+
+    if (array_.access(addr)) {
+        if (array_.consumePrefetched(addr))
+            notePrefetchUseful();
+        if (is_write)
+            array_.setDirty(addr);
+        res.hit = true;
+        res.ready = cycle + params_.totalLatency() + ecc_penalty;
+        return res;
+    }
+
+    ++misses_;
+    // New miss: the downstream request can start after the tag probe
+    // (tags are on-chip even for the off-chip L2 design), subject to
+    // MSHR availability.
+    Cycle start = cycle + params_.latency + ecc_penalty;
+    if (inflight_.size() >= params_.mshrs) {
+        ++mshrFullStalls_;
+        start = std::max(start, mshrAvailable(cycle));
+    }
+    res.ready = start;
+    return res;
+}
+
+Eviction
+TimedCache::fill(Addr addr, Cycle ready, bool dirty, bool prefetched)
+{
+    const Addr line = alignDown(addr, kLineSize);
+    inflight_[line] = ready;
+    return array_.insert(addr, dirty, prefetched);
+}
+
+bool
+TimedCache::pending(Addr addr, Cycle cycle)
+{
+    expireMshrs(cycle);
+    return inflight_.count(alignDown(addr, kLineSize)) != 0;
+}
+
+Cycle
+TimedCache::mshrAvailable(Cycle cycle)
+{
+    expireMshrs(cycle);
+    if (inflight_.size() < params_.mshrs)
+        return cycle;
+    Cycle earliest = kCycleNever;
+    for (const auto &[line, ready] : inflight_)
+        earliest = std::min(earliest, ready);
+    return earliest;
+}
+
+double
+TimedCache::missRatio() const
+{
+    const std::uint64_t a = accesses_.value();
+    return a ? static_cast<double>(misses_.value()) / a : 0.0;
+}
+
+double
+TimedCache::demandMissRatio() const
+{
+    const std::uint64_t a = demandAccesses_.value();
+    return a ? static_cast<double>(demandMisses_.value()) / a : 0.0;
+}
+
+} // namespace s64v

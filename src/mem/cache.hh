@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Set-associative cache tag arrays and the timed non-blocking cache
+ * built on top of them (MSHRs, copy-back dirty state, prefetch
+ * marking). The timed hierarchy in mem/hierarchy.hh drives these.
+ */
+
+#ifndef S64V_MEM_CACHE_HH
+#define S64V_MEM_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/memtypes.hh"
+
+namespace s64v
+{
+
+/** Outcome of inserting a line: what (if anything) was evicted. */
+struct Eviction
+{
+    bool valid = false;
+    bool dirty = false;
+    Addr lineAddr = 0;
+};
+
+/**
+ * Pure tag array with true-LRU replacement. Addresses are full byte
+ * addresses; the array works at line granularity.
+ */
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheParams &params);
+
+    /** @return true and update LRU if @p addr is present. */
+    bool access(Addr addr);
+
+    /** @return true if present, without disturbing LRU. */
+    bool probe(Addr addr) const;
+
+    /** Insert the line containing @p addr; returns the victim. */
+    Eviction insert(Addr addr, bool dirty = false,
+                    bool prefetched = false);
+
+    /** Mark the line dirty; @return false if the line is absent. */
+    bool setDirty(Addr addr);
+
+    /** @return true if present and dirty. */
+    bool isDirty(Addr addr) const;
+
+    /**
+     * Test-and-clear the prefetched bit; @return true if the line was
+     * present with the bit set (i.e. a useful prefetch).
+     */
+    bool consumePrefetched(Addr addr);
+
+    /** Remove the line if present. @return true if it was dirty. */
+    bool invalidate(Addr addr);
+
+    /** Drop every line. */
+    void flush();
+
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+    /** Ways usable after RAS degradation. */
+    unsigned usableWays() const { return usableWays_; }
+
+    /** Count of valid lines (for tests). */
+    std::size_t validLines() const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        std::uint64_t lru = 0;
+    };
+
+    unsigned setIndex(Addr addr) const;
+    Addr lineTag(Addr addr) const;
+    Line *find(Addr addr);
+    const Line *find(Addr addr) const;
+
+    unsigned numSets_;
+    unsigned assoc_;
+    unsigned usableWays_;
+    std::uint64_t lruTick_ = 0;
+    std::vector<Line> lines_; ///< numSets_ * assoc_, set-major.
+};
+
+/**
+ * Timed non-blocking cache: tag array + MSHR tracking of in-flight
+ * line fills + statistics. The surrounding hierarchy decides where
+ * misses are serviced; TimedCache handles tags, merging, and
+ * structural MSHR limits.
+ */
+class TimedCache
+{
+  public:
+    TimedCache(const CacheParams &params, stats::Group *parent);
+
+    const CacheParams &params() const { return params_; }
+    CacheArray &array() { return array_; }
+    const CacheArray &array() const { return array_; }
+
+    /**
+     * Tag lookup for a demand access at @p cycle.
+     * Hit: data ready at cycle + totalLatency().
+     * In-flight miss (MSHR merge): ready when the fill lands.
+     * New miss: caller must service it and call fill(); the returned
+     * ready is the earliest cycle the downstream request can start
+     * (after MSHR availability and the tag-probe latency).
+     */
+    struct LookupResult
+    {
+        bool hit = false;
+        bool merged = false;  ///< matched an in-flight fill.
+        Cycle ready = 0;
+    };
+    LookupResult lookup(Addr addr, bool is_write, Cycle cycle);
+
+    /**
+     * Record the completion of a miss: install the line and register
+     * the fill time in the MSHR so later accesses merge correctly.
+     * @return eviction information for writeback handling.
+     */
+    Eviction fill(Addr addr, Cycle ready, bool dirty,
+                  bool prefetched = false);
+
+    /** Earliest cycle an MSHR frees up, given the current set. */
+    Cycle mshrAvailable(Cycle cycle);
+
+    /** @return true if a fill for this line is still in flight. */
+    bool pending(Addr addr, Cycle cycle);
+
+    /** Count a writeback leaving this cache. */
+    void noteWriteback() { ++writebacks_; }
+    void notePrefetchIssued() { ++prefetchesIssued_; }
+    void notePrefetchUseful() { ++prefetchesUseful_; }
+    void noteDemandMiss() { ++demandMisses_; }
+    void noteDemandAccess() { ++demandAccesses_; }
+    void noteInvalidation() { ++invalidations_; }
+
+    /** Correctable errors observed so far. */
+    std::uint64_t correctedErrors() const
+    {
+        return errors_.correctedErrors();
+    }
+
+    /** Stats accessors used by experiments. @{ */
+    std::uint64_t accesses() const { return accesses_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t demandAccessCount() const
+    {
+        return demandAccesses_.value();
+    }
+    std::uint64_t demandMissCount() const
+    {
+        return demandMisses_.value();
+    }
+    std::uint64_t prefetchIssuedCount() const
+    {
+        return prefetchesIssued_.value();
+    }
+    std::uint64_t prefetchUsefulCount() const
+    {
+        return prefetchesUseful_.value();
+    }
+    std::uint64_t writebackCount() const
+    {
+        return writebacks_.value();
+    }
+    std::uint64_t invalidationCount() const
+    {
+        return invalidations_.value();
+    }
+    double missRatio() const;
+    double demandMissRatio() const;
+    /** @} */
+
+  private:
+    void expireMshrs(Cycle cycle);
+
+    CacheParams params_;
+    CacheArray array_;
+    std::map<Addr, Cycle> inflight_; ///< line addr -> fill-done cycle.
+
+    stats::Group statGroup_;
+    ErrorProcess errors_;
+    stats::Scalar &accesses_;
+    stats::Scalar &misses_;
+    stats::Scalar &mshrMerges_;
+    stats::Scalar &mshrFullStalls_;
+    stats::Scalar &writebacks_;
+    stats::Scalar &prefetchesIssued_;
+    stats::Scalar &prefetchesUseful_;
+    stats::Scalar &demandAccesses_;
+    stats::Scalar &demandMisses_;
+    stats::Scalar &invalidations_;
+};
+
+} // namespace s64v
+
+#endif // S64V_MEM_CACHE_HH

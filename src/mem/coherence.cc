@@ -1,0 +1,97 @@
+#include "mem/coherence.hh"
+
+namespace s64v
+{
+
+CoherenceController::CoherenceController(const SnoopParams &params,
+                                         stats::Group *parent)
+    : params_(params), statGroup_("coherence", parent),
+      snoops_(statGroup_.scalar("snoops", "read snoops issued")),
+      dirtySupplies_(statGroup_.scalar("dirty_supplies",
+                                       "L2-to-L2 dirty-line "
+                                       "transfers")),
+      sharedHits_(statGroup_.scalar("shared_hits",
+                                    "snoops finding clean copies")),
+      invalidationsSent_(statGroup_.scalar("invalidations",
+                                           "invalidation broadcasts")),
+      backInvalidations_(statGroup_.scalar("back_invalidations",
+                                           "L1 lines removed for "
+                                           "inclusion"))
+{
+}
+
+void
+CoherenceController::addCluster(const CacheCluster &cluster)
+{
+    clusters_.push_back(cluster);
+}
+
+SnoopOutcome
+CoherenceController::snoopRead(CpuId requester, Addr addr)
+{
+    ++snoops_;
+    SnoopOutcome outcome = SnoopOutcome::Miss;
+    for (CpuId c = 0; c < clusters_.size(); ++c) {
+        if (c == requester)
+            continue;
+        TimedCache *l2 = clusters_[c].l2;
+        if (!l2->array().probe(addr))
+            continue;
+        if (l2->array().isDirty(addr)) {
+            // Owner supplies the line and keeps a clean copy; memory
+            // is updated in the same transaction.
+            l2->array().insert(addr, /*dirty=*/false);
+            ++dirtySupplies_;
+            return SnoopOutcome::DirtySupply;
+        }
+        outcome = SnoopOutcome::SharedClean;
+    }
+    if (outcome == SnoopOutcome::SharedClean)
+        ++sharedHits_;
+    return outcome;
+}
+
+bool
+CoherenceController::invalidateOthers(CpuId requester, Addr addr)
+{
+    ++invalidationsSent_;
+    bool dirty_supply = false;
+    for (CpuId c = 0; c < clusters_.size(); ++c) {
+        if (c == requester)
+            continue;
+        TimedCache *l2 = clusters_[c].l2;
+        if (!l2->array().probe(addr))
+            continue;
+        if (l2->array().invalidate(addr))
+            dirty_supply = true;
+        l2->noteInvalidation();
+        backInvalidate(c, addr);
+    }
+    if (dirty_supply)
+        ++dirtySupplies_;
+    return dirty_supply;
+}
+
+bool
+CoherenceController::othersHold(CpuId requester, Addr addr) const
+{
+    for (CpuId c = 0; c < clusters_.size(); ++c) {
+        if (c != requester && clusters_[c].l2->array().probe(addr))
+            return true;
+    }
+    return false;
+}
+
+void
+CoherenceController::backInvalidate(CpuId cpu, Addr addr)
+{
+    CacheCluster &cluster = clusters_[cpu];
+    if (cluster.l1i->array().invalidate(addr))
+        ++backInvalidations_;
+    // A dirty L1D line above a lost L2 line is dropped; the L2-to-L2
+    // supply path already moved the authoritative data.
+    if (cluster.l1d->array().invalidate(addr))
+        ++backInvalidations_;
+}
+
+} // namespace s64v

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Snooping coherence across the per-processor L2 caches of an SMP
+ * system. The paper's model "can model requests between L2 caches"
+ * (§2.1); this controller provides the probe/invalidate/supply
+ * operations, with inclusion maintained by back-invalidating the L1
+ * caches above an L2 that loses a line.
+ */
+
+#ifndef S64V_MEM_COHERENCE_HH
+#define S64V_MEM_COHERENCE_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/memtypes.hh"
+
+namespace s64v
+{
+
+/** Caches of one processor, as seen by the coherence controller. */
+struct CacheCluster
+{
+    TimedCache *l1i = nullptr;
+    TimedCache *l1d = nullptr;
+    TimedCache *l2 = nullptr;
+};
+
+/** What a read snoop found in the other processors. */
+enum class SnoopOutcome : std::uint8_t
+{
+    Miss,       ///< no other cache holds the line.
+    SharedClean,///< clean copies exist elsewhere.
+    DirtySupply,///< a dirty copy exists; L2-to-L2 supply.
+};
+
+/** Snooping MOESI-style controller (M/O folded into "dirty"). */
+class CoherenceController
+{
+  public:
+    CoherenceController(const SnoopParams &params,
+                        stats::Group *parent);
+
+    /** Register a processor's caches; call once per CPU, in order. */
+    void addCluster(const CacheCluster &cluster);
+
+    unsigned numCpus() const
+    {
+        return static_cast<unsigned>(clusters_.size());
+    }
+
+    /**
+     * Probe the other processors for a read miss by @p requester.
+     * A dirty owner's copy is downgraded to clean (ownership-style
+     * supply with simultaneous memory update).
+     */
+    SnoopOutcome snoopRead(CpuId requester, Addr addr);
+
+    /**
+     * Invalidate every other processor's copies (store miss or
+     * upgrade). @return true if a dirty copy was invalidated (its
+     * data is supplied to the requester).
+     */
+    bool invalidateOthers(CpuId requester, Addr addr);
+
+    /** @return true if any *other* processor holds the line. */
+    bool othersHold(CpuId requester, Addr addr) const;
+
+    /**
+     * Inclusion maintenance: a processor's L2 lost @p addr, so remove
+     * it from that processor's L1 caches as well.
+     */
+    void backInvalidate(CpuId cpu, Addr addr);
+
+    const SnoopParams &params() const { return params_; }
+
+    std::uint64_t dirtySupplies() const
+    {
+        return dirtySupplies_.value();
+    }
+    std::uint64_t invalidationsSent() const
+    {
+        return invalidationsSent_.value();
+    }
+
+  private:
+    SnoopParams params_;
+    std::vector<CacheCluster> clusters_;
+
+    stats::Group statGroup_;
+    stats::Scalar &snoops_;
+    stats::Scalar &dirtySupplies_;
+    stats::Scalar &sharedHits_;
+    stats::Scalar &invalidationsSent_;
+    stats::Scalar &backInvalidations_;
+};
+
+} // namespace s64v
+
+#endif // S64V_MEM_COHERENCE_HH

@@ -1,0 +1,291 @@
+#include "mem/hierarchy.hh"
+
+#include <string>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+MemSystem::MemSystem(const MemParams &params, unsigned num_cpus,
+                     stats::Group *parent)
+    : params_(params)
+{
+    if (num_cpus == 0)
+        fatal("memory system needs at least one CPU");
+
+    coherence_ = std::make_unique<CoherenceController>(params_.snoop,
+                                                       parent);
+    bus_ = std::make_unique<Bus>(params_.bus, "bus", parent);
+    memCtrl_ = std::make_unique<MemCtrl>(params_.memctrl, parent);
+
+    for (unsigned i = 0; i < num_cpus; ++i) {
+        auto pc = std::make_unique<PerCpu>();
+        pc->group = std::make_unique<stats::Group>(
+            "mem" + std::to_string(i), parent);
+        pc->l1i = std::make_unique<TimedCache>(params_.l1i,
+                                               pc->group.get());
+        pc->l1d = std::make_unique<TimedCache>(params_.l1d,
+                                               pc->group.get());
+        pc->l2 = std::make_unique<TimedCache>(params_.l2,
+                                              pc->group.get());
+        pc->itlb = std::make_unique<Tlb>(params_.itlb, "itlb",
+                                         pc->group.get());
+        pc->dtlb = std::make_unique<Tlb>(params_.dtlb, "dtlb",
+                                         pc->group.get());
+        pc->prefetcher = std::make_unique<StreamPrefetcher>(
+            params_.prefetch, "prefetch", pc->group.get());
+        coherence_->addCluster(CacheCluster{pc->l1i.get(),
+                                            pc->l1d.get(),
+                                            pc->l2.get()});
+        cpus_.push_back(std::move(pc));
+    }
+}
+
+Addr
+MemSystem::physAddr(Addr va)
+{
+    // 1-MiB placement granularity: large allocations (buffer pools,
+    // indexes) stay physically contiguous inside a chunk -- which is
+    // what makes direct-mapped conflict behaviour realistic -- while
+    // distinct chunks scatter, so the power-of-two virtual bases of
+    // the synthetic address space do not all alias to cache set 0.
+    constexpr unsigned kChunkShift = 20;
+    const Addr vcn = va >> kChunkShift;
+    const Addr pcn = mix64(vcn) & ((Addr{1} << 31) - 1);
+    return (pcn << kChunkShift) |
+        (va & ((Addr{1} << kChunkShift) - 1));
+}
+
+Cycle
+MemSystem::memoryPath(CpuId cpu, Addr addr, bool is_write, Cycle cycle)
+{
+    // Address/command phase on the shared bus (also carries the snoop
+    // broadcast in SMP systems).
+    const Cycle cmd_done = bus_->command(cycle);
+
+    if (cpus_.size() > 1) {
+        const Cycle snoop_done =
+            cmd_done + params_.snoop.snoopLatency;
+        bool dirty_supply = false;
+        if (is_write) {
+            dirty_supply = coherence_->invalidateOthers(cpu, addr);
+        } else {
+            dirty_supply = coherence_->snoopRead(cpu, addr) ==
+                SnoopOutcome::DirtySupply;
+        }
+        if (dirty_supply) {
+            // L2-to-L2 transfer: supplier read-out plus a bus data
+            // phase for the full line.
+            return bus_->transfer(
+                snoop_done + params_.snoop.cacheToCache, kLineSize);
+        }
+        const Cycle data = memCtrl_->read(snoop_done);
+        return bus_->transfer(data, kLineSize);
+    }
+
+    const Cycle data = memCtrl_->read(cmd_done);
+    return bus_->transfer(data, kLineSize);
+}
+
+void
+MemSystem::handleL2Eviction(CpuId cpu, const Eviction &ev, Cycle cycle)
+{
+    if (!ev.valid)
+        return;
+    // Inclusion: the L1 caches may not keep a line the L2 lost.
+    coherence_->backInvalidate(cpu, ev.lineAddr);
+    if (ev.dirty) {
+        cpus_[cpu]->l2->noteWriteback();
+        const Cycle bus_done = bus_->transfer(cycle, kLineSize);
+        memCtrl_->write(bus_done);
+    }
+}
+
+void
+MemSystem::runPrefetches(CpuId cpu, const std::vector<Addr> &candidates,
+                         Cycle cycle)
+{
+    PerCpu &pc = *cpus_[cpu];
+    for (Addr addr : candidates) {
+        if (pc.l2->array().probe(addr) || pc.l2->pending(addr, cycle))
+            continue;
+        const Cycle ready = memoryPath(cpu, addr, false, cycle);
+        const Eviction ev = pc.l2->fill(addr, ready, false,
+                                        /*prefetched=*/true);
+        handleL2Eviction(cpu, ev, ready);
+        pc.l2->notePrefetchIssued();
+    }
+}
+
+Cycle
+MemSystem::l2Access(CpuId cpu, Addr addr, bool is_write, bool is_fetch,
+                    Cycle cycle, bool &l2_hit)
+{
+    (void)is_fetch;
+    PerCpu &pc = *cpus_[cpu];
+
+    if (params_.perfectL2) {
+        l2_hit = true;
+        return cycle + params_.l2.totalLatency();
+    }
+
+    pc.l2->noteDemandAccess();
+    prefetchScratch_.clear();
+    pc.prefetcher->observe(addr, prefetchScratch_);
+
+    const TimedCache::LookupResult res =
+        pc.l2->lookup(addr, is_write, cycle);
+    if (res.hit) {
+        l2_hit = true;
+        // Store hit on a line other processors hold: upgrade
+        // transaction invalidating the other copies.
+        if (is_write && cpus_.size() > 1 &&
+            coherence_->othersHold(cpu, addr)) {
+            bus_->command(res.ready);
+            coherence_->invalidateOthers(cpu, addr);
+        }
+        runPrefetches(cpu, prefetchScratch_, cycle);
+        return res.ready;
+    }
+
+    l2_hit = false;
+    if (res.merged) {
+        runPrefetches(cpu, prefetchScratch_, cycle);
+        return res.ready;
+    }
+    pc.l2->noteDemandMiss();
+
+    const Cycle line_ready = memoryPath(cpu, addr, is_write,
+                                        res.ready);
+    const Eviction ev = pc.l2->fill(addr, line_ready, is_write);
+    handleL2Eviction(cpu, ev, line_ready);
+    // Prefetches launch when the demand request is observed, not
+    // when its fill lands.
+    runPrefetches(cpu, prefetchScratch_, cycle);
+    return line_ready;
+}
+
+AccessResult
+MemSystem::fetch(CpuId cpu, Addr addr, Cycle cycle)
+{
+    PerCpu &pc = *cpus_[cpu];
+    AccessResult out;
+
+    const unsigned tlb_pen = params_.perfectTlb
+        ? 0 : pc.itlb->translate(addr, cycle);
+    Cycle t = cycle + tlb_pen;
+    addr = physAddr(addr);
+
+    if (params_.perfectL1) {
+        out.ready = t + params_.l1i.totalLatency();
+        return out;
+    }
+
+    pc.l1i->noteDemandAccess();
+    const TimedCache::LookupResult res = pc.l1i->lookup(addr, false, t);
+    if (res.hit) {
+        out.ready = res.ready;
+        return out;
+    }
+
+    out.l1Hit = false;
+    if (res.merged) {
+        out.ready = res.ready;
+        return out;
+    }
+    pc.l1i->noteDemandMiss();
+
+    const Cycle t2 = res.ready + params_.l1ToL2Latency;
+    bool l2_hit = true;
+    const Cycle line_ready = l2Access(cpu, addr, false, true, t2,
+                                      l2_hit);
+    out.l2Hit = l2_hit;
+    const Eviction ev = pc.l1i->fill(addr, line_ready, false);
+    (void)ev; // instruction lines are never dirty.
+    out.ready = line_ready;
+    return out;
+}
+
+AccessResult
+MemSystem::data(CpuId cpu, Addr addr, bool is_write, Cycle cycle)
+{
+    PerCpu &pc = *cpus_[cpu];
+    AccessResult out;
+
+    const unsigned tlb_pen = params_.perfectTlb
+        ? 0 : pc.dtlb->translate(addr, cycle);
+    Cycle t = cycle + tlb_pen;
+    addr = physAddr(addr);
+
+    if (params_.perfectL1) {
+        out.ready = t + params_.l1d.totalLatency();
+        return out;
+    }
+
+    pc.l1d->noteDemandAccess();
+    const TimedCache::LookupResult res =
+        pc.l1d->lookup(addr, is_write, t);
+    if (res.hit) {
+        // A store hitting a line other processors share still needs
+        // an upgrade transaction to invalidate the remote copies.
+        if (is_write && cpus_.size() > 1 &&
+            coherence_->othersHold(cpu, addr)) {
+            bus_->command(res.ready);
+            coherence_->invalidateOthers(cpu, addr);
+        }
+        out.ready = res.ready;
+        return out;
+    }
+
+    out.l1Hit = false;
+    if (res.merged) {
+        out.ready = res.ready;
+        return out;
+    }
+    pc.l1d->noteDemandMiss();
+
+    const Cycle t2 = res.ready + params_.l1ToL2Latency;
+    bool l2_hit = true;
+    const Cycle line_ready = l2Access(cpu, addr, is_write, false, t2,
+                                      l2_hit);
+    out.l2Hit = l2_hit;
+
+    const Eviction ev = pc.l1d->fill(addr, line_ready, is_write);
+    if (ev.valid && ev.dirty) {
+        // Copy-back into the (inclusive) L2.
+        pc.l1d->noteWriteback();
+        pc.l2->array().setDirty(ev.lineAddr);
+    }
+    out.ready = line_ready;
+    return out;
+}
+
+double
+MemSystem::l2DemandMissRatio() const
+{
+    std::uint64_t acc = 0, miss = 0;
+    for (const auto &pc : cpus_) {
+        acc += pc->l2->demandAccessCount();
+        miss += pc->l2->demandMissCount();
+    }
+    return acc ? static_cast<double>(miss) / acc : 0.0;
+}
+
+double
+MemSystem::l2MissRatio() const
+{
+    // Include prefetch traffic: every issued prefetch is a request
+    // that missed (prefetches are only sent for absent lines).
+    std::uint64_t acc = 0, miss = 0;
+    for (const auto &pc : cpus_) {
+        acc += pc->l2->demandAccessCount() +
+            pc->l2->prefetchIssuedCount();
+        miss += pc->l2->demandMissCount() +
+            pc->l2->prefetchIssuedCount();
+    }
+    return acc ? static_cast<double>(miss) / acc : 0.0;
+}
+
+} // namespace s64v

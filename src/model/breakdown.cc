@@ -1,0 +1,53 @@
+#include "model/breakdown.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "model/perf_model.hh"
+
+namespace s64v
+{
+
+std::string
+Breakdown::toString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "core %5.1f%%  branch %5.1f%%  ibs/tlb %5.1f%%  "
+                  "sx %5.1f%%",
+                  core * 100, branch * 100, ibsTlb * 100, sx * 100);
+    return buf;
+}
+
+Breakdown
+computeBreakdown(const MachineParams &base,
+                 const WorkloadProfile &profile,
+                 std::size_t instrs_per_cpu)
+{
+    const double t_real = static_cast<double>(
+        PerfModel::simulate(base, profile, instrs_per_cpu).cycles);
+
+    const MachineParams m_pl2 = withPerfectL2(base);
+    const double t_pl2 = static_cast<double>(
+        PerfModel::simulate(m_pl2, profile, instrs_per_cpu).cycles);
+
+    const MachineParams m_pl1 =
+        withPerfectTlb(withPerfectL1(m_pl2));
+    const double t_pl1 = static_cast<double>(
+        PerfModel::simulate(m_pl1, profile, instrs_per_cpu).cycles);
+
+    const MachineParams m_core = withPerfectBranch(m_pl1);
+    const double t_core = static_cast<double>(
+        PerfModel::simulate(m_core, profile, instrs_per_cpu).cycles);
+
+    Breakdown b;
+    if (t_real <= 0.0)
+        return b;
+    b.sx = std::max(0.0, t_real - t_pl2) / t_real;
+    b.ibsTlb = std::max(0.0, t_pl2 - t_pl1) / t_real;
+    b.branch = std::max(0.0, t_pl1 - t_core) / t_real;
+    b.core = std::max(0.0, 1.0 - b.sx - b.ibsTlb - b.branch);
+    return b;
+}
+
+} // namespace s64v

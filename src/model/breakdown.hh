@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Execution-time breakdown via the paper's §4.2 methodology: model
+ * perfect L2, perfect L1/TLB, and perfect branch prediction, then
+ * attribute the time differences to "sx" (L2-miss stalls), "ibs/tlb"
+ * (L1 + TLB stalls), "branch" (misprediction stalls), and "core".
+ */
+
+#ifndef S64V_MODEL_BREAKDOWN_HH
+#define S64V_MODEL_BREAKDOWN_HH
+
+#include <cstddef>
+#include <string>
+
+#include "model/params.hh"
+#include "workload/profile.hh"
+
+namespace s64v
+{
+
+/** Figure 7 stack for one workload (fractions of execution time). */
+struct Breakdown
+{
+    double core = 0.0;   ///< I-unit + E-unit execution.
+    double branch = 0.0; ///< branch-misprediction stalls.
+    double ibsTlb = 0.0; ///< L1-miss and TLB-miss stalls.
+    double sx = 0.0;     ///< L2-miss (SX-unit) stalls.
+
+    std::string toString() const;
+};
+
+/**
+ * Compute the breakdown by differential simulation.
+ *
+ * @param base machine configuration (UP or SMP).
+ * @param profile workload to synthesize.
+ * @param instrs_per_cpu trace length per CPU.
+ */
+Breakdown computeBreakdown(const MachineParams &base,
+                           const WorkloadProfile &profile,
+                           std::size_t instrs_per_cpu);
+
+} // namespace s64v
+
+#endif // S64V_MODEL_BREAKDOWN_HH

@@ -1,0 +1,178 @@
+#include "model/params.hh"
+
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+MachineParams
+sparc64vBase(unsigned num_cpus)
+{
+    MachineParams m;
+    m.name = num_cpus > 1
+        ? "sparc64v-" + std::to_string(num_cpus) + "p"
+        : "sparc64v";
+    m.sys.numCpus = num_cpus;
+    // Core and memory defaults in CoreParams / MemParams already
+    // encode Table 1; nothing to override here.
+    return m;
+}
+
+MachineParams
+withIssueWidth(MachineParams m, unsigned width)
+{
+    if (width == 0 || width > 8)
+        fatal("issue width %u out of range", width);
+    m.sys.core.issueWidth = width;
+    m.sys.core.commitWidth = width;
+    m.name += "-issue" + std::to_string(width);
+    return m;
+}
+
+MachineParams
+withSmallBht(MachineParams m)
+{
+    m.sys.core.bpred.entries = 4096;
+    m.sys.core.bpred.assoc = 2;
+    m.sys.core.bpred.takenBubbles = 1;
+    m.name += "-bht4k";
+    return m;
+}
+
+MachineParams
+withSmallL1(MachineParams m)
+{
+    for (CacheParams *c : {&m.sys.mem.l1i, &m.sys.mem.l1d}) {
+        c->sizeBytes = 32 << 10;
+        c->assoc = 1;
+        c->latency = 3;
+    }
+    m.name += "-l1small";
+    return m;
+}
+
+MachineParams
+withOffChipL2(MachineParams m, unsigned assoc)
+{
+    if (assoc != 1 && assoc != 2)
+        fatal("off-chip L2 modelled with 1 or 2 ways, not %u", assoc);
+    m.sys.mem.l2.sizeBytes = 8 << 20;
+    m.sys.mem.l2.assoc = assoc;
+    m.sys.mem.l2.offChip = true;
+    m.name += "-l2off" + std::to_string(assoc) + "w";
+    return m;
+}
+
+MachineParams
+withPrefetch(MachineParams m, bool enabled)
+{
+    m.sys.mem.prefetch.enabled = enabled;
+    if (!enabled)
+        m.name += "-nopf";
+    return m;
+}
+
+MachineParams
+withUnifiedRs(MachineParams m, bool unified)
+{
+    m.sys.core.unifiedRs = unified;
+    if (unified)
+        m.name += "-1rs";
+    return m;
+}
+
+MachineParams
+withSpeculativeDispatch(MachineParams m, bool enabled)
+{
+    m.sys.core.speculativeDispatch = enabled;
+    if (!enabled)
+        m.name += "-nospec";
+    return m;
+}
+
+MachineParams
+withDataForwarding(MachineParams m, bool enabled)
+{
+    m.sys.core.dataForwarding = enabled;
+    if (!enabled)
+        m.name += "-nofwd";
+    return m;
+}
+
+MachineParams
+withL1dPorts(MachineParams m, unsigned ports)
+{
+    if (ports == 0 || ports > 4)
+        fatal("L1D ports %u out of range", ports);
+    m.sys.core.l1dPorts = ports;
+    m.name += "-p" + std::to_string(ports);
+    return m;
+}
+
+MachineParams
+withL1dBanks(MachineParams m, unsigned banks)
+{
+    if (banks == 0 || banks > 32 || (banks & (banks - 1)) != 0)
+        fatal("L1D banks %u must be a power of two <= 32", banks);
+    m.sys.core.l1dBanks = banks;
+    m.name += "-b" + std::to_string(banks);
+    return m;
+}
+
+MachineParams
+withCacheErrorRate(MachineParams m, double errors_per_m_access)
+{
+    if (errors_per_m_access < 0)
+        fatal("negative cache error rate");
+    for (CacheParams *c : {&m.sys.mem.l1i, &m.sys.mem.l1d,
+                           &m.sys.mem.l2}) {
+        c->ras.errorsPerMAccess = errors_per_m_access;
+    }
+    m.name += "-ecc";
+    return m;
+}
+
+MachineParams
+withDegradedL2Ways(MachineParams m, unsigned ways)
+{
+    if (ways >= m.sys.mem.l2.assoc)
+        fatal("cannot degrade %u of %u L2 ways", ways,
+              m.sys.mem.l2.assoc);
+    m.sys.mem.l2.ras.degradedWays = ways;
+    m.name += "-deg" + std::to_string(ways);
+    return m;
+}
+
+MachineParams
+withPerfectL2(MachineParams m)
+{
+    m.sys.mem.perfectL2 = true;
+    m.name += "-pl2";
+    return m;
+}
+
+MachineParams
+withPerfectL1(MachineParams m)
+{
+    m.sys.mem.perfectL1 = true;
+    m.name += "-pl1";
+    return m;
+}
+
+MachineParams
+withPerfectTlb(MachineParams m)
+{
+    m.sys.mem.perfectTlb = true;
+    m.name += "-ptlb";
+    return m;
+}
+
+MachineParams
+withPerfectBranch(MachineParams m)
+{
+    m.sys.core.bpred.perfect = true;
+    m.name += "-pbr";
+    return m;
+}
+
+} // namespace s64v

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Machine-level presets: the SPARC64 V base configuration (Table 1)
+ * and the design-study variants evaluated in §4 of the paper.
+ */
+
+#ifndef S64V_MODEL_PARAMS_HH
+#define S64V_MODEL_PARAMS_HH
+
+#include <string>
+
+#include "sim/system.hh"
+
+namespace s64v
+{
+
+/** A named machine configuration. */
+struct MachineParams
+{
+    std::string name = "sparc64v";
+    SystemParams sys;
+};
+
+/** Table 1 baseline; @p num_cpus = 1 for UP, 16 for TPC-C (16P). */
+MachineParams sparc64vBase(unsigned num_cpus = 1);
+
+/** §4.3.1: change the instruction issue width (2 or 4). */
+MachineParams withIssueWidth(MachineParams m, unsigned width);
+
+/** §4.3.2: "4k-2w.1t" branch history table. */
+MachineParams withSmallBht(MachineParams m);
+
+/** §4.3.3: "32k-1w.3c" level-one caches. */
+MachineParams withSmallL1(MachineParams m);
+
+/** §4.3.4: off-chip 8-MB L2 with the given associativity (1 or 2). */
+MachineParams withOffChipL2(MachineParams m, unsigned assoc);
+
+/** §4.3.5: enable/disable the L2 hardware prefetcher. */
+MachineParams withPrefetch(MachineParams m, bool enabled);
+
+/** §4.4.1: unified reservation stations ("1RS"). */
+MachineParams withUnifiedRs(MachineParams m, bool unified);
+
+/** §3.1 technique ablations (speculative dispatch, forwarding). @{ */
+MachineParams withSpeculativeDispatch(MachineParams m, bool enabled);
+MachineParams withDataForwarding(MachineParams m, bool enabled);
+/** @} */
+
+/** §3.2 ablations: operand-access port and banking structure. @{ */
+MachineParams withL1dPorts(MachineParams m, unsigned ports);
+MachineParams withL1dBanks(MachineParams m, unsigned banks);
+/** @} */
+
+/**
+ * RAS studies (§1 key feature): inject a correctable-error rate into
+ * every cache, or run with L2 ways degraded by the service processor.
+ * @{
+ */
+MachineParams withCacheErrorRate(MachineParams m,
+                                 double errors_per_m_access);
+MachineParams withDegradedL2Ways(MachineParams m, unsigned ways);
+/** @} */
+
+/** §4.2: idealization switches for the breakdown study. @{ */
+MachineParams withPerfectL2(MachineParams m);
+MachineParams withPerfectL1(MachineParams m);
+MachineParams withPerfectTlb(MachineParams m);
+MachineParams withPerfectBranch(MachineParams m);
+/** @} */
+
+} // namespace s64v
+
+#endif // S64V_MODEL_PARAMS_HH

@@ -1,0 +1,67 @@
+#include "model/perf_model.hh"
+
+#include "common/logging.hh"
+#include "workload/generator.hh"
+
+namespace s64v
+{
+
+PerfModel::PerfModel(MachineParams params)
+    : params_(std::move(params))
+{
+    traces_.resize(params_.sys.numCpus);
+}
+
+void
+PerfModel::loadWorkload(const WorkloadProfile &profile,
+                        std::size_t instrs_per_cpu)
+{
+    TraceGenerator gen(profile, params_.sys.numCpus);
+    for (CpuId cpu = 0; cpu < params_.sys.numCpus; ++cpu)
+        traces_[cpu] = gen.generate(instrs_per_cpu, cpu);
+    // Standard warm-up: the first fifth of the trace primes caches
+    // and predictors; measurement covers the remainder.
+    params_.sys.warmupInstrs = instrs_per_cpu / 5;
+}
+
+void
+PerfModel::loadTrace(CpuId cpu, InstrTrace trace)
+{
+    if (cpu >= traces_.size())
+        fatal("loadTrace: cpu %u out of range", cpu);
+    traces_[cpu] = std::move(trace);
+}
+
+SimResult
+PerfModel::run()
+{
+    for (CpuId cpu = 0; cpu < traces_.size(); ++cpu) {
+        if (traces_[cpu].empty())
+            fatal("cpu %u has no trace; call loadWorkload/loadTrace",
+                  cpu);
+    }
+    system_ = std::make_unique<System>(params_.sys, params_.name);
+    for (CpuId cpu = 0; cpu < traces_.size(); ++cpu)
+        system_->attachTrace(cpu, traces_[cpu]);
+    return system_->run();
+}
+
+System &
+PerfModel::system()
+{
+    if (!system_)
+        panic("PerfModel::system() before run()");
+    return *system_;
+}
+
+SimResult
+PerfModel::simulate(const MachineParams &machine,
+                    const WorkloadProfile &profile,
+                    std::size_t instrs_per_cpu)
+{
+    PerfModel model(machine);
+    model.loadWorkload(profile, instrs_per_cpu);
+    return model.run();
+}
+
+} // namespace s64v

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The performance-model facade: the paper's trace-driven software
+ * simulator as a single object. Configure a machine, attach or
+ * synthesize workload traces, run, inspect.
+ */
+
+#ifndef S64V_MODEL_PERF_MODEL_HH
+#define S64V_MODEL_PERF_MODEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "model/params.hh"
+#include "sim/system.hh"
+#include "workload/profile.hh"
+
+namespace s64v
+{
+
+/**
+ * One configured performance model. A PerfModel owns its traces; each
+ * run() builds a fresh System so the same model can be re-run.
+ */
+class PerfModel
+{
+  public:
+    explicit PerfModel(MachineParams params);
+
+    /**
+     * Synthesize traces for every CPU from @p profile
+     * (@p instrs_per_cpu records each).
+     */
+    void loadWorkload(const WorkloadProfile &profile,
+                      std::size_t instrs_per_cpu);
+
+    /** Attach a pre-built trace to one CPU. */
+    void loadTrace(CpuId cpu, InstrTrace trace);
+
+    /** Build a fresh system, run it, keep it for inspection. */
+    SimResult run();
+
+    /** The system of the most recent run(); panics if none. */
+    System &system();
+
+    const MachineParams &params() const { return params_; }
+
+    /**
+     * One-shot helper: configure, synthesize, run.
+     */
+    static SimResult simulate(const MachineParams &machine,
+                              const WorkloadProfile &profile,
+                              std::size_t instrs_per_cpu);
+
+  private:
+    MachineParams params_;
+    std::vector<InstrTrace> traces_;
+    std::unique_ptr<System> system_;
+};
+
+} // namespace s64v
+
+#endif // S64V_MODEL_PERF_MODEL_HH

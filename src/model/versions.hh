@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The model-version ladder of Figure 19: eight versions of the
+ * performance model with increasing rigidity. Early versions omit
+ * detail (and therefore over-estimate performance); v5 replaces the
+ * experimental fixed penalty on special instructions with precise
+ * modelling, which raises the estimate — the paper's one exception to
+ * the downward trend.
+ */
+
+#ifndef S64V_MODEL_VERSIONS_HH
+#define S64V_MODEL_VERSIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "model/params.hh"
+
+namespace s64v
+{
+
+constexpr unsigned kNumModelVersions = 8;
+
+/**
+ * Configuration of performance-model version @p v in [1, 8]. v8 is
+ * the final (fully detailed) model, identical to sparc64vBase().
+ */
+MachineParams modelVersion(unsigned v, unsigned num_cpus = 1);
+
+/** Human-readable description of what version @p v adds. */
+std::string modelVersionDescription(unsigned v);
+
+/**
+ * A development-timeline point for the Figure 19 lower graph: a model
+ * version plus the (possibly still wrong) memory-system parameters in
+ * use at that time.
+ */
+struct TimelinePoint
+{
+    std::string label;
+    unsigned version;
+    /** Parameter errors relative to the final design. @{ */
+    int memLatencyDelta = 0;    ///< cycles added to memory latency.
+    int busBytesDelta = 0;      ///< bytes/cycle delta on the bus.
+    int memChannelsDelta = 0;   ///< outstanding-request delta.
+    /** @} */
+};
+
+/** The validation-phase timeline used by the fig19 harness. */
+std::vector<TimelinePoint> validationTimeline();
+
+/**
+ * The "physical machine" stand-in for the Figure 19 accuracy study:
+ * the final design with the handful of silicon-level behaviours the
+ * software model abstracts slightly differently (exact DRAM timing,
+ * snoop data-path details, redirect timing). The gap between this and
+ * modelVersion(8) is the model's final error.
+ */
+MachineParams physicalMachine(unsigned num_cpus = 1);
+
+/** Apply a timeline point's parameter errors to a configuration. */
+MachineParams applyTimelinePoint(MachineParams m,
+                                 const TimelinePoint &pt);
+
+} // namespace s64v
+
+#endif // S64V_MODEL_VERSIONS_HH

@@ -1,0 +1,126 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+System::System(const SystemParams &params, const std::string &name)
+    : params_(params), root_(name)
+{
+    if (params_.numCpus == 0)
+        fatal("system needs at least one CPU");
+    mem_ = std::make_unique<MemSystem>(params_.mem, params_.numCpus,
+                                       &root_);
+    traces_.resize(params_.numCpus);
+    sources_.resize(params_.numCpus);
+    for (unsigned i = 0; i < params_.numCpus; ++i) {
+        cores_.push_back(std::make_unique<Core>(params_.core, i,
+                                                *mem_, &root_));
+    }
+}
+
+void
+System::attachTrace(CpuId cpu, InstrTrace trace)
+{
+    if (cpu >= cores_.size())
+        fatal("attachTrace: cpu %u out of range", cpu);
+    traces_[cpu] = std::move(trace);
+    sources_[cpu] = std::make_unique<VectorTraceSource>(traces_[cpu]);
+    cores_[cpu]->setTrace(sources_[cpu].get());
+}
+
+SimResult
+System::run()
+{
+    for (unsigned i = 0; i < cores_.size(); ++i) {
+        if (!sources_[i])
+            fatal("cpu %u has no trace attached", i);
+    }
+
+    SimResult res;
+    std::vector<std::uint64_t> warmup_committed(cores_.size(), 0);
+    bool warm_done = params_.warmupInstrs == 0;
+    Cycle cycle = 0;
+    for (;;) {
+        bool all_done = true;
+        for (auto &core : cores_) {
+            if (!core->done()) {
+                core->tick(cycle);
+                all_done = false;
+            }
+        }
+        if (!warm_done) {
+            bool all_warm = true;
+            for (auto &core : cores_) {
+                if (core->committed() < params_.warmupInstrs) {
+                    all_warm = false;
+                    break;
+                }
+            }
+            if (all_warm) {
+                for (std::size_t i = 0; i < cores_.size(); ++i)
+                    warmup_committed[i] = cores_[i]->committed();
+                root_.resetAll();
+                res.warmupEndCycle = cycle;
+                warm_done = true;
+            }
+        }
+        if (all_done)
+            break;
+        ++cycle;
+        if (cycle >= params_.maxCycles) {
+            warn("simulation hit the %llu-cycle cap; likely a model "
+                 "deadlock",
+                 static_cast<unsigned long long>(params_.maxCycles));
+            res.hitCycleLimit = true;
+            break;
+        }
+    }
+
+    if (!warm_done) {
+        warn("warm-up threshold %llu never reached; measuring the "
+             "whole run",
+             static_cast<unsigned long long>(params_.warmupInstrs));
+    }
+
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        Core &core = *cores_[i];
+        CoreResult cr;
+        cr.measured = core.committed(); // stat: reset at warm-up end.
+        cr.committed = warmup_committed[i] + cr.measured;
+        cr.lastCommitCycle = core.lastCommitCycle();
+        const Cycle window = cr.lastCommitCycle > res.warmupEndCycle
+            ? cr.lastCommitCycle - res.warmupEndCycle
+            : 0;
+        cr.ipc = window
+            ? static_cast<double>(cr.measured) /
+              static_cast<double>(window)
+            : 0.0;
+        res.instructions += cr.committed;
+        res.measured += cr.measured;
+        res.cycles = std::max(res.cycles,
+                              cr.lastCommitCycle > res.warmupEndCycle
+                                  ? cr.lastCommitCycle -
+                                        res.warmupEndCycle
+                                  : 0);
+        res.cores.push_back(cr);
+    }
+    res.ipc = res.cycles
+        ? static_cast<double>(res.measured) /
+          static_cast<double>(res.cycles)
+        : 0.0;
+    return res;
+}
+
+std::string
+System::statsDump() const
+{
+    std::string out;
+    root_.dump(out);
+    return out;
+}
+
+} // namespace s64v

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * System assembly: N cores plus the shared memory system, advanced by
+ * a cycle-driven loop. This is the executable form of the paper's
+ * performance model (UP or SMP depending on numCpus).
+ */
+
+#ifndef S64V_SIM_SYSTEM_HH
+#define S64V_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "cpu/core.hh"
+#include "mem/hierarchy.hh"
+#include "trace/trace.hh"
+
+namespace s64v
+{
+
+/** Whole-machine configuration. */
+struct SystemParams
+{
+    CoreParams core;
+    MemParams mem;
+    unsigned numCpus = 1;
+    std::uint64_t maxCycles = 400'000'000ull; ///< forward-progress cap.
+    /**
+     * Cache/predictor warm-up: once every core has committed this
+     * many instructions, all statistics are reset and the measurement
+     * window begins (standard practice for short traces; the paper's
+     * traces are sampled from steady state for the same reason).
+     */
+    std::uint64_t warmupInstrs = 0;
+};
+
+/** Per-core outcome of a simulation. */
+struct CoreResult
+{
+    std::uint64_t committed = 0;   ///< total, including warm-up.
+    std::uint64_t measured = 0;    ///< committed inside the window.
+    Cycle lastCommitCycle = 0;     ///< absolute cycle.
+    double ipc = 0.0;              ///< measured-window IPC.
+};
+
+/** Outcome of a simulation run. */
+struct SimResult
+{
+    Cycle cycles = 0;              ///< measured-window cycles (max).
+    std::uint64_t instructions = 0;///< total committed (all cores).
+    std::uint64_t measured = 0;    ///< window instructions.
+    double ipc = 0.0;              ///< aggregate window throughput.
+    bool hitCycleLimit = false;
+    Cycle warmupEndCycle = 0;
+    std::vector<CoreResult> cores;
+};
+
+/** A runnable machine instance. */
+class System
+{
+  public:
+    System(const SystemParams &params,
+           const std::string &name = "sim");
+
+    /** Copy @p trace in as CPU @p cpu's input. */
+    void attachTrace(CpuId cpu, InstrTrace trace);
+
+    /** Run to completion (or the cycle cap). */
+    SimResult run();
+
+    Core &core(CpuId cpu) { return *cores_[cpu]; }
+    MemSystem &mem() { return *mem_; }
+    stats::Group &root() { return root_; }
+    const SystemParams &params() const { return params_; }
+
+    /** Full stats dump as text. */
+    std::string statsDump() const;
+
+  private:
+    SystemParams params_;
+    stats::Group root_;
+    std::unique_ptr<MemSystem> mem_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<InstrTrace> traces_;
+    std::vector<std::unique_ptr<VectorTraceSource>> sources_;
+};
+
+} // namespace s64v
+
+#endif // S64V_SIM_SYSTEM_HH

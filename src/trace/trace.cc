@@ -1,0 +1,11 @@
+#include "trace/trace.hh"
+
+// InstrTrace and VectorTraceSource are header-only today; this
+// translation unit anchors the vtable of TraceSource.
+
+namespace s64v
+{
+
+// Intentionally empty.
+
+} // namespace s64v

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * In-memory instruction traces and the source abstraction the CPU
+ * model consumes.
+ */
+
+#ifndef S64V_TRACE_TRACE_HH
+#define S64V_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace s64v
+{
+
+/**
+ * A complete in-memory instruction trace for one CPU, plus minimal
+ * provenance metadata.
+ */
+class InstrTrace
+{
+  public:
+    InstrTrace() = default;
+    explicit InstrTrace(std::string workload_name)
+        : workloadName_(std::move(workload_name)) {}
+
+    void append(const TraceRecord &rec) { records_.push_back(rec); }
+    void reserve(std::size_t n) { records_.reserve(n); }
+
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+    const TraceRecord &operator[](std::size_t i) const
+    {
+        return records_[i];
+    }
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    std::vector<TraceRecord> &records() { return records_; }
+
+    const std::string &workloadName() const { return workloadName_; }
+    void setWorkloadName(std::string n) { workloadName_ = std::move(n); }
+
+  private:
+    std::string workloadName_;
+    std::vector<TraceRecord> records_;
+};
+
+/**
+ * Sequential reader over an InstrTrace. The fetch unit pulls records
+ * through this interface so alternative sources (file streaming,
+ * samplers) can be substituted.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** @return false when the trace is exhausted. */
+    virtual bool peek(TraceRecord &out) const = 0;
+
+    /** Advance past the current record. */
+    virtual void pop() = 0;
+
+    /** Records consumed so far. */
+    virtual std::size_t consumed() const = 0;
+
+    /** Restart from the beginning. */
+    virtual void rewind() = 0;
+};
+
+/** TraceSource over an in-memory trace (non-owning view). */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(const InstrTrace &trace)
+        : trace_(&trace) {}
+
+    bool
+    peek(TraceRecord &out) const override
+    {
+        if (pos_ >= trace_->size())
+            return false;
+        out = (*trace_)[pos_];
+        return true;
+    }
+
+    void pop() override { ++pos_; }
+    std::size_t consumed() const override { return pos_; }
+    void rewind() override { pos_ = 0; }
+
+  private:
+    const InstrTrace *trace_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace s64v
+
+#endif // S64V_TRACE_TRACE_HH

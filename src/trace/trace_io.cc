@@ -1,0 +1,73 @@
+#include "trace/trace_io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+namespace
+{
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+void
+writeTraceFile(const std::string &path, const InstrTrace &trace)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+
+    TraceFileHeader hdr;
+    hdr.recordCount = trace.size();
+    std::strncpy(hdr.workloadName, trace.workloadName().c_str(),
+                 sizeof(hdr.workloadName) - 1);
+
+    if (std::fwrite(&hdr, sizeof(hdr), 1, f.get()) != 1)
+        fatal("short write of trace header to '%s'", path.c_str());
+
+    const auto &recs = trace.records();
+    if (!recs.empty() &&
+        std::fwrite(recs.data(), sizeof(TraceRecord), recs.size(),
+                    f.get()) != recs.size()) {
+        fatal("short write of trace records to '%s'", path.c_str());
+    }
+}
+
+InstrTrace
+readTraceFile(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        fatal("cannot open trace file '%s'", path.c_str());
+
+    TraceFileHeader hdr;
+    if (std::fread(&hdr, sizeof(hdr), 1, f.get()) != 1)
+        fatal("trace file '%s' is truncated (no header)", path.c_str());
+    if (hdr.magic != kTraceMagic)
+        fatal("trace file '%s' has bad magic", path.c_str());
+    if (hdr.version != 1)
+        fatal("trace file '%s' has unsupported version %u",
+              path.c_str(), hdr.version);
+
+    hdr.workloadName[sizeof(hdr.workloadName) - 1] = '\0';
+    InstrTrace trace(hdr.workloadName);
+    trace.records().resize(hdr.recordCount);
+    if (hdr.recordCount &&
+        std::fread(trace.records().data(), sizeof(TraceRecord),
+                   hdr.recordCount, f.get()) != hdr.recordCount) {
+        fatal("trace file '%s' is truncated (records)", path.c_str());
+    }
+    return trace;
+}
+
+} // namespace s64v

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Binary trace file format. The paper's model consumed instruction
+ * traces captured on physical machines; we provide an equivalent
+ * persistent format so synthesized traces can be saved, exchanged, and
+ * replayed. Layout: a fixed header followed by packed TraceRecords.
+ */
+
+#ifndef S64V_TRACE_TRACE_IO_HH
+#define S64V_TRACE_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace s64v
+{
+
+/** Magic number at the start of every trace file ("S64VTRC1"). */
+constexpr std::uint64_t kTraceMagic = 0x5336345654524331ull;
+
+/** On-disk header preceding the record array. */
+struct TraceFileHeader
+{
+    std::uint64_t magic = kTraceMagic;
+    std::uint32_t version = 1;
+    std::uint32_t reserved = 0;
+    std::uint64_t recordCount = 0;
+    char workloadName[64] = {};
+};
+
+static_assert(sizeof(TraceFileHeader) == 88, "file format stability");
+
+/** Write @p trace to @p path; fatal() on I/O errors. */
+void writeTraceFile(const std::string &path, const InstrTrace &trace);
+
+/**
+ * Read a trace file written by writeTraceFile(); fatal() on missing
+ * files, bad magic, or truncated data.
+ */
+InstrTrace readTraceFile(const std::string &path);
+
+} // namespace s64v
+
+#endif // S64V_TRACE_TRACE_IO_HH

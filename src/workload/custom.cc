@@ -1,0 +1,133 @@
+#include "workload/custom.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+namespace
+{
+
+/** Round @p bytes up to a power of two (region-size requirement). */
+std::uint64_t
+roundPow2(std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0;
+    return std::uint64_t{1} << ceilLog2(bytes);
+}
+
+} // namespace
+
+WorkloadProfile
+customProfile(const ConfigMap &cfg)
+{
+    WorkloadProfile p;
+    p.name = cfg.getString("wl.name", "custom");
+    p.seed = cfg.getU64("wl.seed", 777);
+
+    // Instruction mix. The FP share splits evenly across add/mul/fma.
+    p.mix.load = cfg.getDouble("wl.load", 0.20);
+    p.mix.store = cfg.getDouble("wl.store", 0.08);
+    p.mix.condBranch = cfg.getDouble("wl.cond", 0.12);
+    p.mix.uncondBranch = cfg.getDouble("wl.uncond", 0.02);
+    p.mix.callRet = cfg.getDouble("wl.callret", 0.02);
+    const double fp = cfg.getDouble("wl.fp", 0.0);
+    p.mix.fpAdd = fp / 3;
+    p.mix.fpMul = fp / 3;
+    p.mix.fpMulAdd = fp / 3;
+    p.mix.special = cfg.getDouble("wl.special", 0.0);
+    p.mix.nop = cfg.getDouble("wl.nop", 0.01);
+
+    // Code shape.
+    p.userCode.base = 0x10000;
+    p.userCode.numChains = static_cast<std::uint32_t>(
+        cfg.getU64("wl.chains", 64));
+    p.userCode.blocksPerChain = static_cast<std::uint32_t>(
+        cfg.getU64("wl.blocks", 32));
+    p.userCode.chainZipfSkew = cfg.getDouble("wl.code_zipf", 0.8);
+    p.userCode.hardBranchFraction =
+        cfg.getDouble("wl.hard_branches", 0.10);
+    p.userCode.easyTakenBias = cfg.getDouble("wl.taken_bias", 0.93);
+    p.userCode.loopFraction = cfg.getDouble("wl.loops", 0.15);
+    p.userCode.meanLoopIters = cfg.getDouble("wl.loop_iters", 10.0);
+
+    // Data regions (only regions with positive weight are created).
+    auto add_region = [&](const char *name, Addr base,
+                          std::uint64_t bytes, double weight,
+                          AccessPattern pattern, double zipf) {
+        if (weight <= 0.0 || bytes == 0)
+            return;
+        DataRegion r;
+        r.name = name;
+        r.base = base;
+        r.size = roundPow2(bytes);
+        r.weight = weight;
+        r.pattern = pattern;
+        r.zipfSkew = zipf;
+        if (pattern == AccessPattern::Sequential) {
+            r.stride = 8;
+            r.numStreams = 4;
+        }
+        if (pattern == AccessPattern::ZipfPages) {
+            r.pageSize = 8192;
+            r.headerFraction = 0.3;
+            r.offsetZipfSkew = 1.0;
+        }
+        p.userRegions.push_back(std::move(r));
+    };
+
+    add_region("stack", 0x7f000c40,
+               cfg.getU64("wl.stack_kb", 16) << 10,
+               cfg.getDouble("wl.stack_w", 0.45),
+               AccessPattern::Stack, 0.0);
+    add_region("heap", 0x20003580,
+               cfg.getU64("wl.heap_kb", 128) << 10,
+               cfg.getDouble("wl.heap_w", 0.40),
+               AccessPattern::Random,
+               cfg.getDouble("wl.heap_zipf", 1.2));
+    add_region("pool", 0x40005a80,
+               cfg.getU64("wl.pool_mb", 0) << 20,
+               cfg.getDouble("wl.pool_w", 0.0),
+               AccessPattern::ZipfPages,
+               cfg.getDouble("wl.pool_zipf", 1.1));
+    add_region("scan", 0x48004c40,
+               cfg.getU64("wl.scan_kb", 0) << 10,
+               cfg.getDouble("wl.scan_w", 0.0),
+               AccessPattern::PointerChain, 0.0);
+    add_region("stream", 0x50006100,
+               cfg.getU64("wl.stream_mb", 0) << 20,
+               cfg.getDouble("wl.stream_w", 0.0),
+               AccessPattern::Sequential, 0.0);
+
+    if (p.userRegions.empty() && (p.mix.load > 0 || p.mix.store > 0))
+        fatal("custom workload: memory operations configured but "
+              "every data region has zero weight");
+
+    // Kernel phases share the user shape at reduced size.
+    p.kernelFraction = cfg.getDouble("wl.kernel", 0.0);
+    p.kernelBurst = cfg.getDouble("wl.kernel_burst", 1500.0);
+    if (p.kernelFraction > 0.0) {
+        p.kernelCode = p.userCode;
+        p.kernelCode.base = 0x2000000;
+        p.kernelCode.numChains =
+            std::max<std::uint32_t>(1, p.userCode.numChains / 2);
+        p.kernelRegions = p.userRegions;
+        for (DataRegion &r : p.kernelRegions)
+            r.base += 0x80000000ull;
+    }
+
+    // Dependency structure.
+    p.depNearProb = cfg.getDouble("wl.ilp_near", 0.6);
+    p.depMeanDist = cfg.getDouble("wl.ilp_dist", 3.0);
+    p.fpLoadFraction = cfg.getDouble("wl.fp_loads",
+                                     fp > 0.0 ? 0.6 : 0.0);
+
+    p.validate();
+    return p;
+}
+
+} // namespace s64v

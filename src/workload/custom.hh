@@ -1,0 +1,39 @@
+/**
+ * @file
+ * User-defined workload profiles from key=value configuration — the
+ * knob surface a performance team would use to mimic a customer
+ * workload without writing code. All keys are optional; unspecified
+ * knobs inherit from a neutral baseline.
+ *
+ * Recognized keys (prefix `wl.`):
+ *   mix:    wl.load wl.store wl.cond wl.uncond wl.callret wl.fp
+ *           wl.special wl.nop
+ *   code:   wl.chains wl.blocks wl.code_zipf wl.hard_branches
+ *           wl.taken_bias wl.loops wl.loop_iters
+ *   data:   wl.stack_kb wl.stack_w  wl.heap_kb wl.heap_w wl.heap_zipf
+ *           wl.pool_mb wl.pool_w wl.pool_zipf
+ *           wl.scan_kb wl.scan_w (cyclic pointer chain)
+ *           wl.stream_mb wl.stream_w (sequential arrays)
+ *   kernel: wl.kernel (fraction) wl.kernel_burst
+ *   misc:   wl.seed wl.ilp_near wl.ilp_dist wl.fp_loads
+ */
+
+#ifndef S64V_WORKLOAD_CUSTOM_HH
+#define S64V_WORKLOAD_CUSTOM_HH
+
+#include "common/config.hh"
+#include "workload/profile.hh"
+
+namespace s64v
+{
+
+/**
+ * Build a validated profile from @p cfg. fatal()s on inconsistent
+ * knob combinations (over-committed mix, non-power-of-two sizes
+ * after rounding are rounded up automatically).
+ */
+WorkloadProfile customProfile(const ConfigMap &cfg);
+
+} // namespace s64v
+
+#endif // S64V_WORKLOAD_CUSTOM_HH

@@ -1,0 +1,418 @@
+#include "workload/generator.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+namespace
+{
+
+/** Private regions are relocated into a per-CPU 4-GiB window. */
+constexpr Addr kCpuAddrStride = 0x100000000ull;
+
+/** Ring of recent register writes; newest at the back. */
+void
+pushRecent(std::vector<RegId> &ring, RegId r)
+{
+    if (ring.size() >= 16)
+        ring.erase(ring.begin());
+    ring.push_back(r);
+}
+
+RegId
+sampleRecent(const std::vector<RegId> &ring, Rng &rng, double mean_dist)
+{
+    if (ring.empty())
+        return kNoReg;
+    unsigned d = rng.geometric(mean_dist);
+    if (d > ring.size())
+        d = static_cast<unsigned>(ring.size());
+    return ring[ring.size() - d];
+}
+
+} // namespace
+
+TraceGenerator::TraceGenerator(const WorkloadProfile &profile,
+                               unsigned num_cpus)
+    : profile_(profile), numCpus_(num_cpus)
+{
+    profile_.validate();
+
+    Rng build_rng(profile_.seed);
+    user_ = buildProgram(profile_.userCode, profile_.mix,
+                         profile_.userRegions, build_rng);
+    if (profile_.kernelFraction > 0.0) {
+        kernel_ = buildProgram(profile_.kernelCode, profile_.mix,
+                               profile_.kernelRegions, build_rng);
+    }
+
+    auto build_samplers = [this](const std::vector<DataRegion> &regions) {
+        for (const DataRegion &r : regions) {
+            if (r.pattern == AccessPattern::ZipfPages) {
+                pageSamplers_.emplace_back(r.size / r.pageSize,
+                                           r.zipfSkew);
+            } else if (r.pattern == AccessPattern::Random &&
+                       r.zipfSkew > 0.0) {
+                // Hotspot heaps: line-granular popularity skew, so
+                // short traces exhibit realistic reuse.
+                pageSamplers_.emplace_back(r.size / 64,
+                                           r.zipfSkew);
+            } else {
+                pageSamplers_.emplace_back(1, 0.0);
+            }
+            if (r.pattern == AccessPattern::ZipfPages &&
+                r.offsetZipfSkew > 0.0) {
+                offsetSamplers_.emplace_back(r.pageSize / 64,
+                                             r.offsetZipfSkew);
+            } else {
+                offsetSamplers_.emplace_back(1, 0.0);
+            }
+        }
+    };
+    build_samplers(profile_.userRegions);
+    build_samplers(profile_.kernelRegions);
+}
+
+const std::vector<DataRegion> &
+TraceGenerator::regionsFor(bool kernel) const
+{
+    return kernel ? profile_.kernelRegions : profile_.userRegions;
+}
+
+void
+TraceGenerator::startChain(GenContext &ctx, WalkState &ws)
+{
+    const std::size_t c = ws.prog->chainPopularity.sample(ctx.rng);
+    ws.chain = static_cast<std::uint32_t>(c);
+    ws.block = ws.prog->chains[c].firstBlock;
+    ws.bodyPos = 0;
+    ws.loopLeft = 0;
+    ws.inLoop = false;
+}
+
+Addr
+TraceGenerator::dataAddress(GenContext &ctx, const StaticInstr &si,
+                            const DataRegion &region,
+                            std::uint64_t &cursor)
+{
+    Addr base = region.base;
+    if (!region.shared)
+        base += static_cast<Addr>(ctx.cpu) * kCpuAddrStride;
+
+    switch (region.pattern) {
+      case AccessPattern::Sequential: {
+        const Addr off = cursor & (region.size - 1);
+        cursor += region.stride;
+        return base + (off & ~Addr{7});
+      }
+      case AccessPattern::Random: {
+        if (region.zipfSkew <= 0.0)
+            return base + (ctx.rng.below(region.size) & ~Addr{7});
+        const std::size_t sampler_idx =
+            (ctx.kernelMode ? profile_.userRegions.size() : 0) +
+            si.region;
+        const std::uint64_t lines = region.size / 64;
+        const std::size_t rank =
+            pageSamplers_[sampler_idx].sample(ctx.rng);
+        // Scatter popularity ranks across the region so hot lines
+        // are not spatially adjacent (a heap, not an array).
+        const std::uint64_t line = mix64(rank + 0x5bd1) % lines;
+        return base + line * 64 + ctx.rng.below(8) * 8;
+      }
+      case AccessPattern::Stack:
+        return base + (ctx.rng.below(region.size) & ~Addr{7});
+      case AccessPattern::ZipfPages: {
+        const bool kernel = ctx.kernelMode;
+        const std::size_t sampler_idx =
+            (kernel ? profile_.userRegions.size() : 0) + si.region;
+        const std::size_t rank =
+            pageSamplers_[sampler_idx].sample(ctx.rng);
+        const std::uint64_t pages = region.size / region.pageSize;
+        const std::uint64_t page = mix64(rank + 0x9e37) % pages;
+        Addr off;
+        if (ctx.rng.chance(region.headerFraction)) {
+            off = ctx.rng.below(64 / 8) * 8;
+        } else if (region.offsetZipfSkew > 0.0) {
+            // Row-level locality: hot lines within the page, with the
+            // hot set differing per page.
+            const std::uint64_t lines_per_page = region.pageSize / 64;
+            const std::size_t line_rank =
+                offsetSamplers_[sampler_idx].sample(ctx.rng);
+            const std::uint64_t line =
+                mix64(page * 1009 + line_rank) % lines_per_page;
+            off = line * 64 + ctx.rng.below(8) * 8;
+        } else {
+            off = ctx.rng.below(region.pageSize) & ~Addr{7};
+        }
+        return base + static_cast<Addr>(page) * region.pageSize + off;
+      }
+      case AccessPattern::PointerChain: {
+        // Full-period LCG permutation over the region's lines: every
+        // line is revisited at a reuse distance of exactly the region
+        // size, in an order the stream prefetcher cannot follow.
+        const std::uint64_t lines = region.size / 64;
+        cursor = (cursor * 1664525ull + 1013904223ull) & (lines - 1);
+        return base + cursor * 64 + ctx.rng.below(8) * 8;
+      }
+      default:
+        panic("unhandled access pattern");
+    }
+}
+
+void
+TraceGenerator::assignRegs(GenContext &ctx, TraceRecord &rec)
+{
+    Rng &rng = ctx.rng;
+    const bool near = rng.chance(profile_.depNearProb);
+    auto int_src = [&]() -> RegId {
+        RegId r = near ? sampleRecent(ctx.recentInt, rng,
+                                      profile_.depMeanDist)
+                       : kNoReg;
+        if (r == kNoReg)
+            r = static_cast<RegId>(1 + rng.below(31));
+        return r;
+    };
+    auto fp_src = [&]() -> RegId {
+        RegId r = near ? sampleRecent(ctx.recentFp, rng,
+                                      profile_.depMeanDist)
+                       : kNoReg;
+        if (r == kNoReg)
+            r = static_cast<RegId>(kFirstFpReg + rng.below(48));
+        return r;
+    };
+    auto alloc_int_dst = [&]() -> RegId {
+        RegId r = static_cast<RegId>(8 + (ctx.intDstNext % 24));
+        ++ctx.intDstNext;
+        pushRecent(ctx.recentInt, r);
+        return r;
+    };
+    auto alloc_fp_dst = [&]() -> RegId {
+        RegId r = static_cast<RegId>(kFirstFpReg +
+                                     (ctx.fpDstNext % 48));
+        ++ctx.fpDstNext;
+        pushRecent(ctx.recentFp, r);
+        return r;
+    };
+    auto addr_src = [&]() -> RegId {
+        if (rng.chance(profile_.loadAddrChain) &&
+            !ctx.recentLoadDst.empty()) {
+            return sampleRecent(ctx.recentLoadDst, rng, 2.0);
+        }
+        return int_src();
+    };
+
+    switch (rec.cls) {
+      case InstrClass::IntAlu:
+      case InstrClass::IntMul:
+      case InstrClass::IntDiv:
+        rec.src1 = int_src();
+        rec.src2 = int_src();
+        rec.dst = alloc_int_dst();
+        break;
+      case InstrClass::FpAdd:
+      case InstrClass::FpMul:
+      case InstrClass::FpDiv:
+        rec.src1 = fp_src();
+        rec.src2 = fp_src();
+        rec.dst = alloc_fp_dst();
+        break;
+      case InstrClass::FpMulAdd:
+        rec.src1 = fp_src();
+        rec.src2 = fp_src();
+        rec.dst = alloc_fp_dst();
+        break;
+      case InstrClass::Load: {
+        rec.src1 = addr_src();
+        const bool fp_load = rng.chance(profile_.fpLoadFraction);
+        rec.dst = fp_load ? alloc_fp_dst() : alloc_int_dst();
+        if (!fp_load) {
+            if (ctx.recentLoadDst.size() >= 8)
+                ctx.recentLoadDst.erase(ctx.recentLoadDst.begin());
+            ctx.recentLoadDst.push_back(rec.dst);
+        }
+        break;
+      }
+      case InstrClass::Store:
+        rec.src1 = addr_src();
+        rec.src2 = rng.chance(profile_.fpLoadFraction) ? fp_src()
+                                                       : int_src();
+        break;
+      case InstrClass::BranchCond:
+        rec.src1 = int_src();
+        break;
+      case InstrClass::Call:
+        rec.dst = 15; // link register (%o7).
+        break;
+      case InstrClass::Return:
+        rec.src1 = 15;
+        break;
+      case InstrClass::Special:
+        rec.src1 = int_src();
+        break;
+      default:
+        break;
+    }
+}
+
+void
+TraceGenerator::emitOne(GenContext &ctx, InstrTrace &out)
+{
+    // Kernel/user phase switching (block-granularity entry is not
+    // required; traps are modelled by the Special record emitted as
+    // part of the kernel code itself).
+    if (profile_.kernelFraction > 0.0 && ctx.phaseLeft == 0) {
+        ctx.kernelMode = !ctx.kernelMode;
+        const double kf = profile_.kernelFraction;
+        const double burst = ctx.kernelMode
+            ? profile_.kernelBurst
+            : profile_.kernelBurst * (1.0 - kf) / kf;
+        ctx.phaseLeft = ctx.rng.geometric(burst);
+    }
+    if (ctx.phaseLeft > 0)
+        --ctx.phaseLeft;
+
+    WalkState &ws = ctx.kernelMode ? ctx.kernel : ctx.user;
+    std::vector<std::uint64_t> &cursors =
+        ctx.kernelMode ? ctx.kernelCursors : ctx.userCursors;
+    const std::vector<DataRegion> &regions =
+        regionsFor(ctx.kernelMode);
+
+    const StaticBlock &blk = ws.prog->blocks[ws.block];
+
+    TraceRecord rec;
+    if (ctx.kernelMode)
+        rec.flags |= kFlagPrivileged;
+
+    if (ws.bodyPos < blk.body.size()) {
+        const StaticInstr &si = blk.body[ws.bodyPos];
+        rec.pc = blk.startPc + 4 * static_cast<Addr>(ws.bodyPos);
+        rec.cls = si.cls;
+        if (isMemClass(si.cls)) {
+            const DataRegion &region = regions[si.region];
+            const std::size_t slot = si.stream %
+                std::max<std::uint32_t>(1, region.numStreams);
+            // Cursor slots are laid out per region in declaration
+            // order; see generate() for initialization.
+            std::size_t cursor_idx = 0;
+            for (std::uint16_t r = 0; r < si.region; ++r) {
+                cursor_idx += std::max<std::uint32_t>(
+                    1, regions[r].numStreams);
+            }
+            cursor_idx += slot;
+            rec.ea = dataAddress(ctx, si, region, cursors[cursor_idx]);
+            rec.size = 8;
+            if (region.shared)
+                rec.flags |= kFlagSharedData;
+        }
+        assignRegs(ctx, rec);
+        ++ws.bodyPos;
+        out.append(rec);
+        return;
+    }
+
+    // Terminator.
+    rec.pc = blk.exitPc();
+    rec.cls = blk.exitClass;
+    assignRegs(ctx, rec);
+
+    const StaticChain &chain = ws.prog->chains[ws.chain];
+    const std::uint32_t chain_last =
+        chain.firstBlock + chain.numBlocks - 1;
+
+    switch (blk.exit) {
+      case BlockExit::CondForward: {
+        const bool taken = ctx.rng.chance(blk.takenProb);
+        std::uint32_t target = ws.block + 1 + blk.takenSkip;
+        if (target > chain_last)
+            target = chain_last;
+        rec.ea = ws.prog->blocks[target].startPc;
+        if (taken) {
+            rec.flags |= kFlagTaken;
+            ws.block = target;
+        } else {
+            ws.block = ws.block + 1;
+        }
+        ws.bodyPos = 0;
+        break;
+      }
+      case BlockExit::CondLoop: {
+        if (!ws.inLoop) {
+            ws.inLoop = true;
+            unsigned iters = ctx.rng.geometric(blk.meanLoopIters);
+            if (iters > 64)
+                iters = 64;
+            ws.loopLeft = iters > 0 ? iters - 1 : 0;
+        }
+        rec.ea = blk.startPc;
+        if (ws.loopLeft > 0) {
+            rec.flags |= kFlagTaken;
+            --ws.loopLeft;
+            ws.bodyPos = 0; // re-execute this block.
+        } else {
+            ws.inLoop = false;
+            ws.block = ws.block + 1;
+            if (ws.block > chain_last)
+                ws.block = chain_last;
+            ws.bodyPos = 0;
+        }
+        break;
+      }
+      case BlockExit::ChainEnd: {
+        rec.flags |= kFlagTaken;
+        startChain(ctx, ws);
+        rec.ea = ws.prog->blocks[ws.block].startPc;
+        break;
+      }
+    }
+    out.append(rec);
+}
+
+InstrTrace
+TraceGenerator::generate(std::size_t num_instrs, CpuId cpu)
+{
+    if (cpu >= numCpus_)
+        fatal("trace requested for cpu %u of %u", cpu, numCpus_);
+
+    GenContext ctx;
+    ctx.rng = Rng(profile_.seed ^ mix64(cpu + 0x1234));
+    ctx.cpu = cpu;
+    ctx.user.prog = &user_;
+    startChain(ctx, ctx.user);
+    if (profile_.kernelFraction > 0.0) {
+        ctx.kernel.prog = &kernel_;
+        startChain(ctx, ctx.kernel);
+        const double kf = profile_.kernelFraction;
+        ctx.phaseLeft = ctx.rng.geometric(
+            profile_.kernelBurst * (1.0 - kf) / kf);
+    }
+
+    auto init_cursors = [](const std::vector<DataRegion> &regions,
+                           std::vector<std::uint64_t> &cursors) {
+        for (const DataRegion &r : regions) {
+            const std::uint32_t n =
+                std::max<std::uint32_t>(1, r.numStreams);
+            for (std::uint32_t k = 0; k < n; ++k)
+                cursors.push_back(k * (r.size / n));
+        }
+    };
+    init_cursors(profile_.userRegions, ctx.userCursors);
+    init_cursors(profile_.kernelRegions, ctx.kernelCursors);
+
+    InstrTrace trace(profile_.name);
+    trace.reserve(num_instrs);
+    while (trace.size() < num_instrs)
+        emitOne(ctx, trace);
+    return trace;
+}
+
+InstrTrace
+generateTrace(const WorkloadProfile &profile, std::size_t num_instrs,
+              CpuId cpu, unsigned num_cpus)
+{
+    TraceGenerator gen(profile, num_cpus);
+    return gen.generate(num_instrs, cpu);
+}
+
+} // namespace s64v

@@ -1,0 +1,61 @@
+#include "workload/profile.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+void
+WorkloadProfile::validate() const
+{
+    const InstrMix &m = mix;
+    const double sum = m.load + m.store + m.condBranch + m.uncondBranch +
+        m.callRet + m.intMul + m.intDiv + m.fpAdd + m.fpMul +
+        m.fpMulAdd + m.fpDiv + m.special + m.nop;
+    if (sum > 1.0 + 1e-9)
+        fatal("workload '%s': instruction mix sums to %.3f > 1",
+              name.c_str(), sum);
+    if (m.branchTotal() <= 0.0)
+        fatal("workload '%s': branch fraction must be positive",
+              name.c_str());
+    if (m.branchTotal() > 0.5)
+        fatal("workload '%s': branch fraction %.3f is implausible",
+              name.c_str(), m.branchTotal());
+    if (userRegions.empty() && (m.load > 0 || m.store > 0))
+        fatal("workload '%s': memory ops but no data regions",
+              name.c_str());
+    auto check_regions = [this](const std::vector<DataRegion> &regions) {
+        for (const DataRegion &r : regions) {
+            if (r.size == 0 || !isPowerOf2(r.size))
+                fatal("workload '%s': region '%s' size must be a "
+                      "nonzero power of two", name.c_str(),
+                      r.name.c_str());
+            if (r.weight < 0)
+                fatal("workload '%s': region '%s' has negative weight",
+                      name.c_str(), r.name.c_str());
+            if (r.pattern == AccessPattern::ZipfPages &&
+                (r.pageSize == 0 || r.pageSize > r.size)) {
+                fatal("workload '%s': region '%s' bad page size",
+                      name.c_str(), r.name.c_str());
+            }
+            if (r.pattern == AccessPattern::Sequential &&
+                r.numStreams == 0) {
+                fatal("workload '%s': region '%s' needs streams",
+                      name.c_str(), r.name.c_str());
+            }
+        }
+    };
+    check_regions(userRegions);
+    check_regions(kernelRegions);
+    if (kernelFraction < 0.0 || kernelFraction >= 1.0)
+        fatal("workload '%s': kernel fraction out of range",
+              name.c_str());
+    if (kernelFraction > 0.0 && kernelRegions.empty())
+        fatal("workload '%s': kernel phases need kernel regions",
+              name.c_str());
+    if (userCode.numChains == 0 || userCode.blocksPerChain == 0)
+        fatal("workload '%s': empty user code layout", name.c_str());
+}
+
+} // namespace s64v

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Workload characterization profiles. The paper drives its model with
+ * SPEC CPU95/CPU2000 traces (Shade) and TPC-C traces (kernel tracer);
+ * those are proprietary, so we synthesize traces from profiles that
+ * capture the timing-relevant characteristics of each suite:
+ * instruction mix, control-flow predictability, code/data footprints,
+ * access patterns, and kernel/user phase structure.
+ */
+
+#ifndef S64V_WORKLOAD_PROFILE_HH
+#define S64V_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace s64v
+{
+
+/** Address-generation pattern for a data region. */
+enum class AccessPattern : std::uint8_t
+{
+    Sequential,   ///< per-stream monotonically advancing cursor.
+    Random,       ///< uniform over the region.
+    ZipfPages,    ///< page-grained Zipf popularity (DB buffer pool).
+    PointerChain, ///< deterministic pseudo-random line chain.
+    Stack,        ///< small hot region with uniform reuse.
+};
+
+/**
+ * One logical data region accessed by a workload (stack, heap, array,
+ * DB buffer pool, ...).
+ */
+struct DataRegion
+{
+    std::string name;
+    Addr base = 0;              ///< region start address.
+    std::uint64_t size = 0;     ///< bytes; must be a power of two.
+    double weight = 1.0;        ///< share of memory operations.
+    AccessPattern pattern = AccessPattern::Random;
+    std::uint32_t stride = 64;  ///< Sequential advance per access.
+    std::uint32_t numStreams = 1;
+    double zipfSkew = 0.0;      ///< ZipfPages popularity skew.
+    std::uint32_t pageSize = 8192;
+    double headerFraction = 0.0;///< ZipfPages: share of accesses that
+                                ///< hit the (aligned) page header.
+    /**
+     * ZipfPages: popularity skew across the lines *inside* a page
+     * (row-level locality). 0 means uniform offsets.
+     */
+    double offsetZipfSkew = 0.0;
+    bool shared = false;        ///< SMP-shared (same base on all CPUs).
+};
+
+/** Static code layout and control-flow behaviour. */
+struct CodeLayout
+{
+    Addr base = 0x10000;
+    std::uint32_t numChains = 16;     ///< hot call-chain sequences.
+    std::uint32_t blocksPerChain = 32;
+    double chainZipfSkew = 1.0;       ///< chain popularity skew.
+    double hardBranchFraction = 0.1;  ///< sites with ~50 % taken rate.
+    double easyTakenBias = 0.9;       ///< bias of predictable sites.
+    double loopFraction = 0.15;       ///< blocks ending in a loop-back.
+    double meanLoopIters = 8.0;
+};
+
+/** Dynamic instruction mix (fractions of all instructions). */
+struct InstrMix
+{
+    double load = 0.2;
+    double store = 0.08;
+    double condBranch = 0.12;
+    double uncondBranch = 0.02;
+    double callRet = 0.02;
+    double intMul = 0.01;
+    double intDiv = 0.001;
+    double fpAdd = 0.0;
+    double fpMul = 0.0;
+    double fpMulAdd = 0.0;
+    double fpDiv = 0.0;
+    double special = 0.0;
+    double nop = 0.01;
+    // remainder is IntAlu.
+
+    /** Total branch fraction (drives mean basic-block length). */
+    double branchTotal() const
+    {
+        return condBranch + uncondBranch + callRet;
+    }
+};
+
+/**
+ * Complete description of a synthetic workload. The presets in
+ * workload/workloads.hh instantiate one per benchmark suite.
+ */
+struct WorkloadProfile
+{
+    std::string name;
+    InstrMix mix;
+
+    CodeLayout userCode;
+    std::vector<DataRegion> userRegions;
+
+    /** Kernel phase structure (TPC-C traces include kernel code). */
+    double kernelFraction = 0.0;  ///< share of instrs in kernel mode.
+    double kernelBurst = 600.0;   ///< mean instrs per kernel phase.
+    CodeLayout kernelCode;
+    std::vector<DataRegion> kernelRegions;
+
+    /** Register-dependency structure. */
+    double depNearProb = 0.6;   ///< source uses a recent result.
+    double depMeanDist = 3.0;   ///< mean producer distance when near.
+    double loadAddrChain = 0.1; ///< mem address depends on recent load.
+    double fpLoadFraction = 0.0;///< loads writing FP registers.
+
+    std::uint64_t seed = 1;
+
+    /** Sanity-check invariants; fatal() on inconsistent profiles. */
+    void validate() const;
+};
+
+} // namespace s64v
+
+#endif // S64V_WORKLOAD_PROFILE_HH

@@ -1,0 +1,344 @@
+#include "workload/workloads.hh"
+
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+namespace
+{
+
+// Region bases are staggered by distinct sub-cache offsets so that
+// regions do not all start at cache set 0 (which would create
+// pathological direct-map conflicts no real address layout has).
+constexpr Addr kStackBase = 0x7f000000 + 0x0c40;
+constexpr Addr kHeapBase = 0x20000000 + 0x3580;
+constexpr Addr kArrayBase = 0x40000000 + 0x61c0;
+constexpr Addr kKernDataBase = 0xc0000000 + 0x2900;
+// Shared regions live above every per-CPU private 4-GiB window.
+constexpr Addr kSharedBase = 0x4000000000ull + 0x4a40;
+
+DataRegion
+region(std::string name, Addr base, std::uint64_t size, double weight,
+       AccessPattern pattern)
+{
+    DataRegion r;
+    r.name = std::move(name);
+    r.base = base;
+    r.size = size;
+    r.weight = weight;
+    r.pattern = pattern;
+    return r;
+}
+
+} // namespace
+
+WorkloadProfile
+specint95Profile()
+{
+    WorkloadProfile p;
+    p.name = "SPECint95";
+    p.seed = 9501;
+
+    p.mix.load = 0.20;
+    p.mix.store = 0.09;
+    p.mix.condBranch = 0.13;
+    p.mix.uncondBranch = 0.02;
+    p.mix.callRet = 0.025;
+    p.mix.intMul = 0.010;
+    p.mix.intDiv = 0.001;
+    p.mix.special = 0.003; // register-window spill/fill traps.
+    p.mix.nop = 0.02;
+
+    p.userCode.base = 0x10000;
+    p.userCode.numChains = 48;
+    p.userCode.blocksPerChain = 30;
+    p.userCode.chainZipfSkew = 0.9;
+    p.userCode.hardBranchFraction = 0.08;
+    p.userCode.easyTakenBias = 0.94;
+    p.userCode.loopFraction = 0.20;
+    p.userCode.meanLoopIters = 16.0;
+
+    DataRegion heap95 = region("heap", kHeapBase, 32 << 10, 0.30,
+                               AccessPattern::Random);
+    heap95.zipfSkew = 1.50;
+    DataRegion glob95 = region("globals", kArrayBase, 16 << 10, 0.08,
+                               AccessPattern::Random);
+    glob95.zipfSkew = 1.30;
+    p.userRegions = {
+        region("stack", kStackBase, 8 << 10, 0.55,
+               AccessPattern::Stack),
+        heap95,
+        glob95,
+        region("links", kArrayBase + 0x1000000, 8 << 10, 0.07,
+               AccessPattern::PointerChain),
+    };
+
+    p.depNearProb = 0.65;
+    p.depMeanDist = 2.5;
+    p.loadAddrChain = 0.25;
+    return p;
+}
+
+WorkloadProfile
+specint2000Profile()
+{
+    WorkloadProfile p = specint95Profile();
+    p.name = "SPECint2000";
+    p.seed = 2001;
+
+    p.userCode.numChains = 72;
+    p.userCode.blocksPerChain = 44;
+    p.userCode.chainZipfSkew = 0.85;
+    p.userCode.hardBranchFraction = 0.09;
+
+    DataRegion heap2k = region("heap", kHeapBase, 128 << 10, 0.32,
+                               AccessPattern::Random);
+    heap2k.zipfSkew = 1.30;
+    DataRegion glob2k = region("globals", kArrayBase, 32 << 10, 0.08,
+                               AccessPattern::Random);
+    glob2k.zipfSkew = 1.30;
+    p.userRegions = {
+        region("stack", kStackBase, 8 << 10, 0.50,
+               AccessPattern::Stack),
+        heap2k,
+        glob2k,
+        region("links", kArrayBase + 0x1000000, 32 << 10, 0.10,
+               AccessPattern::PointerChain),
+    };
+    return p;
+}
+
+WorkloadProfile
+specfp95Profile()
+{
+    WorkloadProfile p;
+    p.name = "SPECfp95";
+    p.seed = 9502;
+
+    p.mix.load = 0.24;
+    p.mix.store = 0.10;
+    p.mix.condBranch = 0.040;
+    p.mix.uncondBranch = 0.005;
+    p.mix.callRet = 0.005;
+    p.mix.intMul = 0.005;
+    p.mix.intDiv = 0.0;
+    p.mix.fpAdd = 0.12;
+    p.mix.fpMul = 0.10;
+    p.mix.fpMulAdd = 0.12;
+    p.mix.fpDiv = 0.004;
+    p.mix.special = 0.001; // register-window spill/fill traps.
+    p.mix.nop = 0.01;
+
+    p.userCode.base = 0x10000;
+    p.userCode.numChains = 8;
+    p.userCode.blocksPerChain = 16;
+    p.userCode.chainZipfSkew = 1.2;
+    p.userCode.hardBranchFraction = 0.02;
+    p.userCode.easyTakenBias = 0.95;
+    p.userCode.loopFraction = 0.50;
+    p.userCode.meanLoopIters = 30.0;
+
+    // Cache-blocked inner working set (tuned FP codes block for the
+    // caches) plus a large streaming tier that only the hardware
+    // prefetcher can cover.
+    DataRegion blocked = region("blocked", kArrayBase, 128 << 10,
+                                0.74, AccessPattern::Sequential);
+    blocked.stride = 8;
+    blocked.numStreams = 6;
+    DataRegion arrays = region("arrays", kArrayBase + 0x2000000,
+                               8 << 20, 0.06,
+                               AccessPattern::Sequential);
+    arrays.stride = 8;
+    arrays.numStreams = 4;
+    DataRegion fpglob = region("globals", kHeapBase, 64 << 10,
+                               0.10, AccessPattern::Random);
+    fpglob.zipfSkew = 1.10;
+    p.userRegions = {
+        blocked,
+        arrays,
+        region("stack", kStackBase, 8 << 10, 0.10,
+               AccessPattern::Stack),
+        fpglob,
+    };
+
+    p.depNearProb = 0.50;
+    p.depMeanDist = 4.0;
+    p.loadAddrChain = 0.05;
+    p.fpLoadFraction = 0.70;
+    return p;
+}
+
+WorkloadProfile
+specfp2000Profile()
+{
+    WorkloadProfile p = specfp95Profile();
+    p.name = "SPECfp2000";
+    p.seed = 2002;
+
+    p.mix.load = 0.22;
+    p.mix.store = 0.09;
+    p.mix.fpMulAdd = 0.16;
+    p.mix.fpMul = 0.09;
+    p.userCode.numChains = 12;
+    p.userCode.blocksPerChain = 20;
+
+    DataRegion blocked2k = region("blocked", kArrayBase, 128 << 10,
+                                  0.72, AccessPattern::Sequential);
+    blocked2k.stride = 8;
+    blocked2k.numStreams = 6;
+    DataRegion arrays2k = region("arrays", kArrayBase + 0x2000000,
+                                 16 << 20, 0.08,
+                                 AccessPattern::Sequential);
+    arrays2k.stride = 8;
+    arrays2k.numStreams = 6;
+    p.userRegions[0] = blocked2k;
+    p.userRegions[1] = arrays2k;
+    return p;
+}
+
+WorkloadProfile
+tpccProfile()
+{
+    WorkloadProfile p;
+    p.name = "TPC-C";
+    p.seed = 4242;
+
+    p.mix.load = 0.25;
+    p.mix.store = 0.13;
+    p.mix.condBranch = 0.14;
+    p.mix.uncondBranch = 0.02;
+    p.mix.callRet = 0.03;
+    p.mix.intMul = 0.005;
+    p.mix.intDiv = 0.0005;
+    p.mix.special = 0.010;
+    p.mix.nop = 0.01;
+
+    p.userCode.base = 0x10000;
+    p.userCode.numChains = 384;
+    p.userCode.blocksPerChain = 40;
+    p.userCode.chainZipfSkew = 0.55;
+    p.userCode.hardBranchFraction = 0.06;
+    p.userCode.easyTakenBias = 0.95;
+    p.userCode.loopFraction = 0.08;
+    p.userCode.meanLoopIters = 4.0;
+
+    // Cold tier: the bulk of the DB buffer pool; reuse so sparse that
+    // no realistic L2 holds it (capacity-insensitive DRAM traffic).
+    DataRegion pool = region("bufpool", (0x100000000ull >> 2) + 0x5a80, 32 << 20,
+                             0.01, AccessPattern::ZipfPages);
+    pool.zipfSkew = 1.20;
+    pool.pageSize = 8192;
+    pool.headerFraction = 0.40;
+    pool.offsetZipfSkew = 1.20;
+
+    // Warm tier: B-tree index walks over four hot 1-MiB indexes.
+    // Their combined reuse distance (~4 MiB) is what an 8-MB L2
+    // captures and a 2-MB L2 cannot (the capacity axis of
+    // Figure 14); being pointer chases they are invisible to the
+    // stream prefetcher; and as four separately-placed physical
+    // chunks they collide in a direct-mapped 8-MB L2 while two ways
+    // absorb the overlap (the off.8m-1w vs off.8m-2w contrast).
+    auto make_index = [&](const char *nm, Addr base, double w) {
+        DataRegion r = region(nm, base, 1 << 20, w,
+                              AccessPattern::PointerChain);
+        r.numStreams = 1;
+        return r;
+    };
+    DataRegion idx1 = make_index(
+        "btree1", (0x100000000ull >> 2) + 0x2004c40, 0.018);
+    DataRegion idx2 = make_index(
+        "btree2", (0x100000000ull >> 2) + 0x2804cc0, 0.018);
+    DataRegion idx3 = make_index(
+        "btree3", (0x100000000ull >> 2) + 0x3004d40, 0.018);
+    DataRegion idx4 = make_index(
+        "btree4", (0x100000000ull >> 2) + 0x3804dc0, 0.018);
+
+    DataRegion shared = region("shared", kSharedBase, 4 << 20, 0.06,
+                               AccessPattern::ZipfPages);
+    shared.zipfSkew = 1.35;
+    shared.pageSize = 8192;
+    shared.headerFraction = 0.30;
+    shared.offsetZipfSkew = 1.20;
+    shared.shared = true;
+
+    DataRegion heapTpcc = region("heap", kHeapBase, 32 << 10, 0.43,
+                                 AccessPattern::Random);
+    heapTpcc.zipfSkew = 1.50;
+    p.userRegions = {
+        region("stack", kStackBase, 8 << 10, 0.44,
+               AccessPattern::Stack),
+        pool,
+        idx1,
+        idx2,
+        idx3,
+        idx4,
+        heapTpcc,
+        shared,
+    };
+
+    p.kernelFraction = 0.30;
+    p.kernelBurst = 1500.0;
+    p.kernelCode.base = 0x2000000;
+    p.kernelCode.numChains = 192;
+    p.kernelCode.blocksPerChain = 32;
+    p.kernelCode.chainZipfSkew = 0.55;
+    p.kernelCode.hardBranchFraction = 0.06;
+    p.kernelCode.easyTakenBias = 0.95;
+    p.kernelCode.loopFraction = 0.06;
+    p.kernelCode.meanLoopIters = 4.0;
+
+    DataRegion kpool = region("kpool", kSharedBase + 0x10000000ull,
+                              2 << 20, 0.05, AccessPattern::ZipfPages);
+    kpool.zipfSkew = 0.50;
+    kpool.pageSize = 8192;
+    kpool.headerFraction = 0.20;
+    kpool.offsetZipfSkew = 1.0;
+    kpool.shared = true;
+
+    DataRegion klock = region("klock", kSharedBase + 0x20000000ull,
+                              16 << 10, 0.10, AccessPattern::Random);
+    klock.zipfSkew = 1.20;
+    klock.shared = true;
+
+    DataRegion kdata = region("kdata", kKernDataBase + 0x1000000,
+                              32 << 10, 0.36, AccessPattern::Random);
+    kdata.zipfSkew = 1.50;
+    p.kernelRegions = {
+        region("kstack", kKernDataBase, 8 << 10, 0.49,
+               AccessPattern::Stack),
+        kdata,
+        kpool,
+        klock,
+    };
+
+    p.depNearProb = 0.70;
+    p.depMeanDist = 2.2;
+    p.loadAddrChain = 0.30;
+    return p;
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"SPECint95", "SPECfp95", "SPECint2000", "SPECfp2000",
+            "TPC-C"};
+}
+
+WorkloadProfile
+workloadByName(const std::string &name)
+{
+    if (name == "SPECint95" || name == "specint95")
+        return specint95Profile();
+    if (name == "SPECfp95" || name == "specfp95")
+        return specfp95Profile();
+    if (name == "SPECint2000" || name == "specint2000")
+        return specint2000Profile();
+    if (name == "SPECfp2000" || name == "specfp2000")
+        return specfp2000Profile();
+    if (name == "TPC-C" || name == "tpcc")
+        return tpccProfile();
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace s64v

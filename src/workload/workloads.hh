@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Named workload presets reproducing the characteristics of the
+ * benchmark suites the paper evaluates: SPEC CPU95 (int/fp), SPEC
+ * CPU2000 (int/fp), and TPC-C. See DESIGN.md for the substitution
+ * rationale; the calibration targets are the paper's Figure 7
+ * breakdown and the relative effects in Figures 8-18.
+ */
+
+#ifndef S64V_WORKLOAD_WORKLOADS_HH
+#define S64V_WORKLOAD_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace s64v
+{
+
+/** Integer-dominated CPU95 suite: small footprint, branchy. */
+WorkloadProfile specint95Profile();
+
+/** FP CPU95 suite: streaming arrays, loop-dominated, deep FP use. */
+WorkloadProfile specfp95Profile();
+
+/** Integer CPU2000 suite: like int95 with larger footprints. */
+WorkloadProfile specint2000Profile();
+
+/** FP CPU2000 suite: larger streaming arrays than fp95. */
+WorkloadProfile specfp2000Profile();
+
+/**
+ * TPC-C OLTP workload: OS+application code, large instruction
+ * footprint, DB buffer pool with page-grained Zipf reuse, SMP-shared
+ * regions, and kernel phases.
+ */
+WorkloadProfile tpccProfile();
+
+/** All preset names, in the paper's reporting order. */
+std::vector<std::string> workloadNames();
+
+/** Look up a preset by name; fatal() on unknown names. */
+WorkloadProfile workloadByName(const std::string &name);
+
+} // namespace s64v
+
+#endif // S64V_WORKLOAD_WORKLOADS_HH

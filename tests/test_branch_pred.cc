@@ -1,0 +1,116 @@
+#include "cpu/branch_pred.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+namespace s64v
+{
+namespace
+{
+
+BranchPredParams
+bht(unsigned entries, unsigned assoc)
+{
+    BranchPredParams p;
+    p.entries = entries;
+    p.assoc = assoc;
+    return p;
+}
+
+TEST(BranchPred, LearnsAlwaysTaken)
+{
+    stats::Group g("t");
+    BranchPredictor bp(bht(1024, 4), &g);
+    const Addr pc = 0x1000;
+    // First prediction misses the table (not-taken).
+    EXPECT_FALSE(bp.predict(pc, true));
+    bp.update(pc, true);
+    bp.update(pc, true);
+    EXPECT_TRUE(bp.predict(pc, true));
+}
+
+TEST(BranchPred, HysteresisSurvivesOneFlip)
+{
+    stats::Group g("t");
+    BranchPredictor bp(bht(1024, 4), &g);
+    const Addr pc = 0x2000;
+    for (int i = 0; i < 4; ++i)
+        bp.update(pc, true);
+    bp.update(pc, false); // one not-taken.
+    EXPECT_TRUE(bp.predict(pc, true)); // still predicts taken.
+    bp.update(pc, false);
+    bp.update(pc, false);
+    EXPECT_FALSE(bp.predict(pc, false));
+}
+
+TEST(BranchPred, PerfectModeAlwaysRight)
+{
+    stats::Group g("t");
+    BranchPredParams p = bht(16, 2);
+    p.perfect = true;
+    BranchPredictor bp(p, &g);
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const bool t = rng.chance(0.5);
+        EXPECT_EQ(bp.predict(0x100 + 8 * (i % 7), t), t);
+    }
+}
+
+TEST(BranchPred, CapacityAliasingHurts)
+{
+    // Many hot branch sites: a small table thrashes, a big one holds.
+    auto mispredicts = [](unsigned entries, unsigned assoc,
+                          unsigned sites) {
+        stats::Group g("t");
+        BranchPredictor bp(bht(entries, assoc), &g);
+        Rng rng(7);
+        unsigned miss = 0;
+        const unsigned iters = 30000;
+        for (unsigned i = 0; i < iters; ++i) {
+            const Addr pc = 0x10000 + 4 * rng.below(sites);
+            const bool taken = true; // all biased-taken sites.
+            if (bp.predict(pc, taken) != taken)
+                ++miss;
+            bp.update(pc, taken);
+        }
+        return miss;
+    };
+
+    const unsigned big = mispredicts(16384, 4, 8000);
+    const unsigned small = mispredicts(4096, 2, 8000);
+    EXPECT_GT(small, big * 3 / 2); // >= +50 % mispredicts.
+
+    // With few sites both tables behave the same.
+    const unsigned big_few = mispredicts(16384, 4, 256);
+    const unsigned small_few = mispredicts(4096, 2, 256);
+    EXPECT_NEAR(double(small_few), double(big_few),
+                0.2 * big_few + 30);
+}
+
+TEST(BranchPred, OutcomeCounters)
+{
+    stats::Group g("t");
+    BranchPredictor bp(bht(64, 2), &g);
+    bp.noteOutcome(true);
+    bp.noteOutcome(false);
+    bp.noteOutcome(false);
+    EXPECT_EQ(bp.resolved(), 3u);
+    EXPECT_EQ(bp.mispredicts(), 1u);
+    EXPECT_NEAR(bp.mispredictRatio(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(BranchPred, TableMissesCounted)
+{
+    stats::Group g("t");
+    BranchPredictor bp(bht(64, 2), &g);
+    bp.predict(0x100, true);
+    EXPECT_EQ(bp.tableMisses(), 1u);
+    bp.update(0x100, true);
+    bp.predict(0x100, true);
+    EXPECT_EQ(bp.tableMisses(), 1u);
+    EXPECT_EQ(bp.lookups(), 2u);
+}
+
+} // namespace
+} // namespace s64v

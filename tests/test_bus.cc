@@ -1,0 +1,84 @@
+#include "mem/bus.hh"
+
+#include <gtest/gtest.h>
+
+namespace s64v
+{
+namespace
+{
+
+BusParams
+params8()
+{
+    BusParams p;
+    p.bytesPerCycle = 8;
+    p.requestLatency = 4;
+    return p;
+}
+
+TEST(Bus, SingleTransferTiming)
+{
+    stats::Group g("t");
+    Bus bus(params8(), "bus", &g);
+    // 64 bytes at 8 B/cycle = 8 data-bus cycles.
+    EXPECT_EQ(bus.transfer(100, 64), 108u);
+    EXPECT_EQ(bus.transactions(), 1u);
+}
+
+TEST(Bus, BackToBackQueues)
+{
+    stats::Group g("t");
+    Bus bus(params8(), "bus", &g);
+    const Cycle first = bus.transfer(0, 64);
+    const Cycle second = bus.transfer(0, 64);
+    EXPECT_EQ(second, first + 8);
+    EXPECT_GT(bus.conflictCycles(), 0u);
+}
+
+TEST(Bus, IdleGapNoConflict)
+{
+    stats::Group g("t");
+    Bus bus(params8(), "bus", &g);
+    bus.transfer(0, 64);
+    const Cycle done = bus.transfer(1000, 64);
+    EXPECT_EQ(done, 1008u);
+    EXPECT_EQ(bus.conflictCycles(), 0u);
+}
+
+TEST(Bus, CommandOnlyOccupiesRequestPhase)
+{
+    stats::Group g("t");
+    Bus bus(params8(), "bus", &g);
+    EXPECT_EQ(bus.command(50), 54u);
+}
+
+TEST(Bus, SplitTransactionPhasesIndependent)
+{
+    // A data transfer reserved far in the future must not delay a
+    // younger command (split-transaction behaviour).
+    stats::Group g("t");
+    Bus bus(params8(), "bus", &g);
+    bus.transfer(500, 64); // data phase busy at [500, 508).
+    EXPECT_EQ(bus.command(10), 14u); // address phase free now.
+}
+
+TEST(Bus, WiderBusIsFaster)
+{
+    stats::Group g1("a"), g2("b");
+    BusParams wide = params8();
+    wide.bytesPerCycle = 32;
+    Bus narrow(params8(), "bus", &g1);
+    Bus fat(wide, "bus", &g2);
+    EXPECT_LT(fat.transfer(0, 64), narrow.transfer(0, 64));
+}
+
+TEST(Bus, PartialWordRoundsUp)
+{
+    stats::Group g("t");
+    Bus bus(params8(), "bus", &g);
+    // 60 bytes still needs ceil(60/8) = 8 cycles.
+    EXPECT_EQ(bus.transfer(0, 60), 8u);
+}
+
+} // namespace
+} // namespace s64v

@@ -1,0 +1,130 @@
+#include "mem/coherence.hh"
+
+#include <gtest/gtest.h>
+
+namespace s64v
+{
+namespace
+{
+
+struct Rig
+{
+    stats::Group root{"t"};
+    CacheParams l1p, l2p;
+    std::vector<std::unique_ptr<TimedCache>> caches;
+    std::unique_ptr<CoherenceController> cc;
+
+    explicit Rig(unsigned cpus)
+    {
+        l1p.name = "l1";
+        l1p.sizeBytes = 4096;
+        l1p.assoc = 2;
+        l2p.name = "l2";
+        l2p.sizeBytes = 16384;
+        l2p.assoc = 4;
+        cc = std::make_unique<CoherenceController>(SnoopParams{},
+                                                   &root);
+        for (unsigned i = 0; i < cpus; ++i) {
+            auto g = std::make_unique<stats::Group>(
+                "c" + std::to_string(i), &root);
+            caches.push_back(
+                std::make_unique<TimedCache>(l1p, g.get()));
+            caches.push_back(
+                std::make_unique<TimedCache>(l1p, g.get()));
+            caches.push_back(
+                std::make_unique<TimedCache>(l2p, g.get()));
+            cc->addCluster(CacheCluster{
+                caches[caches.size() - 3].get(),
+                caches[caches.size() - 2].get(),
+                caches[caches.size() - 1].get()});
+            groups.push_back(std::move(g));
+        }
+    }
+
+    TimedCache &l1i(unsigned c) { return *caches[3 * c]; }
+    TimedCache &l1d(unsigned c) { return *caches[3 * c + 1]; }
+    TimedCache &l2(unsigned c) { return *caches[3 * c + 2]; }
+
+    std::vector<std::unique_ptr<stats::Group>> groups;
+};
+
+TEST(Coherence, SnoopMissWhenNobodyHolds)
+{
+    Rig rig(2);
+    EXPECT_EQ(rig.cc->snoopRead(0, 0x1000), SnoopOutcome::Miss);
+}
+
+TEST(Coherence, SnoopFindsCleanCopy)
+{
+    Rig rig(2);
+    rig.l2(1).array().insert(0x1000, false);
+    EXPECT_EQ(rig.cc->snoopRead(0, 0x1000),
+              SnoopOutcome::SharedClean);
+}
+
+TEST(Coherence, DirtySupplyDowngradesOwner)
+{
+    Rig rig(2);
+    rig.l2(1).array().insert(0x1000, true);
+    EXPECT_EQ(rig.cc->snoopRead(0, 0x1000),
+              SnoopOutcome::DirtySupply);
+    // Owner keeps a clean copy.
+    EXPECT_TRUE(rig.l2(1).array().probe(0x1000));
+    EXPECT_FALSE(rig.l2(1).array().isDirty(0x1000));
+    EXPECT_EQ(rig.cc->dirtySupplies(), 1u);
+}
+
+TEST(Coherence, RequesterNotSnooped)
+{
+    Rig rig(2);
+    rig.l2(0).array().insert(0x1000, true);
+    EXPECT_EQ(rig.cc->snoopRead(0, 0x1000), SnoopOutcome::Miss);
+}
+
+TEST(Coherence, InvalidateOthersRemovesCopies)
+{
+    Rig rig(4);
+    for (unsigned c = 1; c < 4; ++c)
+        rig.l2(c).array().insert(0x2000, false);
+    EXPECT_FALSE(rig.cc->invalidateOthers(0, 0x2000));
+    for (unsigned c = 1; c < 4; ++c)
+        EXPECT_FALSE(rig.l2(c).array().probe(0x2000));
+}
+
+TEST(Coherence, InvalidateReportsDirtyVictim)
+{
+    Rig rig(2);
+    rig.l2(1).array().insert(0x2000, true);
+    EXPECT_TRUE(rig.cc->invalidateOthers(0, 0x2000));
+}
+
+TEST(Coherence, InvalidateBackInvalidatesL1)
+{
+    Rig rig(2);
+    rig.l2(1).array().insert(0x2000, false);
+    rig.l1d(1).array().insert(0x2000, false);
+    rig.l1i(1).array().insert(0x2000, false);
+    rig.cc->invalidateOthers(0, 0x2000);
+    EXPECT_FALSE(rig.l1d(1).array().probe(0x2000));
+    EXPECT_FALSE(rig.l1i(1).array().probe(0x2000));
+}
+
+TEST(Coherence, OthersHold)
+{
+    Rig rig(3);
+    EXPECT_FALSE(rig.cc->othersHold(0, 0x3000));
+    rig.l2(2).array().insert(0x3000, false);
+    EXPECT_TRUE(rig.cc->othersHold(0, 0x3000));
+    EXPECT_FALSE(rig.cc->othersHold(2, 0x3000));
+}
+
+TEST(Coherence, BackInvalidateInclusion)
+{
+    Rig rig(1);
+    rig.l1d(0).array().insert(0x4000, true);
+    rig.cc->backInvalidate(0, 0x4000);
+    EXPECT_FALSE(rig.l1d(0).array().probe(0x4000));
+}
+
+} // namespace
+} // namespace s64v

@@ -1,0 +1,82 @@
+#include "common/config.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace s64v
+{
+namespace
+{
+
+TEST(Config, ParseAndTypedAccess)
+{
+    ConfigMap cfg;
+    cfg.parse("cpus=16");
+    cfg.parse("ipc.target=1.25");
+    cfg.parse("name=tpcc");
+    cfg.parse("prefetch=true");
+
+    EXPECT_EQ(cfg.getInt("cpus", 1), 16);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("ipc.target", 0.0), 1.25);
+    EXPECT_EQ(cfg.getString("name", ""), "tpcc");
+    EXPECT_TRUE(cfg.getBool("prefetch", false));
+}
+
+TEST(Config, Defaults)
+{
+    ConfigMap cfg;
+    EXPECT_EQ(cfg.getInt("absent", 7), 7);
+    EXPECT_EQ(cfg.getString("absent", "d"), "d");
+    EXPECT_FALSE(cfg.getBool("absent", false));
+}
+
+TEST(Config, BoolSpellings)
+{
+    ConfigMap cfg;
+    for (const char *t : {"1", "true", "yes", "on"}) {
+        cfg.set("k", t);
+        EXPECT_TRUE(cfg.getBool("k", false)) << t;
+    }
+    cfg.set("k", "0");
+    EXPECT_FALSE(cfg.getBool("k", true));
+}
+
+TEST(Config, MalformedTokenIsFatal)
+{
+    setThrowOnError(true);
+    ConfigMap cfg;
+    EXPECT_THROW(cfg.parse("novalue"), std::runtime_error);
+    EXPECT_THROW(cfg.parse("=x"), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(Config, ParseArgsSkipsNonAssignments)
+{
+    const char *argv[] = {"prog", "run", "cpus=4", "--flag"};
+    ConfigMap cfg;
+    cfg.parseArgs(4, argv);
+    EXPECT_EQ(cfg.getInt("cpus", 0), 4);
+    EXPECT_FALSE(cfg.has("run"));
+}
+
+TEST(Config, UnconsumedTracking)
+{
+    ConfigMap cfg;
+    cfg.parse("used=1");
+    cfg.parse("typo=2");
+    (void)cfg.getInt("used", 0);
+    const auto leftovers = cfg.unconsumedKeys();
+    ASSERT_EQ(leftovers.size(), 1u);
+    EXPECT_EQ(leftovers[0], "typo");
+}
+
+TEST(Config, HexIntegers)
+{
+    ConfigMap cfg;
+    cfg.parse("base=0x1000");
+    EXPECT_EQ(cfg.getU64("base", 0), 0x1000u);
+}
+
+} // namespace
+} // namespace s64v

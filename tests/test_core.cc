@@ -1,0 +1,294 @@
+#include "cpu/core.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+namespace s64v
+{
+namespace
+{
+
+/** Build a tiny machine and run a hand-written trace to completion. */
+struct Rig
+{
+    stats::Group root{"t"};
+    CoreParams cp;
+    MemParams mp;
+    std::unique_ptr<MemSystem> mem;
+    std::unique_ptr<Core> core;
+    InstrTrace trace;
+    std::unique_ptr<VectorTraceSource> src;
+
+    Rig()
+    {
+        mem = std::make_unique<MemSystem>(mp, 1, &root);
+        core = std::make_unique<Core>(cp, 0, *mem, &root);
+    }
+
+    void
+    add(InstrClass cls, Addr pc, RegId dst = kNoReg,
+        RegId s1 = kNoReg, RegId s2 = kNoReg, Addr ea = 0)
+    {
+        TraceRecord r;
+        r.pc = pc;
+        r.cls = cls;
+        r.dst = dst;
+        r.src1 = s1;
+        r.src2 = s2;
+        r.ea = ea;
+        if (r.isMem())
+            r.size = 8;
+        trace.append(r);
+    }
+
+    Cycle
+    run(Cycle max = 100000)
+    {
+        src = std::make_unique<VectorTraceSource>(trace);
+        core->setTrace(src.get());
+        Cycle c = 0;
+        while (!core->done() && c < max) {
+            core->tick(c);
+            ++c;
+        }
+        EXPECT_TRUE(core->done()) << "core did not drain";
+        return core->lastCommitCycle();
+    }
+};
+
+TEST(Core, EmptyTraceFinishesImmediately)
+{
+    Rig rig;
+    rig.run(10);
+    EXPECT_EQ(rig.core->committed(), 0u);
+}
+
+TEST(Core, CommitsEveryInstruction)
+{
+    Rig rig;
+    for (int i = 0; i < 100; ++i)
+        rig.add(InstrClass::IntAlu, 0x1000 + 4 * i,
+                static_cast<RegId>(8 + i % 8));
+    rig.run();
+    EXPECT_EQ(rig.core->committed(), 100u);
+}
+
+TEST(Core, IndependentOpsExploitWidth)
+{
+    Rig rig;
+    // 2000 independent single-cycle ops looping over a small code
+    // footprint (so the I-cache warms): IPC should approach the
+    // 2-unit integer dispatch bound, clearly above 1.
+    for (int i = 0; i < 2000; ++i)
+        rig.add(InstrClass::IntAlu, 0x1000 + 4 * (i % 64),
+                static_cast<RegId>(8 + i % 16));
+    const Cycle cycles = rig.run();
+    const double ipc = 2000.0 / cycles;
+    EXPECT_GT(ipc, 1.2);
+}
+
+TEST(Core, DependentChainSerializes)
+{
+    Rig rig;
+    // r8 <- r8 chain: one op per cycle at best.
+    for (int i = 0; i < 200; ++i)
+        rig.add(InstrClass::IntAlu, 0x1000 + 4 * i, 8, 8);
+    const Cycle cycles = rig.run();
+    EXPECT_GE(cycles, 200u); // cannot beat the dependence chain.
+}
+
+TEST(Core, ForwardingBeatsNoForwarding)
+{
+    auto run_chain = [](bool fwd) {
+        Rig rig;
+        rig.cp.dataForwarding = fwd;
+        rig.core = std::make_unique<Core>(rig.cp, 0, *rig.mem,
+                                          &rig.root);
+        for (int i = 0; i < 300; ++i)
+            rig.add(InstrClass::IntAlu, 0x1000 + 4 * i, 8, 8);
+        return rig.run();
+    };
+    EXPECT_LT(run_chain(true), run_chain(false));
+}
+
+TEST(Core, LoadUsePenaltyOnHit)
+{
+    Rig rig;
+    // Warm line, then load -> dependent ALU chain.
+    rig.add(InstrClass::Load, 0x1000, 8, kNoReg, kNoReg, 0x4000);
+    for (int i = 0; i < 50; ++i) {
+        rig.add(InstrClass::Load, 0x1010 + 16 * i, 8, kNoReg, kNoReg,
+                0x4000);
+        rig.add(InstrClass::IntAlu, 0x1014 + 16 * i, 9, 8);
+    }
+    const Cycle cycles = rig.run();
+    // Each load-use pair costs at least the L1 latency.
+    EXPECT_GT(cycles, 50u * rig.mp.l1d.latency);
+}
+
+TEST(Core, CacheMissTriggersReplay)
+{
+    Rig rig;
+    // Warm the code footprint first so load+dependent pairs issue
+    // back to back, then loads to fresh lines (L1 misses) whose
+    // dependents were speculatively dispatched on the hit schedule.
+    for (int i = 0; i < 64; ++i)
+        rig.add(InstrClass::IntAlu, 0x1000 + 4 * (i % 16),
+                static_cast<RegId>(8 + i % 8));
+    for (int i = 0; i < 30; ++i) {
+        rig.add(InstrClass::Load, 0x1000 + 8 * (i % 8), 8, kNoReg,
+                kNoReg, 0x100000 + 0x4000 * i);
+        rig.add(InstrClass::IntAlu, 0x1004 + 8 * (i % 8), 9, 8);
+    }
+    rig.run();
+    EXPECT_GT(rig.core->replays(), 0u);
+}
+
+TEST(Core, NoSpeculativeDispatchNoReplay)
+{
+    Rig rig;
+    rig.cp.speculativeDispatch = false;
+    rig.core = std::make_unique<Core>(rig.cp, 0, *rig.mem, &rig.root);
+    for (int i = 0; i < 30; ++i) {
+        rig.add(InstrClass::Load, 0x1000 + 8 * i, 8, kNoReg, kNoReg,
+                0x100000 + 0x2000 * i);
+        rig.add(InstrClass::IntAlu, 0x1004 + 8 * i, 9, 8);
+    }
+    rig.run();
+    EXPECT_EQ(rig.core->replays(), 0u);
+}
+
+TEST(Core, SpeculativeDispatchIsFaster)
+{
+    auto run_loads = [](bool spec) {
+        Rig rig;
+        rig.cp.speculativeDispatch = spec;
+        rig.core = std::make_unique<Core>(rig.cp, 0, *rig.mem,
+                                          &rig.root);
+        // L1-resident pointer-ish chain: load -> use -> load ...
+        for (int i = 0; i < 200; ++i) {
+            rig.add(InstrClass::Load, 0x1000 + 8 * i, 8, 9, kNoReg,
+                    0x4000 + 8 * (i % 64));
+            rig.add(InstrClass::IntAlu, 0x1004 + 8 * i, 9, 8);
+        }
+        return rig.run();
+    };
+    EXPECT_LT(run_loads(true), run_loads(false));
+}
+
+TEST(Core, MispredictsCostCycles)
+{
+    auto run_branches = [](bool perfect) {
+        Rig rig;
+        rig.cp.bpred.perfect = perfect;
+        rig.core = std::make_unique<Core>(rig.cp, 0, *rig.mem,
+                                          &rig.root);
+        Rng rng(5);
+        Addr pc = 0x1000;
+        for (int i = 0; i < 300; ++i) {
+            rig.add(InstrClass::IntAlu, pc, 8);
+            pc += 4;
+            TraceRecord br;
+            br.pc = pc;
+            br.cls = InstrClass::BranchCond;
+            const bool taken = rng.chance(0.5); // unpredictable.
+            br.ea = taken ? pc + 64 : pc + 4;
+            if (taken)
+                br.flags = kFlagTaken;
+            rig.trace.append(br);
+            pc = taken ? pc + 64 : pc + 4;
+        }
+        return rig.run();
+    };
+    const Cycle perfect = run_branches(true);
+    const Cycle real = run_branches(false);
+    EXPECT_GT(real, perfect + 100);
+}
+
+TEST(Core, WindowBoundsInFlight)
+{
+    Rig rig;
+    // Warm the code lines, then a long-latency load at the head
+    // blocks commit; the window must fill and stall issue rather
+    // than overflow (overflow would panic).
+    for (int i = 0; i < 64; ++i)
+        rig.add(InstrClass::IntAlu, 0x1000 + 4 * (i % 16),
+                static_cast<RegId>(9 + i % 8));
+    rig.add(InstrClass::Load, 0x1040, 8, kNoReg, kNoReg, 0x900000);
+    // No-destination fillers: they consume window slots without
+    // renaming registers, so the 64-entry window is the binding
+    // resource behind the blocked load.
+    for (int i = 0; i < 200; ++i)
+        rig.add(InstrClass::Nop, 0x1000 + 4 * (i % 16));
+    rig.run();
+    EXPECT_GT(rig.core->windowFullStalls(), 0u);
+}
+
+TEST(Core, StoresDrainThroughSq)
+{
+    Rig rig;
+    for (int i = 0; i < 60; ++i)
+        rig.add(InstrClass::Store, 0x1000 + 4 * i, kNoReg, 8, 9,
+                0x4000 + 8 * i);
+    rig.run();
+    EXPECT_EQ(rig.core->committed(), 60u);
+    EXPECT_TRUE(rig.core->lsq().drained());
+}
+
+TEST(Core, SpecialSerializeDrains)
+{
+    Rig rig;
+    rig.cp.specialMode = SpecialInstrMode::Precise;
+    rig.core = std::make_unique<Core>(rig.cp, 0, *rig.mem, &rig.root);
+    rig.add(InstrClass::Store, 0x1000, kNoReg, 8, 9, 0x4000);
+    rig.add(InstrClass::Special, 0x1004, kNoReg, 8);
+    rig.add(InstrClass::IntAlu, 0x1008, 8);
+    rig.run();
+    EXPECT_EQ(rig.core->committed(), 3u);
+}
+
+TEST(Core, SpecialFixedPenaltySlower)
+{
+    auto run_specials = [](SpecialInstrMode mode, unsigned penalty) {
+        Rig rig;
+        rig.cp.specialMode = mode;
+        rig.cp.specialPenalty = penalty;
+        rig.core = std::make_unique<Core>(rig.cp, 0, *rig.mem,
+                                          &rig.root);
+        for (int i = 0; i < 50; ++i) {
+            rig.add(InstrClass::IntAlu, 0x1000 + 8 * i, 8);
+            rig.add(InstrClass::Special, 0x1004 + 8 * i, kNoReg, 8);
+        }
+        return rig.run();
+    };
+    const Cycle cheap = run_specials(SpecialInstrMode::OneCycle, 30);
+    const Cycle fixed = run_specials(SpecialInstrMode::FixedPenalty,
+                                     30);
+    EXPECT_GT(fixed, cheap);
+}
+
+TEST(Core, DivideBlocksUnit)
+{
+    Rig rig;
+    // Dependent divides: unpipelined latency accumulates.
+    for (int i = 0; i < 20; ++i)
+        rig.add(InstrClass::IntDiv, 0x1000 + 4 * i, 8, 8);
+    const Cycle cycles = rig.run();
+    EXPECT_GT(cycles, 20u * execLatency(InstrClass::IntDiv));
+}
+
+TEST(Core, UnifiedRsCommitsEverything)
+{
+    Rig rig;
+    rig.cp.unifiedRs = true;
+    rig.core = std::make_unique<Core>(rig.cp, 0, *rig.mem, &rig.root);
+    for (int i = 0; i < 200; ++i)
+        rig.add(InstrClass::IntAlu, 0x1000 + 4 * i,
+                static_cast<RegId>(8 + i % 16));
+    rig.run();
+    EXPECT_EQ(rig.core->committed(), 200u);
+}
+
+} // namespace
+} // namespace s64v

@@ -1,0 +1,66 @@
+#include "cpu/exec.hh"
+
+#include <gtest/gtest.h>
+
+namespace s64v
+{
+namespace
+{
+
+TEST(ExecUnit, CollectsDueInOrder)
+{
+    ExecUnit u("exa");
+    u.push(1, 10);
+    u.push(2, 11);
+    u.push(3, 15);
+
+    std::vector<PendingExec> due;
+    u.collectDue(11, due);
+    ASSERT_EQ(due.size(), 2u);
+    EXPECT_EQ(due[0].seq, 1u);
+    EXPECT_EQ(due[1].seq, 2u);
+
+    due.clear();
+    u.collectDue(20, due);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0].seq, 3u);
+    EXPECT_TRUE(u.idle());
+}
+
+TEST(ExecUnit, NothingDueBeforeStart)
+{
+    ExecUnit u("flb");
+    u.push(7, 100);
+    std::vector<PendingExec> due;
+    u.collectDue(99, due);
+    EXPECT_TRUE(due.empty());
+    EXPECT_FALSE(u.idle());
+}
+
+TEST(ExecUnit, OccupancyBlocksUnpipelined)
+{
+    ExecUnit u("exa");
+    EXPECT_TRUE(u.available(5));
+    u.occupyUntil(50);
+    EXPECT_FALSE(u.available(5));
+    EXPECT_FALSE(u.available(49));
+    EXPECT_TRUE(u.available(50));
+    EXPECT_EQ(u.busyUntil(), 50u);
+}
+
+TEST(ExecUnit, OccupyNeverMovesBackward)
+{
+    ExecUnit u("exa");
+    u.occupyUntil(50);
+    u.occupyUntil(20);
+    EXPECT_EQ(u.busyUntil(), 50u);
+}
+
+TEST(ExecUnit, NamePreserved)
+{
+    ExecUnit u("eagb");
+    EXPECT_EQ(u.name(), "eagb");
+}
+
+} // namespace
+} // namespace s64v

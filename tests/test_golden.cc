@@ -1,0 +1,79 @@
+#include "golden/golden.hh"
+
+#include <gtest/gtest.h>
+
+#include "golden/checker.hh"
+#include "model/perf_model.hh"
+#include "workload/generator.hh"
+#include "workload/workloads.hh"
+
+namespace s64v
+{
+namespace
+{
+
+TEST(Golden, RunsAndCountsEverything)
+{
+    const InstrTrace t = generateTrace(specint95Profile(), 20000);
+    GoldenModel golden;
+    const GoldenResult r = golden.run(t);
+    EXPECT_EQ(r.instructions, 20000u);
+    EXPECT_GT(r.cycles, 20000u); // scalar in-order: CPI >= 1.
+    EXPECT_GT(r.cpi, 1.0);
+    EXPECT_LE(r.ipc, 1.0);
+}
+
+TEST(Golden, MemoryBoundWorkloadIsSlower)
+{
+    GoldenModel golden;
+    const GoldenResult fp =
+        golden.run(generateTrace(specfp95Profile(), 20000));
+    GoldenModel golden2;
+    const GoldenResult tp =
+        golden2.run(generateTrace(tpccProfile(), 20000));
+    EXPECT_GT(tp.cpi, fp.cpi * 0.5); // both meaningful.
+    EXPECT_GT(tp.l2Misses, 0u);
+}
+
+TEST(Golden, CheckReplayAcceptsGoodRun)
+{
+    const InstrTrace t = generateTrace(specint95Profile(), 15000);
+    PerfModel m(sparc64vBase());
+    m.loadTrace(0, t);
+    const SimResult res = m.run();
+    EXPECT_EQ(checkReplay(t, res), "");
+}
+
+TEST(Golden, CheckReplayCatchesLostInstructions)
+{
+    InstrTrace t = generateTrace(specint95Profile(), 1000);
+    SimResult res;
+    res.cores.push_back(CoreResult{999, 999, 5000, 0.2});
+    EXPECT_NE(checkReplay(t, res), "");
+}
+
+TEST(Golden, CheckReplayCatchesCycleLimit)
+{
+    InstrTrace t = generateTrace(specint95Profile(), 1000);
+    SimResult res;
+    res.hitCycleLimit = true;
+    res.cores.push_back(CoreResult{1000, 1000, 5000, 0.2});
+    EXPECT_NE(checkReplay(t, res), "");
+}
+
+TEST(Golden, CrossCheckModelAgainstGolden)
+{
+    // The paper's methodological cross-check: the detailed OOO model
+    // must not be slower than the simple in-order reference (with
+    // slack for its idealizations) on any paper workload.
+    for (const std::string &wl : workloadNames()) {
+        const InstrTrace t = generateTrace(workloadByName(wl), 20000);
+        PerfModel m(sparc64vBase());
+        m.loadTrace(0, t);
+        const SimResult res = m.run();
+        EXPECT_EQ(checkAgainstGolden(t, res, 1.6), "") << wl;
+    }
+}
+
+} // namespace
+} // namespace s64v

@@ -1,0 +1,43 @@
+#include "common/logging.hh"
+
+#include <gtest/gtest.h>
+
+namespace s64v
+{
+namespace
+{
+
+TEST(Logging, WarnGoesToSink)
+{
+    std::string sink;
+    setLogSink(&sink);
+    warn("value is %d", 42);
+    inform("status %s", "ok");
+    setLogSink(nullptr);
+
+    EXPECT_NE(sink.find("warn: value is 42"), std::string::npos);
+    EXPECT_NE(sink.find("info: status ok"), std::string::npos);
+}
+
+TEST(Logging, PanicThrowsInTestMode)
+{
+    setThrowOnError(true);
+    EXPECT_THROW(panic("boom %d", 1), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(Logging, FatalThrowsInTestMode)
+{
+    setThrowOnError(true);
+    try {
+        fatal("bad config '%s'", "x");
+        FAIL() << "fatal returned";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("bad config 'x'"),
+                  std::string::npos);
+    }
+    setThrowOnError(false);
+}
+
+} // namespace
+} // namespace s64v

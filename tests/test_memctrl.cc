@@ -1,0 +1,76 @@
+#include "mem/memctrl.hh"
+
+#include <gtest/gtest.h>
+
+namespace s64v
+{
+namespace
+{
+
+MemCtrlParams
+twoChannel()
+{
+    MemCtrlParams p;
+    p.channels = 2;
+    p.accessLatency = 120;
+    p.occupancy = 24;
+    return p;
+}
+
+TEST(MemCtrl, ReadLatency)
+{
+    stats::Group g("t");
+    MemCtrl mc(twoChannel(), &g);
+    EXPECT_EQ(mc.read(100), 220u);
+    EXPECT_EQ(mc.reads(), 1u);
+}
+
+TEST(MemCtrl, TwoChannelsOverlap)
+{
+    stats::Group g("t");
+    MemCtrl mc(twoChannel(), &g);
+    const Cycle a = mc.read(0);
+    const Cycle b = mc.read(0);
+    EXPECT_EQ(a, b); // distinct channels, no queueing.
+    EXPECT_EQ(mc.queueCycles(), 0u);
+}
+
+TEST(MemCtrl, ThirdRequestQueues)
+{
+    stats::Group g("t");
+    MemCtrl mc(twoChannel(), &g);
+    mc.read(0);
+    mc.read(0);
+    const Cycle c = mc.read(0);
+    EXPECT_EQ(c, 120u + 24u); // waits one occupancy slot.
+    EXPECT_EQ(mc.queueCycles(), 24u);
+}
+
+TEST(MemCtrl, WritesOccupyChannels)
+{
+    stats::Group g("t");
+    MemCtrl mc(twoChannel(), &g);
+    mc.write(0);
+    mc.write(0);
+    const Cycle r = mc.read(0);
+    EXPECT_GT(r, 120u); // queued behind a write.
+    EXPECT_EQ(mc.writes(), 2u);
+}
+
+TEST(MemCtrl, MoreChannelsReduceQueueing)
+{
+    stats::Group g1("a"), g2("b");
+    MemCtrlParams p4 = twoChannel();
+    p4.channels = 4;
+    MemCtrl mc2(twoChannel(), &g1);
+    MemCtrl mc4(p4, &g2);
+    Cycle last2 = 0, last4 = 0;
+    for (int i = 0; i < 8; ++i) {
+        last2 = mc2.read(0);
+        last4 = mc4.read(0);
+    }
+    EXPECT_GT(last2, last4);
+}
+
+} // namespace
+} // namespace s64v

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Direct tests of the data-region access patterns: these are the load
+ * on which the whole calibration rests, so each pattern's defining
+ * property is asserted explicitly.
+ */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace s64v
+{
+namespace
+{
+
+/** A minimal profile with one data region and trivial control flow. */
+WorkloadProfile
+oneRegionProfile(DataRegion region)
+{
+    WorkloadProfile p;
+    p.name = "pattern";
+    p.seed = 99;
+    p.mix.load = 0.5;
+    p.mix.store = 0.0;
+    p.mix.condBranch = 0.05;
+    p.mix.uncondBranch = 0.01;
+    p.mix.callRet = 0.01;
+    p.mix.nop = 0.0;
+    p.userCode.numChains = 4;
+    p.userCode.blocksPerChain = 8;
+    p.userRegions = {std::move(region)};
+    return p;
+}
+
+std::vector<Addr>
+memAddresses(const WorkloadProfile &p, std::size_t n)
+{
+    std::vector<Addr> out;
+    const InstrTrace t = generateTrace(p, n);
+    for (const TraceRecord &r : t.records()) {
+        if (r.isMem())
+            out.push_back(r.ea);
+    }
+    return out;
+}
+
+TEST(Patterns, SequentialAdvancesByStride)
+{
+    DataRegion r;
+    r.name = "seq";
+    r.base = 0x40000000;
+    r.size = 1 << 20;
+    r.pattern = AccessPattern::Sequential;
+    r.stride = 8;
+    r.numStreams = 1;
+
+    const std::vector<Addr> eas =
+        memAddresses(oneRegionProfile(r), 4000);
+    ASSERT_GT(eas.size(), 100u);
+    for (std::size_t i = 1; i < eas.size(); ++i)
+        EXPECT_EQ(eas[i], eas[i - 1] + 8) << i;
+}
+
+TEST(Patterns, SequentialWrapsInsideRegion)
+{
+    DataRegion r;
+    r.name = "seq";
+    r.base = 0x40000000;
+    r.size = 4096; // tiny: forces wrap.
+    r.pattern = AccessPattern::Sequential;
+    r.stride = 64;
+    r.numStreams = 1;
+
+    const std::vector<Addr> eas =
+        memAddresses(oneRegionProfile(r), 3000);
+    for (Addr ea : eas) {
+        EXPECT_GE(ea, r.base);
+        EXPECT_LT(ea, r.base + r.size);
+    }
+    // The wrap brings back the start address.
+    std::set<Addr> distinct(eas.begin(), eas.end());
+    EXPECT_EQ(distinct.size(), 64u); // 4096 / 64 lines.
+}
+
+TEST(Patterns, PointerChainIsFullPeriod)
+{
+    DataRegion r;
+    r.name = "chain";
+    r.base = 0x48000000;
+    r.size = 64 << 10; // 1024 lines.
+    r.pattern = AccessPattern::PointerChain;
+    r.numStreams = 1;
+
+    const std::vector<Addr> eas =
+        memAddresses(oneRegionProfile(r), 6000);
+    ASSERT_GE(eas.size(), 2048u);
+    // Any window of 1024 consecutive accesses visits 1024 distinct
+    // lines (the LCG permutation has full period).
+    std::set<Addr> lines;
+    for (std::size_t i = 0; i < 1024; ++i)
+        lines.insert(eas[i] / 64);
+    EXPECT_EQ(lines.size(), 1024u);
+}
+
+TEST(Patterns, PointerChainStaysInRegion)
+{
+    DataRegion r;
+    r.name = "chain";
+    r.base = 0x48000000;
+    r.size = 32 << 10;
+    r.pattern = AccessPattern::PointerChain;
+
+    for (Addr ea : memAddresses(oneRegionProfile(r), 3000)) {
+        EXPECT_GE(ea, r.base);
+        EXPECT_LT(ea, r.base + r.size);
+    }
+}
+
+TEST(Patterns, ZipfPagesHeaderFraction)
+{
+    DataRegion r;
+    r.name = "pool";
+    r.base = 0x50000000;
+    r.size = 8 << 20;
+    r.pattern = AccessPattern::ZipfPages;
+    r.pageSize = 8192;
+    r.zipfSkew = 1.0;
+    r.headerFraction = 0.4;
+
+    const std::vector<Addr> eas =
+        memAddresses(oneRegionProfile(r), 30000);
+    std::size_t header = 0;
+    for (Addr ea : eas) {
+        if ((ea & (r.pageSize - 1)) < 64)
+            ++header;
+    }
+    EXPECT_NEAR(static_cast<double>(header) / eas.size(), 0.4, 0.05);
+}
+
+TEST(Patterns, ZipfPagesSkewConcentrates)
+{
+    DataRegion r;
+    r.name = "pool";
+    r.base = 0x50000000;
+    r.size = 8 << 20; // 1024 pages.
+    r.pattern = AccessPattern::ZipfPages;
+    r.pageSize = 8192;
+    r.zipfSkew = 1.2;
+
+    const std::vector<Addr> eas =
+        memAddresses(oneRegionProfile(r), 30000);
+    std::map<Addr, unsigned> page_counts;
+    for (Addr ea : eas)
+        ++page_counts[ea / r.pageSize];
+    unsigned hottest = 0;
+    for (const auto &[page, count] : page_counts)
+        hottest = std::max(hottest, count);
+    // With skew 1.2 the hottest page takes far more than 1/1024.
+    EXPECT_GT(hottest, eas.size() / 100);
+}
+
+TEST(Patterns, RandomWithSkewReusesHotLines)
+{
+    DataRegion r;
+    r.name = "heap";
+    r.base = 0x20000000;
+    r.size = 256 << 10; // 4096 lines.
+    r.pattern = AccessPattern::Random;
+    r.zipfSkew = 1.3;
+
+    const std::vector<Addr> eas =
+        memAddresses(oneRegionProfile(r), 30000);
+    std::map<Addr, unsigned> line_counts;
+    for (Addr ea : eas)
+        ++line_counts[ea / 64];
+    unsigned hottest = 0;
+    for (const auto &[line, count] : line_counts)
+        hottest = std::max(hottest, count);
+    EXPECT_GT(hottest, eas.size() / 50);
+    // But the hot set is scattered, not one contiguous run: the
+    // hottest two lines are (almost surely) not adjacent.
+    Addr first = 0, second = 0;
+    unsigned best = 0, best2 = 0;
+    for (const auto &[line, count] : line_counts) {
+        if (count > best) {
+            second = first;
+            best2 = best;
+            first = line;
+            best = count;
+        } else if (count > best2) {
+            second = line;
+            best2 = count;
+        }
+    }
+    EXPECT_GT(first > second ? first - second : second - first, 1u);
+}
+
+TEST(Patterns, StackStaysSmallAndUniform)
+{
+    DataRegion r;
+    r.name = "stack";
+    r.base = 0x7f000000;
+    r.size = 8 << 10;
+    r.pattern = AccessPattern::Stack;
+
+    const std::vector<Addr> eas =
+        memAddresses(oneRegionProfile(r), 20000);
+    std::set<Addr> lines;
+    for (Addr ea : eas) {
+        EXPECT_GE(ea, r.base);
+        EXPECT_LT(ea, r.base + r.size);
+        lines.insert(ea / 64);
+    }
+    // Uniform reuse covers the whole (small) region.
+    EXPECT_EQ(lines.size(), 128u);
+}
+
+} // namespace
+} // namespace s64v

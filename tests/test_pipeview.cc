@@ -1,0 +1,104 @@
+#include "cpu/pipeview.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/system.hh"
+#include "workload/generator.hh"
+#include "workload/workloads.hh"
+
+namespace s64v
+{
+namespace
+{
+
+PipeRecord
+rec(std::uint64_t seq, Cycle issue)
+{
+    PipeRecord r;
+    r.seq = seq;
+    r.pc = 0x1000 + 4 * seq;
+    r.cls = InstrClass::IntAlu;
+    r.issue = issue;
+    r.dispatch = issue + 1;
+    r.execute = issue + 3;
+    r.complete = issue + 3;
+    r.commit = issue + 4;
+    return r;
+}
+
+TEST(Pipeview, RingKeepsMostRecent)
+{
+    PipeviewRecorder pv(4);
+    for (std::uint64_t s = 1; s <= 10; ++s)
+        pv.record(rec(s, 10 * s));
+    EXPECT_EQ(pv.size(), 4u);
+    EXPECT_EQ(pv.recorded(), 10u);
+
+    const auto snap = pv.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    EXPECT_EQ(snap.front().seq, 7u);
+    EXPECT_EQ(snap.back().seq, 10u);
+}
+
+TEST(Pipeview, SnapshotBeforeWrap)
+{
+    PipeviewRecorder pv(8);
+    pv.record(rec(1, 5));
+    pv.record(rec(2, 6));
+    const auto snap = pv.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].seq, 1u);
+    EXPECT_EQ(snap[1].seq, 2u);
+}
+
+TEST(Pipeview, RenderShowsStageMarkers)
+{
+    PipeviewRecorder pv(4);
+    pv.record(rec(1, 10));
+    const std::string out = pv.render();
+    EXPECT_NE(out.find("pipeview"), std::string::npos);
+    EXPECT_NE(out.find('i'), std::string::npos);
+    EXPECT_NE(out.find('R'), std::string::npos);
+    EXPECT_NE(out.find("int"), std::string::npos);
+}
+
+TEST(Pipeview, RenderEmpty)
+{
+    PipeviewRecorder pv(4);
+    EXPECT_NE(pv.render().find("no committed"), std::string::npos);
+}
+
+TEST(Pipeview, ZeroCapacityRejected)
+{
+    setThrowOnError(true);
+    EXPECT_THROW(PipeviewRecorder pv(0), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(Pipeview, CoreFillsMonotoneTimestamps)
+{
+    SystemParams sp;
+    System sys(sp);
+    PipeviewRecorder pv(128);
+    sys.core(0).attachPipeview(&pv);
+    sys.attachTrace(0, generateTrace(specint95Profile(), 5000));
+    sys.run();
+
+    EXPECT_EQ(pv.recorded(), 5000u);
+    std::uint64_t prev_seq = 0;
+    for (const PipeRecord &r : pv.snapshot()) {
+        EXPECT_GT(r.seq, prev_seq); // commit order.
+        prev_seq = r.seq;
+        EXPECT_LE(r.issue, r.commit);
+        if (r.cls != InstrClass::Nop) {
+            EXPECT_LE(r.issue, r.dispatch);
+            EXPECT_LE(r.dispatch, r.execute);
+            EXPECT_LE(r.complete, r.commit);
+        }
+    }
+    EXPECT_FALSE(pv.render().empty());
+}
+
+} // namespace
+} // namespace s64v

@@ -1,0 +1,121 @@
+#include "mem/prefetch.hh"
+
+#include <gtest/gtest.h>
+
+#include "mem/memtypes.hh"
+
+namespace s64v
+{
+namespace
+{
+
+PrefetchParams
+defaults()
+{
+    PrefetchParams p;
+    p.enabled = true;
+    p.streams = 4;
+    p.degree = 2;
+    p.trainThreshold = 2;
+    return p;
+}
+
+TEST(Prefetch, SequentialStreamTrains)
+{
+    stats::Group g("t");
+    StreamPrefetcher pf(defaults(), "pf", &g);
+    std::vector<Addr> out;
+
+    pf.observe(0 * kLineSize, out);
+    EXPECT_TRUE(out.empty()); // first touch allocates a stream.
+    pf.observe(1 * kLineSize, out);
+    // Second sequential access reaches the training threshold.
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 2 * kLineSize);
+    EXPECT_EQ(out[1], 3 * kLineSize);
+}
+
+TEST(Prefetch, RandomAccessesDoNotTrain)
+{
+    stats::Group g("t");
+    StreamPrefetcher pf(defaults(), "pf", &g);
+    std::vector<Addr> out;
+    pf.observe(0x10000, out);
+    pf.observe(0x90000, out);
+    pf.observe(0x50000, out);
+    pf.observe(0x30000, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.trainings(), 0u);
+}
+
+TEST(Prefetch, ToleratesOneSkippedLine)
+{
+    stats::Group g("t");
+    StreamPrefetcher pf(defaults(), "pf", &g);
+    std::vector<Addr> out;
+    pf.observe(0, out);
+    pf.observe(2 * kLineSize, out); // skipped line 1.
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(Prefetch, DisabledProducesNothing)
+{
+    stats::Group g("t");
+    PrefetchParams p = defaults();
+    p.enabled = false;
+    StreamPrefetcher pf(p, "pf", &g);
+    std::vector<Addr> out;
+    for (int i = 0; i < 10; ++i)
+        pf.observe(i * kLineSize, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_FALSE(pf.enabled());
+}
+
+TEST(Prefetch, MultipleConcurrentStreams)
+{
+    stats::Group g("t");
+    StreamPrefetcher pf(defaults(), "pf", &g);
+    std::vector<Addr> out;
+    const Addr a = 0x100000, b = 0x900000;
+    pf.observe(a, out);
+    pf.observe(b, out);
+    pf.observe(a + kLineSize, out);
+    pf.observe(b + kLineSize, out);
+    // Both streams trained and proposed candidates.
+    EXPECT_EQ(pf.trainings(), 2u);
+    EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(Prefetch, RandomTrafficCannotEvictTrainedStreams)
+{
+    stats::Group g("t");
+    StreamPrefetcher pf(defaults(), "pf", &g); // 4 streams.
+    std::vector<Addr> out;
+    // Train one stream.
+    pf.observe(0, out);
+    pf.observe(kLineSize, out);
+    out.clear();
+    // A flood of single-touch random addresses (more than the whole
+    // stream table) only churns the candidate filter.
+    for (Addr a = 1; a <= 64; ++a)
+        pf.observe(a * 0x1000000, out);
+    out.clear();
+    // The trained stream still fires.
+    pf.observe(2 * kLineSize, out);
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(Prefetch, DegreeControlsCandidates)
+{
+    stats::Group g("t");
+    PrefetchParams p = defaults();
+    p.degree = 4;
+    StreamPrefetcher pf(p, "pf", &g);
+    std::vector<Addr> out;
+    pf.observe(0, out);
+    pf.observe(kLineSize, out);
+    EXPECT_EQ(out.size(), 4u);
+}
+
+} // namespace
+} // namespace s64v

@@ -1,0 +1,151 @@
+#include "mem/ras.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "mem/cache.hh"
+#include "model/perf_model.hh"
+#include "workload/workloads.hh"
+
+namespace s64v
+{
+namespace
+{
+
+RasParams
+rate(double errors_per_m)
+{
+    RasParams p;
+    p.errorsPerMAccess = errors_per_m;
+    return p;
+}
+
+TEST(Ras, DisabledByDefault)
+{
+    stats::Group g("t");
+    ErrorProcess ep(RasParams{}, "ras", &g);
+    EXPECT_FALSE(ep.enabled());
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_EQ(ep.onAccess(), 0u);
+    EXPECT_EQ(ep.correctedErrors(), 0u);
+}
+
+TEST(Ras, RateApproximatelyHonored)
+{
+    stats::Group g("t");
+    ErrorProcess ep(rate(10000), "ras", &g); // 1 % of accesses.
+    unsigned long long fired = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        if (ep.onAccess() > 0)
+            ++fired;
+    }
+    EXPECT_EQ(ep.correctedErrors(), fired);
+    EXPECT_NEAR(static_cast<double>(fired) / n, 0.01, 0.002);
+}
+
+TEST(Ras, Deterministic)
+{
+    stats::Group g1("a"), g2("b");
+    ErrorProcess a(rate(5000), "ras", &g1);
+    ErrorProcess b(rate(5000), "ras", &g2);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_EQ(a.onAccess(), b.onAccess());
+}
+
+TEST(Ras, TinyRateStillObservable)
+{
+    stats::Group g("t");
+    ErrorProcess ep(rate(0.1), "ras", &g); // rounds below 1/2^20.
+    EXPECT_TRUE(ep.enabled());
+}
+
+TEST(Ras, NegativeRateRejected)
+{
+    setThrowOnError(true);
+    stats::Group g("t");
+    EXPECT_THROW(ErrorProcess ep(rate(-1), "ras", &g),
+                 std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(Ras, CorrectionAddsHitLatency)
+{
+    stats::Group g("t");
+    CacheParams p;
+    p.sizeBytes = 4096;
+    p.assoc = 2;
+    p.latency = 3;
+    p.ras.errorsPerMAccess = 1e6; // every access corrects.
+    p.ras.correctionLatency = 10;
+    TimedCache c(p, &g);
+    c.fill(0x100, 0, false);
+    const auto res = c.lookup(0x100, false, 50);
+    ASSERT_TRUE(res.hit);
+    EXPECT_EQ(res.ready, 50u + 3 + 10);
+    EXPECT_EQ(c.correctedErrors(), 1u);
+}
+
+TEST(Ras, DegradedWayReducesCapacity)
+{
+    CacheParams p;
+    p.sizeBytes = 4096; // 2-way, 32 sets.
+    p.assoc = 2;
+    p.ras.degradedWays = 1;
+    CacheArray a(p);
+    EXPECT_EQ(a.usableWays(), 1u);
+
+    const unsigned sets = p.numSets();
+    a.insert(0);
+    a.insert(64ull * sets); // same set: must evict in 1 usable way.
+    EXPECT_FALSE(a.probe(0));
+    EXPECT_TRUE(a.probe(64ull * sets));
+}
+
+TEST(Ras, CannotDegradeAllWays)
+{
+    setThrowOnError(true);
+    CacheParams p;
+    p.sizeBytes = 4096;
+    p.assoc = 2;
+    p.ras.degradedWays = 2;
+    EXPECT_THROW(CacheArray a(p), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(Ras, DegradedL2CostsTpccThroughput)
+{
+    const std::size_t n = 60000;
+    const double healthy = PerfModel::simulate(
+        sparc64vBase(), tpccProfile(), n).ipc;
+    const double degraded = PerfModel::simulate(
+        withDegradedL2Ways(sparc64vBase(), 2), tpccProfile(), n).ipc;
+    EXPECT_LT(degraded, healthy);
+    // Availability story: the machine still runs at a usable rate.
+    EXPECT_GT(degraded, healthy * 0.5);
+}
+
+TEST(Ras, ModestErrorRateIsNearlyFree)
+{
+    const std::size_t n = 60000;
+    const double healthy = PerfModel::simulate(
+        sparc64vBase(), specint95Profile(), n).ipc;
+    const double ecc = PerfModel::simulate(
+        withCacheErrorRate(sparc64vBase(), 100), specint95Profile(),
+        n).ipc;
+    EXPECT_GT(ecc, healthy * 0.99);
+}
+
+TEST(Ras, HeavyErrorRateIsVisible)
+{
+    const std::size_t n = 60000;
+    const double healthy = PerfModel::simulate(
+        sparc64vBase(), specint95Profile(), n).ipc;
+    const double ecc = PerfModel::simulate(
+        withCacheErrorRate(sparc64vBase(), 200000),
+        specint95Profile(), n).ipc;
+    EXPECT_LT(ecc, healthy * 0.98);
+}
+
+} // namespace
+} // namespace s64v

@@ -1,0 +1,65 @@
+#include "cpu/rename.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace s64v
+{
+namespace
+{
+
+TEST(Rename, PoolsAreIndependent)
+{
+    stats::Group g("t");
+    RenameUnit r(2, 1, &g);
+    EXPECT_TRUE(r.canAllocate(true, true));
+    r.allocate(true, true);
+    r.allocate(true, false);
+    EXPECT_FALSE(r.canAllocate(true, false)); // int exhausted.
+    EXPECT_FALSE(r.canAllocate(false, true)); // fp exhausted.
+    EXPECT_TRUE(r.canAllocate(false, false));
+    EXPECT_EQ(r.intInUse(), 2u);
+    EXPECT_EQ(r.fpInUse(), 1u);
+}
+
+TEST(Rename, ReleaseMakesRoom)
+{
+    stats::Group g("t");
+    RenameUnit r(1, 1, &g);
+    r.allocate(true, false);
+    EXPECT_FALSE(r.canAllocate(true, false));
+    r.release(true, false);
+    EXPECT_TRUE(r.canAllocate(true, false));
+}
+
+TEST(Rename, OverflowPanics)
+{
+    setThrowOnError(true);
+    stats::Group g("t");
+    RenameUnit r(1, 1, &g);
+    r.allocate(true, false);
+    EXPECT_THROW(r.allocate(true, false), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(Rename, UnderflowPanics)
+{
+    setThrowOnError(true);
+    stats::Group g("t");
+    RenameUnit r(1, 1, &g);
+    EXPECT_THROW(r.release(true, false), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(Rename, NoRegInstructionsAlwaysFit)
+{
+    stats::Group g("t");
+    RenameUnit r(0, 0, &g);
+    EXPECT_TRUE(r.canAllocate(false, false));
+    r.allocate(false, false);
+    r.release(false, false);
+}
+
+} // namespace
+} // namespace s64v

@@ -1,0 +1,188 @@
+#include "golden/reverse_tracer.hh"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hh"
+#include "workload/workloads.hh"
+
+namespace s64v
+{
+namespace
+{
+
+TraceRecord
+alu(Addr pc, RegId dst = 8)
+{
+    TraceRecord r;
+    r.pc = pc;
+    r.cls = InstrClass::IntAlu;
+    r.dst = dst;
+    return r;
+}
+
+TraceRecord
+branch(Addr pc, Addr target, bool taken)
+{
+    TraceRecord r;
+    r.pc = pc;
+    r.cls = InstrClass::BranchCond;
+    r.ea = target;
+    if (taken)
+        r.flags = kFlagTaken;
+    return r;
+}
+
+TEST(ReverseTracer, StraightLineRoundTrip)
+{
+    InstrTrace t("straight");
+    for (int i = 0; i < 20; ++i)
+        t.append(alu(0x1000 + 4 * i));
+    EXPECT_EQ(verifyReverseTrace(t), "");
+
+    const TestProgram p = TestProgram::fromTrace(t);
+    EXPECT_EQ(p.staticInstructions(), 20u);
+    EXPECT_EQ(p.dynamicLength(), 20u);
+}
+
+TEST(ReverseTracer, LoopCompresses)
+{
+    // A 4-instruction loop executed 50 times.
+    InstrTrace t("loop");
+    for (int iter = 0; iter < 50; ++iter) {
+        t.append(alu(0x1000));
+        t.append(alu(0x1004));
+        t.append(alu(0x1008));
+        t.append(branch(0x100c, 0x1000, iter != 49));
+    }
+    EXPECT_EQ(verifyReverseTrace(t), "");
+
+    const TestProgram p = TestProgram::fromTrace(t);
+    EXPECT_EQ(p.staticInstructions(), 4u);
+    EXPECT_EQ(p.dynamicLength(), 200u);
+    EXPECT_LT(p.compressionRatio(), 0.3);
+}
+
+TEST(ReverseTracer, BranchOutcomesPreserved)
+{
+    InstrTrace t("branches");
+    Addr pc = 0x1000;
+    for (int i = 0; i < 30; ++i) {
+        const bool taken = (i % 3) == 0;
+        t.append(branch(pc, taken ? pc + 32 : pc + 4, taken));
+        pc = taken ? pc + 32 : pc + 4;
+    }
+    EXPECT_EQ(verifyReverseTrace(t), "");
+}
+
+TEST(ReverseTracer, MemoryAddressesPreserved)
+{
+    InstrTrace t("mem");
+    for (int i = 0; i < 25; ++i) {
+        TraceRecord r;
+        r.pc = 0x1000 + 4 * (i % 5); // revisited sites,
+        r.cls = InstrClass::Load;
+        r.ea = 0x40000 + 0x88 * i;   // fresh addresses.
+        r.size = 8;
+        r.dst = 8;
+        t.append(r);
+        // Loop the five-instruction block.
+        if (i % 5 == 4) {
+            t.append(branch(0x1014, 0x1000, i != 24));
+        } else {
+            continue;
+        }
+    }
+    // Fix the PC sequencing: rebuild trace properly.
+    InstrTrace t2("mem");
+    for (int iter = 0; iter < 5; ++iter) {
+        for (int k = 0; k < 5; ++k) {
+            TraceRecord r;
+            r.pc = 0x1000 + 4 * k;
+            r.cls = InstrClass::Load;
+            r.ea = 0x40000 + 0x88 * (iter * 5 + k);
+            r.size = 8;
+            r.dst = 8;
+            t2.append(r);
+        }
+        t2.append(branch(0x1014, 0x1000, iter != 4));
+    }
+    EXPECT_EQ(verifyReverseTrace(t2), "");
+}
+
+TEST(ReverseTracer, TrapDiscontinuitiesPreserved)
+{
+    InstrTrace t("traps");
+    t.append(alu(0x1000));
+    t.append(alu(0x1004));
+    // Trap entry: PC jumps with no branch.
+    TraceRecord k = alu(0x8000);
+    k.flags = kFlagPrivileged;
+    t.append(k);
+    TraceRecord k2 = alu(0x8004);
+    k2.flags = kFlagPrivileged;
+    t.append(k2);
+    // Return to user code.
+    t.append(alu(0x1008));
+    EXPECT_EQ(verifyReverseTrace(t), "");
+}
+
+TEST(ReverseTracer, VaryingRegistersPreserved)
+{
+    // The same PC writes different registers on different visits.
+    InstrTrace t("regs");
+    for (int iter = 0; iter < 10; ++iter) {
+        t.append(alu(0x1000, static_cast<RegId>(8 + iter % 4)));
+        t.append(branch(0x1004, 0x1000, iter != 9));
+    }
+    EXPECT_EQ(verifyReverseTrace(t), "");
+}
+
+TEST(ReverseTracer, IndirectTargetsPreserved)
+{
+    // A return-like site with a different target each visit.
+    InstrTrace t("indirect");
+    Addr sites[] = {0x2000, 0x3000, 0x4000};
+    for (int i = 0; i < 9; ++i) {
+        TraceRecord r;
+        r.pc = 0x1000;
+        r.cls = InstrClass::Return;
+        r.ea = sites[i % 3];
+        r.flags = kFlagTaken;
+        t.append(r);
+        t.append(alu(sites[i % 3]));
+        // Jump back to the return site (trap-style discontinuity).
+    }
+    EXPECT_EQ(verifyReverseTrace(t), "");
+}
+
+TEST(ReverseTracer, EmptyTrace)
+{
+    InstrTrace t("empty");
+    EXPECT_EQ(verifyReverseTrace(t), "");
+    const TestProgram p = TestProgram::fromTrace(t);
+    EXPECT_EQ(p.dynamicLength(), 0u);
+    EXPECT_TRUE(p.replay().empty());
+}
+
+// The paper's actual use: every synthesized workload trace can be
+// turned into a performance test program and replayed exactly.
+TEST(ReverseTracer, AllWorkloadTracesRoundTrip)
+{
+    for (const std::string &wl : workloadNames()) {
+        const InstrTrace t = generateTrace(workloadByName(wl), 30000);
+        EXPECT_EQ(verifyReverseTrace(t), "") << wl;
+    }
+}
+
+TEST(ReverseTracer, WorkloadProgramsCompress)
+{
+    const InstrTrace t = generateTrace(specint95Profile(), 50000);
+    const TestProgram p = TestProgram::fromTrace(t);
+    // Static code is far smaller than the dynamic path.
+    EXPECT_LT(p.staticInstructions(), t.size() / 4);
+    EXPECT_LT(p.compressionRatio(), 0.9);
+    EXPECT_GT(p.basicBlocks(), 10u);
+}
+
+} // namespace
+} // namespace s64v

@@ -1,0 +1,108 @@
+#include "cpu/rob.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace s64v
+{
+namespace
+{
+
+TraceRecord
+rec(Addr pc)
+{
+    TraceRecord r;
+    r.pc = pc;
+    r.cls = InstrClass::IntAlu;
+    return r;
+}
+
+TEST(Window, AllocateRetireOrder)
+{
+    InstrWindow w(4);
+    EXPECT_TRUE(w.empty());
+    WindowEntry &a = w.allocate(rec(0x100), 1);
+    WindowEntry &b = w.allocate(rec(0x104), 1);
+    EXPECT_EQ(a.seq + 1, b.seq);
+    EXPECT_EQ(w.size(), 2u);
+    EXPECT_EQ(w.head().rec.pc, 0x100u);
+    w.retireHead();
+    EXPECT_EQ(w.head().rec.pc, 0x104u);
+}
+
+TEST(Window, FullAtCapacity)
+{
+    InstrWindow w(3);
+    for (int i = 0; i < 3; ++i)
+        w.allocate(rec(4 * i), 0);
+    EXPECT_TRUE(w.full());
+    w.retireHead();
+    EXPECT_FALSE(w.full());
+}
+
+TEST(Window, ContainsTracksLifetime)
+{
+    InstrWindow w(4);
+    const std::uint64_t s = w.allocate(rec(0), 0).seq;
+    EXPECT_TRUE(w.contains(s));
+    EXPECT_FALSE(w.contains(s + 1));
+    EXPECT_FALSE(w.contains(0)); // seq 0 is the null producer.
+    w.retireHead();
+    EXPECT_FALSE(w.contains(s));
+}
+
+TEST(Window, WrapAroundReuse)
+{
+    InstrWindow w(4);
+    for (int round = 0; round < 10; ++round) {
+        const std::uint64_t s = w.allocate(rec(round), round).seq;
+        EXPECT_EQ(w.entry(s).rec.pc, Addr(round));
+        w.retireHead();
+    }
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(Window, EntriesResetOnAllocate)
+{
+    InstrWindow w(2);
+    WindowEntry &a = w.allocate(rec(0), 0);
+    a.predReady = 123;
+    a.state = InstrState::Done;
+    w.retireHead();
+    // Re-allocating the same slot yields a fresh entry.
+    WindowEntry &b = w.allocate(rec(4), 1);
+    (void)b;
+    const std::uint64_t s2 = w.allocate(rec(8), 1).seq;
+    EXPECT_EQ(w.entry(s2).predReady, kCycleNever);
+    EXPECT_EQ(w.entry(s2).state, InstrState::Waiting);
+}
+
+TEST(Window, OverflowPanics)
+{
+    setThrowOnError(true);
+    InstrWindow w(1);
+    w.allocate(rec(0), 0);
+    EXPECT_THROW(w.allocate(rec(4), 0), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(Window, RetireEmptyPanics)
+{
+    setThrowOnError(true);
+    InstrWindow w(1);
+    EXPECT_THROW(w.retireHead(), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(Window, OutOfRangeEntryPanics)
+{
+    setThrowOnError(true);
+    InstrWindow w(2);
+    w.allocate(rec(0), 0);
+    EXPECT_THROW(w.entry(999), std::runtime_error);
+    setThrowOnError(false);
+}
+
+} // namespace
+} // namespace s64v

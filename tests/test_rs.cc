@@ -1,0 +1,102 @@
+#include "cpu/rs.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace s64v
+{
+namespace
+{
+
+TEST(Rs, InsertRemove)
+{
+    stats::Group g("t");
+    ReservationStation rs("rse0", 4, 1, &g);
+    EXPECT_TRUE(rs.empty());
+    rs.insert(10);
+    rs.insert(11);
+    EXPECT_EQ(rs.occupancy(), 2u);
+    rs.remove(10);
+    EXPECT_EQ(rs.occupancy(), 1u);
+}
+
+TEST(Rs, FullAtCapacity)
+{
+    stats::Group g("t");
+    ReservationStation rs("rsa", 2, 2, &g);
+    rs.insert(1);
+    rs.insert(2);
+    EXPECT_TRUE(rs.full());
+}
+
+TEST(Rs, SelectOldestFirst)
+{
+    stats::Group g("t");
+    ReservationStation rs("rse0", 8, 2, &g);
+    for (std::uint64_t s : {5, 6, 7, 8})
+        rs.insert(s);
+
+    std::vector<std::uint64_t> out;
+    rs.select([](std::uint64_t) { return true; }, out);
+    ASSERT_EQ(out.size(), 2u); // dispatch width.
+    EXPECT_EQ(out[0], 5u);
+    EXPECT_EQ(out[1], 6u);
+}
+
+TEST(Rs, SelectSkipsNotReady)
+{
+    stats::Group g("t");
+    ReservationStation rs("rse0", 8, 1, &g);
+    for (std::uint64_t s : {5, 6, 7})
+        rs.insert(s);
+
+    std::vector<std::uint64_t> out;
+    rs.select([](std::uint64_t s) { return s != 5; }, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 6u); // oldest ready, not oldest overall.
+}
+
+TEST(Rs, SelectedEntriesStayUntilRemoved)
+{
+    stats::Group g("t");
+    ReservationStation rs("rse0", 4, 1, &g);
+    rs.insert(3);
+    std::vector<std::uint64_t> out;
+    rs.select([](std::uint64_t) { return true; }, out);
+    EXPECT_EQ(rs.occupancy(), 1u); // replay-safe: still resident.
+    rs.remove(3);
+    EXPECT_TRUE(rs.empty());
+}
+
+TEST(Rs, OverflowPanics)
+{
+    setThrowOnError(true);
+    stats::Group g("t");
+    ReservationStation rs("rsbr", 1, 1, &g);
+    rs.insert(1);
+    EXPECT_THROW(rs.insert(2), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(Rs, RemoveAbsentPanics)
+{
+    setThrowOnError(true);
+    stats::Group g("t");
+    ReservationStation rs("rsbr", 2, 1, &g);
+    EXPECT_THROW(rs.remove(42), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(Rs, DispatchCounting)
+{
+    stats::Group g("t");
+    ReservationStation rs("rsf0", 4, 1, &g);
+    rs.insert(1);
+    rs.noteDispatch();
+    rs.noteDispatch();
+    EXPECT_EQ(rs.dispatches(), 2u);
+}
+
+} // namespace
+} // namespace s64v

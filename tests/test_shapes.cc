@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Figure-shape regression tests: the qualitative results of the
+ * paper's §4 studies, asserted as invariants so recalibration of the
+ * synthetic workloads cannot silently break the reproduction. Each
+ * test states the paper claim it guards.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/perf_model.hh"
+#include "workload/workloads.hh"
+
+namespace s64v
+{
+namespace
+{
+
+constexpr std::size_t kRun = 120000;
+
+double
+ipcOf(const MachineParams &machine, const std::string &wl,
+      std::size_t n = kRun)
+{
+    return PerfModel::simulate(machine, workloadByName(wl), n).ipc;
+}
+
+double
+mispredictOf(const MachineParams &machine, const std::string &wl)
+{
+    PerfModel m(machine);
+    m.loadWorkload(workloadByName(wl), kRun);
+    m.run();
+    return m.system().core(0).bpred().mispredictRatio();
+}
+
+double
+l1iMissOf(const MachineParams &machine, const std::string &wl)
+{
+    PerfModel m(machine);
+    m.loadWorkload(workloadByName(wl), kRun);
+    m.run();
+    return m.system().mem().l1i(0).demandMissRatio();
+}
+
+double
+l1dMissOf(const MachineParams &machine, const std::string &wl)
+{
+    PerfModel m(machine);
+    m.loadWorkload(workloadByName(wl), kRun);
+    m.run();
+    return m.system().mem().l1d(0).demandMissRatio();
+}
+
+// Figure 10: the small BHT costs TPC-C far more mispredictions than
+// it costs SPEC (paper: +60 % vs no difference).
+TEST(Shapes, SmallBhtHurtsTpccNotSpec)
+{
+    const MachineParams big = sparc64vBase();
+    const MachineParams small = withSmallBht(sparc64vBase());
+
+    const double tpcc_ratio = mispredictOf(small, "TPC-C") /
+        mispredictOf(big, "TPC-C");
+    const double int_ratio = mispredictOf(small, "SPECint95") /
+        mispredictOf(big, "SPECint95");
+    EXPECT_GT(tpcc_ratio, 1.15);
+    EXPECT_LT(int_ratio, 1.08);
+    EXPECT_GT(tpcc_ratio, int_ratio + 0.1);
+}
+
+// Figure 9: the BHT trade goes against TPC-C in IPC as well.
+TEST(Shapes, SmallBhtIpcLossConcentratedOnTpcc)
+{
+    const MachineParams big = sparc64vBase();
+    const MachineParams small = withSmallBht(sparc64vBase());
+    const double tpcc = ipcOf(small, "TPC-C") / ipcOf(big, "TPC-C");
+    EXPECT_LT(tpcc, 1.0);
+    const double fp = ipcOf(small, "SPECfp95") /
+        ipcOf(big, "SPECfp95");
+    EXPECT_GT(fp, 0.97); // SPEC roughly neutral.
+}
+
+// Figure 12: TPC-C's instruction footprint is what separates the two
+// L1 designs (paper: +99 % I-misses at 32k-1w, SPEC negligible).
+TEST(Shapes, SmallL1DoublesTpccInstructionMisses)
+{
+    const MachineParams big = sparc64vBase();
+    const MachineParams small = withSmallL1(sparc64vBase());
+
+    const double tpcc_big = l1iMissOf(big, "TPC-C");
+    const double tpcc_small = l1iMissOf(small, "TPC-C");
+    EXPECT_GT(tpcc_big, 0.01);  // OLTP misses even the big L1I.
+    EXPECT_GT(tpcc_small, tpcc_big * 1.5);
+    EXPECT_LT(tpcc_small, tpcc_big * 4.0);
+
+    // SPEC instruction footprints fit either cache.
+    EXPECT_LT(l1iMissOf(big, "SPECint95"), 0.01);
+    EXPECT_LT(l1iMissOf(small, "SPECfp95"), 0.01);
+}
+
+// Figure 13: operand misses rise substantially at 32k-1w for TPC-C.
+TEST(Shapes, SmallL1RaisesTpccOperandMisses)
+{
+    const double big = l1dMissOf(sparc64vBase(), "TPC-C");
+    const double small = l1dMissOf(withSmallL1(sparc64vBase()),
+                                   "TPC-C");
+    EXPECT_GT(small, big * 1.4);
+}
+
+// Figure 11: the IPC cost of the small L1 is mild (a few percent) --
+// the paper's argument for the larger, slower cache is headroom.
+TEST(Shapes, SmallL1IpcCostIsMild)
+{
+    const double ratio = ipcOf(withSmallL1(sparc64vBase()), "TPC-C") /
+        ipcOf(sparc64vBase(), "TPC-C");
+    EXPECT_LT(ratio, 1.0);
+    EXPECT_GT(ratio, 0.85);
+}
+
+// Figure 14: on TPC-C the off-chip 8-MB 2-way L2 is at least
+// competitive with the on-chip 2-MB 4-way, while the direct-mapped
+// version gives the capacity win back (paper: 86 % IPC ratio).
+// Needs a long run so the multi-megabyte reuse distances establish.
+TEST(Shapes, OffChipL2TradeoffOrdering)
+{
+    const std::size_t n = 800000;
+    const double base = ipcOf(sparc64vBase(), "TPC-C", n);
+    const double off2 =
+        ipcOf(withOffChipL2(sparc64vBase(), 2), "TPC-C", n);
+    const double off1 =
+        ipcOf(withOffChipL2(sparc64vBase(), 1), "TPC-C", n);
+    EXPECT_GT(off2, off1);        // associativity matters at 8 MB.
+    EXPECT_LT(off1, base * 0.97); // direct map loses to on-chip.
+    // 2-way is competitive; the full crossover (slightly above 100 %)
+    // needs the 4M-instruction runs of bench/fig14_l2_tradeoff.
+    EXPECT_GT(off2, base * 0.93);
+}
+
+// Figure 16: prefetching helps the FP suites far more than the rest.
+TEST(Shapes, PrefetchGainLargestForFp)
+{
+    const MachineParams with_pf = sparc64vBase();
+    const MachineParams without = withPrefetch(sparc64vBase(), false);
+
+    const double fp_gain = ipcOf(with_pf, "SPECfp95") /
+        ipcOf(without, "SPECfp95");
+    const double int_gain = ipcOf(with_pf, "SPECint95") /
+        ipcOf(without, "SPECint95");
+    EXPECT_GT(fp_gain, 1.13); // paper: >13 %.
+    EXPECT_GT(fp_gain, int_gain);
+}
+
+// Figure 17: demand misses drop with prefetching; total requests
+// (including prefetches) miss more than demand alone.
+TEST(Shapes, PrefetchMissAccounting)
+{
+    PerfModel pf(sparc64vBase());
+    pf.loadWorkload(specfp95Profile(), kRun);
+    pf.run();
+    const double with_all = pf.system().mem().l2MissRatio();
+    const double with_demand =
+        pf.system().mem().l2DemandMissRatio();
+
+    PerfModel nopf(withPrefetch(sparc64vBase(), false));
+    nopf.loadWorkload(specfp95Profile(), kRun);
+    nopf.run();
+    const double without = nopf.system().mem().l2DemandMissRatio();
+
+    EXPECT_LT(with_demand, without); // prefetch removes demand misses.
+    EXPECT_GE(with_all, with_demand); // prefetch traffic shows up.
+}
+
+// Figure 18: the simpler 2RS structure costs only a sliver of IPC --
+// the basis of the paper's design decision.
+TEST(Shapes, TwoRsCostsLessThanTwoPercent)
+{
+    for (const char *wl : {"SPECint95", "TPC-C"}) {
+        const double rs1 =
+            ipcOf(withUnifiedRs(sparc64vBase(), true), wl);
+        const double rs2 = ipcOf(sparc64vBase(), wl);
+        EXPECT_LE(rs2, rs1 * 1.005) << wl;
+        EXPECT_GE(rs2, rs1 * 0.98) << wl;
+    }
+}
+
+// §3.1: both throughput techniques must earn their keep.
+TEST(Shapes, SpeculativeDispatchAndForwardingHelp)
+{
+    const double base = ipcOf(sparc64vBase(), "SPECint95");
+    EXPECT_GT(base,
+              ipcOf(withSpeculativeDispatch(sparc64vBase(), false),
+                    "SPECint95"));
+    EXPECT_GT(base, ipcOf(withDataForwarding(sparc64vBase(), false),
+                          "SPECint95"));
+}
+
+// §3.2: the dual-port banked L1D outperforms a single port on the
+// memory-request-heavy workload the design targets.
+TEST(Shapes, DualOperandPortsHelpTpcc)
+{
+    const double two = ipcOf(sparc64vBase(), "TPC-C");
+    const double one = ipcOf(withL1dPorts(sparc64vBase(), 1),
+                             "TPC-C");
+    EXPECT_GT(two, one);
+}
+
+// Figure 7 ordering: TPC-C is sx-dominated; SPECint is branch-heavy;
+// SPECfp is core-dominated (checked in detail in test_breakdown.cc).
+TEST(Shapes, WorkloadIpcOrdering)
+{
+    const double fp = ipcOf(sparc64vBase(), "SPECfp95");
+    const double i95 = ipcOf(sparc64vBase(), "SPECint95");
+    const double tpcc = ipcOf(sparc64vBase(), "TPC-C");
+    EXPECT_GT(fp, i95);   // FP suites stream through dual FMA units.
+    EXPECT_GT(i95, tpcc); // OLTP is the memory-bound extreme.
+}
+
+} // namespace
+} // namespace s64v

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "model/perf_model.hh"
+#include "workload/workloads.hh"
+
+namespace s64v
+{
+namespace
+{
+
+constexpr std::size_t kRunPerCpu = 6000;
+
+TEST(Smp, FourWayRunsToCompletion)
+{
+    PerfModel m(sparc64vBase(4));
+    m.loadWorkload(tpccProfile(), kRunPerCpu);
+    const SimResult res = m.run();
+    EXPECT_FALSE(res.hitCycleLimit);
+    EXPECT_EQ(res.instructions, 4 * kRunPerCpu);
+    ASSERT_EQ(res.cores.size(), 4u);
+    for (const CoreResult &cr : res.cores)
+        EXPECT_EQ(cr.committed, kRunPerCpu);
+}
+
+TEST(Smp, CoherenceTrafficExists)
+{
+    PerfModel m(sparc64vBase(4));
+    m.loadWorkload(tpccProfile(), kRunPerCpu);
+    m.run();
+    auto &coh = m.system().mem().coherence();
+    EXPECT_GT(coh.invalidationsSent(), 0u);
+}
+
+TEST(Smp, SharedBusContentionLowersPerCpuIpc)
+{
+    PerfModel up(sparc64vBase(1));
+    up.loadWorkload(tpccProfile(), kRunPerCpu);
+    const SimResult u = up.run();
+
+    PerfModel mp(sparc64vBase(8));
+    mp.loadWorkload(tpccProfile(), kRunPerCpu);
+    const SimResult m8 = mp.run();
+
+    double mean_mp_ipc = 0.0;
+    for (const CoreResult &cr : m8.cores)
+        mean_mp_ipc += cr.ipc;
+    mean_mp_ipc /= m8.cores.size();
+
+    EXPECT_LT(mean_mp_ipc, u.cores[0].ipc * 1.001);
+}
+
+TEST(Smp, ThroughputScalesWithCpus)
+{
+    PerfModel one(sparc64vBase(1));
+    one.loadWorkload(tpccProfile(), kRunPerCpu);
+    const SimResult r1 = one.run();
+
+    PerfModel four(sparc64vBase(4));
+    four.loadWorkload(tpccProfile(), kRunPerCpu);
+    const SimResult r4 = four.run();
+
+    // Aggregate throughput must rise, though sub-linearly.
+    EXPECT_GT(r4.ipc, r1.ipc * 1.5);
+    EXPECT_LT(r4.ipc, r1.ipc * 4.05);
+}
+
+TEST(Smp, DirtySharingCausesCacheToCacheTransfers)
+{
+    PerfModel m(sparc64vBase(4));
+    m.loadWorkload(tpccProfile(), kRunPerCpu);
+    m.run();
+    EXPECT_GT(m.system().mem().coherence().dirtySupplies(), 0u);
+}
+
+TEST(Smp, DeterministicSmpRuns)
+{
+    PerfModel a(sparc64vBase(2));
+    a.loadWorkload(tpccProfile(), 4000);
+    PerfModel b(sparc64vBase(2));
+    b.loadWorkload(tpccProfile(), 4000);
+    EXPECT_EQ(a.run().cycles, b.run().cycles);
+}
+
+} // namespace
+} // namespace s64v

@@ -1,0 +1,84 @@
+#include "common/stats.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace s64v
+{
+namespace
+{
+
+TEST(Stats, ScalarCounting)
+{
+    stats::Group g("root");
+    stats::Scalar &c = g.scalar("events", "test events");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    EXPECT_EQ(g.lookup("events").value(), 6u);
+}
+
+TEST(Stats, ScalarReregistrationReturnsSame)
+{
+    stats::Group g("root");
+    stats::Scalar &a = g.scalar("x", "first");
+    ++a;
+    stats::Scalar &b = g.scalar("x", "second");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Stats, FormulaEvaluation)
+{
+    stats::Group g("root");
+    stats::Scalar &hits = g.scalar("hits", "h");
+    stats::Scalar &total = g.scalar("total", "t");
+    g.formula("ratio", "hit ratio", [&] {
+        return total.value()
+            ? double(hits.value()) / total.value() : 0.0;
+    });
+    hits += 3;
+    total += 4;
+    EXPECT_DOUBLE_EQ(g.evaluate("ratio"), 0.75);
+}
+
+TEST(Stats, NestedPathsAndDump)
+{
+    stats::Group root("sim");
+    stats::Group child("cpu0", &root);
+    stats::Scalar &c = child.scalar("commits", "committed");
+    c += 42;
+    EXPECT_EQ(child.path(), "sim.cpu0");
+
+    std::string out;
+    root.dump(out);
+    EXPECT_NE(out.find("sim.cpu0.commits"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Stats, ResetAllRecurses)
+{
+    stats::Group root("sim");
+    stats::Group child("cpu0", &root);
+    stats::Scalar &a = root.scalar("a", "");
+    stats::Scalar &b = child.scalar("b", "");
+    a += 1;
+    b += 2;
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(Stats, MissingLookupPanics)
+{
+    setThrowOnError(true);
+    stats::Group g("root");
+    EXPECT_THROW(g.lookup("absent"), std::runtime_error);
+    EXPECT_THROW(g.evaluate("absent"), std::runtime_error);
+    setThrowOnError(false);
+}
+
+} // namespace
+} // namespace s64v

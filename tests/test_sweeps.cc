@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Parameterized design-space sweeps asserting monotonicity and
+ * sanity of the model across resource sizes -- the kind of invariant
+ * a performance-model team checks before trusting trade-off studies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/perf_model.hh"
+#include "workload/workloads.hh"
+
+namespace s64v
+{
+namespace
+{
+
+constexpr std::size_t kRun = 60000;
+
+double
+tpccIpc(const MachineParams &machine, std::size_t n = kRun)
+{
+    return PerfModel::simulate(machine, tpccProfile(), n).ipc;
+}
+
+class BusWidthSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BusWidthSweep, WiderBusNeverSlower)
+{
+    MachineParams narrow = sparc64vBase();
+    narrow.sys.mem.bus.bytesPerCycle = GetParam();
+    MachineParams wide = narrow;
+    wide.sys.mem.bus.bytesPerCycle = GetParam() * 4;
+    EXPECT_GE(tpccIpc(wide) * 1.02, tpccIpc(narrow));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BusWidthSweep,
+                         ::testing::Values(2u, 4u, 8u));
+
+class MemChannelSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MemChannelSweep, MoreChannelsNeverSlower)
+{
+    MachineParams few = sparc64vBase();
+    few.sys.mem.memctrl.channels = GetParam();
+    MachineParams many = few;
+    many.sys.mem.memctrl.channels = GetParam() * 4;
+    EXPECT_GE(tpccIpc(many) * 1.02, tpccIpc(few));
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, MemChannelSweep,
+                         ::testing::Values(1u, 2u));
+
+class WindowSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(WindowSweep, BiggerWindowNeverSlower)
+{
+    MachineParams small = sparc64vBase();
+    small.sys.core.windowEntries = GetParam();
+    MachineParams big = small;
+    big.sys.core.windowEntries = GetParam() * 2;
+    EXPECT_GE(tpccIpc(big) * 1.02, tpccIpc(small));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
+                         ::testing::Values(16u, 32u, 64u));
+
+class LsqSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LsqSweep, DeeperQueuesNeverSlower)
+{
+    MachineParams small = sparc64vBase();
+    small.sys.core.loadQueueEntries = GetParam();
+    small.sys.core.storeQueueEntries = GetParam() / 2 + 1;
+    MachineParams big = small;
+    big.sys.core.loadQueueEntries = GetParam() * 2;
+    big.sys.core.storeQueueEntries = GetParam() + 1;
+    EXPECT_GE(tpccIpc(big) * 1.02, tpccIpc(small));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, LsqSweep,
+                         ::testing::Values(4u, 8u, 16u));
+
+class PrefetchDegreeSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PrefetchDegreeSweep, FpBenefitsFromDegree)
+{
+    MachineParams m = sparc64vBase();
+    m.sys.mem.prefetch.degree = GetParam();
+    const double ipc = PerfModel::simulate(m, specfp95Profile(),
+                                           kRun).ipc;
+    MachineParams off = withPrefetch(sparc64vBase(), false);
+    const double base = PerfModel::simulate(off, specfp95Profile(),
+                                            kRun).ipc;
+    EXPECT_GT(ipc, base); // any degree beats no prefetch on FP.
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PrefetchDegreeSweep,
+                         ::testing::Values(1u, 2u, 4u));
+
+class RedirectSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RedirectSweep, LongerRedirectNeverFaster)
+{
+    MachineParams fast = sparc64vBase();
+    fast.sys.core.mispredictRedirect = GetParam();
+    MachineParams slow = fast;
+    slow.sys.core.mispredictRedirect = GetParam() + 6;
+    const double f = PerfModel::simulate(fast, specint95Profile(),
+                                         kRun).ipc;
+    const double s = PerfModel::simulate(slow, specint95Profile(),
+                                         kRun).ipc;
+    EXPECT_GE(f * 1.01, s);
+    EXPECT_GT(f, s * 0.99); // and the effect is visible.
+}
+
+INSTANTIATE_TEST_SUITE_P(Redirects, RedirectSweep,
+                         ::testing::Values(2u, 4u));
+
+class LatencySweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LatencySweep, SlowerMemoryMonotonicallyHurtsTpcc)
+{
+    MachineParams fast = sparc64vBase();
+    fast.sys.mem.memctrl.accessLatency = GetParam();
+    MachineParams slow = fast;
+    slow.sys.mem.memctrl.accessLatency = GetParam() + 80;
+    EXPECT_GT(tpccIpc(fast), tpccIpc(slow));
+}
+
+INSTANTIATE_TEST_SUITE_P(Latencies, LatencySweep,
+                         ::testing::Values(60u, 120u, 200u));
+
+} // namespace
+} // namespace s64v

@@ -1,0 +1,114 @@
+#include "trace/trace_io.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace s64v
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+TEST(TraceIo, RoundTrip)
+{
+    InstrTrace t("TPC-C");
+    for (int i = 0; i < 100; ++i) {
+        TraceRecord r;
+        r.pc = 0x1000 + 4 * i;
+        r.cls = (i % 3 == 0) ? InstrClass::Load : InstrClass::IntAlu;
+        if (r.cls == InstrClass::Load) {
+            r.ea = 0x2000 + 8 * i;
+            r.size = 8;
+        }
+        r.dst = static_cast<RegId>(i % 24 + 8);
+        t.append(r);
+    }
+
+    const std::string path = tempPath("roundtrip.s64vtrc");
+    writeTraceFile(path, t);
+    const InstrTrace back = readTraceFile(path);
+
+    ASSERT_EQ(back.size(), t.size());
+    EXPECT_EQ(back.workloadName(), "TPC-C");
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(back[i].pc, t[i].pc);
+        EXPECT_EQ(back[i].cls, t[i].cls);
+        EXPECT_EQ(back[i].ea, t[i].ea);
+        EXPECT_EQ(back[i].dst, t[i].dst);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTrace)
+{
+    InstrTrace t("empty");
+    const std::string path = tempPath("empty.s64vtrc");
+    writeTraceFile(path, t);
+    const InstrTrace back = readTraceFile(path);
+    EXPECT_TRUE(back.empty());
+    EXPECT_EQ(back.workloadName(), "empty");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileIsFatal)
+{
+    setThrowOnError(true);
+    EXPECT_THROW(readTraceFile("/nonexistent/zzz.trc"),
+                 std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(TraceIo, BadMagicIsFatal)
+{
+    const std::string path = tempPath("badmagic.s64vtrc");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[100] = "not a trace file at all";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+
+    setThrowOnError(true);
+    EXPECT_THROW(readTraceFile(path), std::runtime_error);
+    setThrowOnError(false);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedRecordsAreFatal)
+{
+    InstrTrace t("x");
+    for (int i = 0; i < 10; ++i) {
+        TraceRecord r;
+        r.pc = 4 * i;
+        t.append(r);
+    }
+    const std::string path = tempPath("trunc.s64vtrc");
+    writeTraceFile(path, t);
+
+    // Truncate the file in the middle of the record array.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(::ftruncate(::fileno(f),
+                          sizeof(TraceFileHeader) +
+                              3 * sizeof(TraceRecord) + 5),
+              0);
+    std::fclose(f);
+
+    setThrowOnError(true);
+    EXPECT_THROW(readTraceFile(path), std::runtime_error);
+    setThrowOnError(false);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace s64v

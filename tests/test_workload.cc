@@ -1,0 +1,158 @@
+#include "workload/workloads.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "trace/filters.hh"
+#include "workload/generator.hh"
+
+namespace s64v
+{
+namespace
+{
+
+TEST(Workload, AllPresetsValidate)
+{
+    for (const std::string &name : workloadNames()) {
+        const WorkloadProfile p = workloadByName(name);
+        EXPECT_NO_THROW(p.validate()) << name;
+        EXPECT_EQ(p.name, name);
+    }
+}
+
+TEST(Workload, UnknownNameIsFatal)
+{
+    setThrowOnError(true);
+    EXPECT_THROW(workloadByName("SPECweb"), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(Workload, GenerationIsDeterministic)
+{
+    const WorkloadProfile p = specint95Profile();
+    const InstrTrace a = generateTrace(p, 5000);
+    const InstrTrace b = generateTrace(p, 5000);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].ea, b[i].ea);
+        EXPECT_EQ(a[i].cls, b[i].cls);
+        EXPECT_EQ(a[i].flags, b[i].flags);
+    }
+}
+
+TEST(Workload, TracesAreWellFormed)
+{
+    for (const std::string &name : workloadNames()) {
+        const InstrTrace t = generateTrace(workloadByName(name),
+                                           20000);
+        EXPECT_EQ(validateTrace(t), "") << name;
+        EXPECT_EQ(t.size(), 20000u);
+    }
+}
+
+TEST(Workload, MixMatchesProfile)
+{
+    const WorkloadProfile p = tpccProfile();
+    // Kernel/user phases are thousands of instructions long, so the
+    // kernel share needs a long trace to converge.
+    const InstrTrace t = generateTrace(p, 400000);
+    const TraceSummary s = summarizeTrace(t);
+
+    EXPECT_NEAR(s.loadFraction, p.mix.load, 0.04);
+    EXPECT_NEAR(s.storeFraction, p.mix.store, 0.03);
+    EXPECT_NEAR(s.branchFraction, p.mix.branchTotal(), 0.05);
+    EXPECT_NEAR(s.privilegedFraction, p.kernelFraction, 0.08);
+}
+
+TEST(Workload, FpSuiteHasFpWork)
+{
+    const InstrTrace t = generateTrace(specfp95Profile(), 40000);
+    const TraceSummary s = summarizeTrace(t);
+    EXPECT_GT(s.fpFraction, 0.25);
+    // FP code is loop-dominated: few branch sites, mostly taken.
+    EXPECT_LT(s.branchFraction, 0.08);
+}
+
+TEST(Workload, IntSuiteBranchier)
+{
+    const TraceSummary si =
+        summarizeTrace(generateTrace(specint95Profile(), 40000));
+    const TraceSummary sf =
+        summarizeTrace(generateTrace(specfp95Profile(), 40000));
+    EXPECT_GT(si.branchFraction, 2 * sf.branchFraction);
+    EXPECT_LT(si.fpFraction, 0.01);
+}
+
+TEST(Workload, TpccFootprintsAreLarge)
+{
+    const TraceSummary tp =
+        summarizeTrace(generateTrace(tpccProfile(), 80000));
+    const TraceSummary i95 =
+        summarizeTrace(generateTrace(specint95Profile(), 80000));
+    // OLTP touches far more code and branch sites than SPECint.
+    EXPECT_GT(tp.distinctCodeLines, 2 * i95.distinctCodeLines);
+    EXPECT_GT(tp.distinctBranchPcs, 2 * i95.distinctBranchPcs);
+    EXPECT_GT(tp.privilegedFraction, 0.15);
+}
+
+TEST(Workload, SmpTracesShareOnlySharedRegions)
+{
+    TraceGenerator gen(tpccProfile(), 4);
+    const InstrTrace t0 = gen.generate(20000, 0);
+    const InstrTrace t1 = gen.generate(20000, 1);
+
+    bool shared_overlap = false;
+    for (std::size_t i = 0; i < t0.size(); ++i) {
+        if (t0[i].isMem() && t0[i].sharedData()) {
+            shared_overlap = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(shared_overlap);
+
+    // Private addresses live in disjoint per-CPU windows.
+    for (std::size_t i = 0; i < 2000; ++i) {
+        if (t0[i].isMem() && !t0[i].sharedData()) {
+            EXPECT_LT(t0[i].ea, 0x100000000ull);
+        }
+        if (t1[i].isMem() && !t1[i].sharedData()) {
+            EXPECT_GE(t1[i].ea, 0x100000000ull);
+            EXPECT_LT(t1[i].ea, 0x200000000ull);
+        }
+    }
+}
+
+TEST(Workload, DifferentCpusDifferentStreams)
+{
+    TraceGenerator gen(tpccProfile(), 2);
+    const InstrTrace t0 = gen.generate(5000, 0);
+    const InstrTrace t1 = gen.generate(5000, 1);
+    std::size_t same = 0;
+    for (std::size_t i = 0; i < t0.size(); ++i) {
+        if (t0[i].pc == t1[i].pc)
+            ++same;
+    }
+    EXPECT_LT(same, t0.size()); // not identical walks.
+}
+
+TEST(Workload, CpuOutOfRangeIsFatal)
+{
+    setThrowOnError(true);
+    TraceGenerator gen(specint95Profile(), 2);
+    EXPECT_THROW(gen.generate(10, 2), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(Workload, BadProfileIsRejected)
+{
+    setThrowOnError(true);
+    WorkloadProfile p = specint95Profile();
+    p.mix.load = 0.9; // over-commits the mix.
+    p.mix.condBranch = 0.2;
+    EXPECT_THROW(TraceGenerator g(p), std::runtime_error);
+    setThrowOnError(false);
+}
+
+} // namespace
+} // namespace s64v
