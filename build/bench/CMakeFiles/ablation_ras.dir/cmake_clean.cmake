@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ras.dir/ablation_ras.cc.o"
+  "CMakeFiles/ablation_ras.dir/ablation_ras.cc.o.d"
+  "ablation_ras"
+  "ablation_ras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smp_scaling.dir/ablation_smp_scaling.cc.o"
+  "CMakeFiles/ablation_smp_scaling.dir/ablation_smp_scaling.cc.o.d"
+  "ablation_smp_scaling"
+  "ablation_smp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

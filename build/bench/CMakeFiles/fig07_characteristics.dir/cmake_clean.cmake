@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_characteristics.dir/fig07_characteristics.cc.o"
+  "CMakeFiles/fig07_characteristics.dir/fig07_characteristics.cc.o.d"
+  "fig07_characteristics"
+  "fig07_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_bht.dir/fig09_bht.cc.o"
+  "CMakeFiles/fig09_bht.dir/fig09_bht.cc.o.d"
+  "fig09_bht"
+  "fig09_bht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

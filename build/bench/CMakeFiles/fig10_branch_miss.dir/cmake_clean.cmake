@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_branch_miss.dir/fig10_branch_miss.cc.o"
+  "CMakeFiles/fig10_branch_miss.dir/fig10_branch_miss.cc.o.d"
+  "fig10_branch_miss"
+  "fig10_branch_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_branch_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_l1_tradeoff.dir/fig11_l1_tradeoff.cc.o"
+  "CMakeFiles/fig11_l1_tradeoff.dir/fig11_l1_tradeoff.cc.o.d"
+  "fig11_l1_tradeoff"
+  "fig11_l1_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_l1_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_l1i_miss.dir/fig12_l1i_miss.cc.o"
+  "CMakeFiles/fig12_l1i_miss.dir/fig12_l1i_miss.cc.o.d"
+  "fig12_l1i_miss"
+  "fig12_l1i_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_l1i_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_l1d_miss.dir/fig13_l1d_miss.cc.o"
+  "CMakeFiles/fig13_l1d_miss.dir/fig13_l1d_miss.cc.o.d"
+  "fig13_l1d_miss"
+  "fig13_l1d_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_l1d_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_l2_tradeoff.dir/fig14_l2_tradeoff.cc.o"
+  "CMakeFiles/fig14_l2_tradeoff.dir/fig14_l2_tradeoff.cc.o.d"
+  "fig14_l2_tradeoff"
+  "fig14_l2_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_l2_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

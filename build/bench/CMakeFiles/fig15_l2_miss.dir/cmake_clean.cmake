@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_l2_miss.dir/fig15_l2_miss.cc.o"
+  "CMakeFiles/fig15_l2_miss.dir/fig15_l2_miss.cc.o.d"
+  "fig15_l2_miss"
+  "fig15_l2_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_l2_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_l2_miss.
+# This may be replaced when dependencies are built.

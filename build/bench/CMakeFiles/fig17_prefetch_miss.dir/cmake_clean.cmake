@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_prefetch_miss.dir/fig17_prefetch_miss.cc.o"
+  "CMakeFiles/fig17_prefetch_miss.dir/fig17_prefetch_miss.cc.o.d"
+  "fig17_prefetch_miss"
+  "fig17_prefetch_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_prefetch_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_reservation.dir/fig18_reservation.cc.o"
+  "CMakeFiles/fig18_reservation.dir/fig18_reservation.cc.o.d"
+  "fig18_reservation"
+  "fig18_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

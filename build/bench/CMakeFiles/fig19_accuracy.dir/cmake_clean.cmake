@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_accuracy.dir/fig19_accuracy.cc.o"
+  "CMakeFiles/fig19_accuracy.dir/fig19_accuracy.cc.o.d"
+  "fig19_accuracy"
+  "fig19_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_accuracy_workflow.dir/model_accuracy_workflow.cpp.o"
+  "CMakeFiles/model_accuracy_workflow.dir/model_accuracy_workflow.cpp.o.d"
+  "model_accuracy_workflow"
+  "model_accuracy_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_accuracy_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

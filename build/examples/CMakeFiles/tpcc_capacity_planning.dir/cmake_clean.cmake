@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_capacity_planning.dir/tpcc_capacity_planning.cpp.o"
+  "CMakeFiles/tpcc_capacity_planning.dir/tpcc_capacity_planning.cpp.o.d"
+  "tpcc_capacity_planning"
+  "tpcc_capacity_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_capacity_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

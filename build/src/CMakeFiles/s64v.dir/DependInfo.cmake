@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/experiment.cc" "src/CMakeFiles/s64v.dir/analysis/experiment.cc.o" "gcc" "src/CMakeFiles/s64v.dir/analysis/experiment.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/CMakeFiles/s64v.dir/analysis/report.cc.o" "gcc" "src/CMakeFiles/s64v.dir/analysis/report.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/s64v.dir/common/config.cc.o" "gcc" "src/CMakeFiles/s64v.dir/common/config.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/s64v.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/s64v.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/s64v.dir/common/random.cc.o" "gcc" "src/CMakeFiles/s64v.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/s64v.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/s64v.dir/common/stats.cc.o.d"
+  "/root/repo/src/cpu/branch_pred.cc" "src/CMakeFiles/s64v.dir/cpu/branch_pred.cc.o" "gcc" "src/CMakeFiles/s64v.dir/cpu/branch_pred.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/s64v.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/s64v.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/exec.cc" "src/CMakeFiles/s64v.dir/cpu/exec.cc.o" "gcc" "src/CMakeFiles/s64v.dir/cpu/exec.cc.o.d"
+  "/root/repo/src/cpu/fetch.cc" "src/CMakeFiles/s64v.dir/cpu/fetch.cc.o" "gcc" "src/CMakeFiles/s64v.dir/cpu/fetch.cc.o.d"
+  "/root/repo/src/cpu/lsq.cc" "src/CMakeFiles/s64v.dir/cpu/lsq.cc.o" "gcc" "src/CMakeFiles/s64v.dir/cpu/lsq.cc.o.d"
+  "/root/repo/src/cpu/pipeview.cc" "src/CMakeFiles/s64v.dir/cpu/pipeview.cc.o" "gcc" "src/CMakeFiles/s64v.dir/cpu/pipeview.cc.o.d"
+  "/root/repo/src/cpu/rename.cc" "src/CMakeFiles/s64v.dir/cpu/rename.cc.o" "gcc" "src/CMakeFiles/s64v.dir/cpu/rename.cc.o.d"
+  "/root/repo/src/cpu/rob.cc" "src/CMakeFiles/s64v.dir/cpu/rob.cc.o" "gcc" "src/CMakeFiles/s64v.dir/cpu/rob.cc.o.d"
+  "/root/repo/src/cpu/rs.cc" "src/CMakeFiles/s64v.dir/cpu/rs.cc.o" "gcc" "src/CMakeFiles/s64v.dir/cpu/rs.cc.o.d"
+  "/root/repo/src/golden/checker.cc" "src/CMakeFiles/s64v.dir/golden/checker.cc.o" "gcc" "src/CMakeFiles/s64v.dir/golden/checker.cc.o.d"
+  "/root/repo/src/golden/golden.cc" "src/CMakeFiles/s64v.dir/golden/golden.cc.o" "gcc" "src/CMakeFiles/s64v.dir/golden/golden.cc.o.d"
+  "/root/repo/src/golden/reverse_tracer.cc" "src/CMakeFiles/s64v.dir/golden/reverse_tracer.cc.o" "gcc" "src/CMakeFiles/s64v.dir/golden/reverse_tracer.cc.o.d"
+  "/root/repo/src/isa/instr.cc" "src/CMakeFiles/s64v.dir/isa/instr.cc.o" "gcc" "src/CMakeFiles/s64v.dir/isa/instr.cc.o.d"
+  "/root/repo/src/mem/bus.cc" "src/CMakeFiles/s64v.dir/mem/bus.cc.o" "gcc" "src/CMakeFiles/s64v.dir/mem/bus.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/s64v.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/s64v.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/coherence.cc" "src/CMakeFiles/s64v.dir/mem/coherence.cc.o" "gcc" "src/CMakeFiles/s64v.dir/mem/coherence.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/s64v.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/s64v.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/memctrl.cc" "src/CMakeFiles/s64v.dir/mem/memctrl.cc.o" "gcc" "src/CMakeFiles/s64v.dir/mem/memctrl.cc.o.d"
+  "/root/repo/src/mem/prefetch.cc" "src/CMakeFiles/s64v.dir/mem/prefetch.cc.o" "gcc" "src/CMakeFiles/s64v.dir/mem/prefetch.cc.o.d"
+  "/root/repo/src/mem/ras.cc" "src/CMakeFiles/s64v.dir/mem/ras.cc.o" "gcc" "src/CMakeFiles/s64v.dir/mem/ras.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/s64v.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/s64v.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/model/breakdown.cc" "src/CMakeFiles/s64v.dir/model/breakdown.cc.o" "gcc" "src/CMakeFiles/s64v.dir/model/breakdown.cc.o.d"
+  "/root/repo/src/model/params.cc" "src/CMakeFiles/s64v.dir/model/params.cc.o" "gcc" "src/CMakeFiles/s64v.dir/model/params.cc.o.d"
+  "/root/repo/src/model/perf_model.cc" "src/CMakeFiles/s64v.dir/model/perf_model.cc.o" "gcc" "src/CMakeFiles/s64v.dir/model/perf_model.cc.o.d"
+  "/root/repo/src/model/versions.cc" "src/CMakeFiles/s64v.dir/model/versions.cc.o" "gcc" "src/CMakeFiles/s64v.dir/model/versions.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/s64v.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/s64v.dir/sim/system.cc.o.d"
+  "/root/repo/src/trace/filters.cc" "src/CMakeFiles/s64v.dir/trace/filters.cc.o" "gcc" "src/CMakeFiles/s64v.dir/trace/filters.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/s64v.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/s64v.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/s64v.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/s64v.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/workload/codegen.cc" "src/CMakeFiles/s64v.dir/workload/codegen.cc.o" "gcc" "src/CMakeFiles/s64v.dir/workload/codegen.cc.o.d"
+  "/root/repo/src/workload/custom.cc" "src/CMakeFiles/s64v.dir/workload/custom.cc.o" "gcc" "src/CMakeFiles/s64v.dir/workload/custom.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/s64v.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/s64v.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/s64v.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/s64v.dir/workload/profile.cc.o.d"
+  "/root/repo/src/workload/workloads.cc" "src/CMakeFiles/s64v.dir/workload/workloads.cc.o" "gcc" "src/CMakeFiles/s64v.dir/workload/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for s64v.
+# This may be replaced when dependencies are built.

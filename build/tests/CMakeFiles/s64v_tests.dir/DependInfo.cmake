@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bitutil.cc" "tests/CMakeFiles/s64v_tests.dir/test_bitutil.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_bitutil.cc.o.d"
+  "/root/repo/tests/test_branch_pred.cc" "tests/CMakeFiles/s64v_tests.dir/test_branch_pred.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_branch_pred.cc.o.d"
+  "/root/repo/tests/test_breakdown.cc" "tests/CMakeFiles/s64v_tests.dir/test_breakdown.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_breakdown.cc.o.d"
+  "/root/repo/tests/test_bus.cc" "tests/CMakeFiles/s64v_tests.dir/test_bus.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_bus.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/s64v_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/s64v_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/s64v_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/s64v_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_custom.cc" "tests/CMakeFiles/s64v_tests.dir/test_custom.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_custom.cc.o.d"
+  "/root/repo/tests/test_exec.cc" "tests/CMakeFiles/s64v_tests.dir/test_exec.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_exec.cc.o.d"
+  "/root/repo/tests/test_fetch.cc" "tests/CMakeFiles/s64v_tests.dir/test_fetch.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_fetch.cc.o.d"
+  "/root/repo/tests/test_golden.cc" "tests/CMakeFiles/s64v_tests.dir/test_golden.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_golden.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/s64v_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/s64v_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/s64v_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/s64v_tests.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_lsq.cc" "tests/CMakeFiles/s64v_tests.dir/test_lsq.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_lsq.cc.o.d"
+  "/root/repo/tests/test_memctrl.cc" "tests/CMakeFiles/s64v_tests.dir/test_memctrl.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_memctrl.cc.o.d"
+  "/root/repo/tests/test_model.cc" "tests/CMakeFiles/s64v_tests.dir/test_model.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_model.cc.o.d"
+  "/root/repo/tests/test_patterns.cc" "tests/CMakeFiles/s64v_tests.dir/test_patterns.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_patterns.cc.o.d"
+  "/root/repo/tests/test_pipeview.cc" "tests/CMakeFiles/s64v_tests.dir/test_pipeview.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_pipeview.cc.o.d"
+  "/root/repo/tests/test_prefetch.cc" "tests/CMakeFiles/s64v_tests.dir/test_prefetch.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_prefetch.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/s64v_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/s64v_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_ras.cc" "tests/CMakeFiles/s64v_tests.dir/test_ras.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_ras.cc.o.d"
+  "/root/repo/tests/test_rename.cc" "tests/CMakeFiles/s64v_tests.dir/test_rename.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_rename.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/s64v_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_reverse_tracer.cc" "tests/CMakeFiles/s64v_tests.dir/test_reverse_tracer.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_reverse_tracer.cc.o.d"
+  "/root/repo/tests/test_rob.cc" "tests/CMakeFiles/s64v_tests.dir/test_rob.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_rob.cc.o.d"
+  "/root/repo/tests/test_rs.cc" "tests/CMakeFiles/s64v_tests.dir/test_rs.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_rs.cc.o.d"
+  "/root/repo/tests/test_shapes.cc" "tests/CMakeFiles/s64v_tests.dir/test_shapes.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_shapes.cc.o.d"
+  "/root/repo/tests/test_smp.cc" "tests/CMakeFiles/s64v_tests.dir/test_smp.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_smp.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/s64v_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_sweeps.cc" "tests/CMakeFiles/s64v_tests.dir/test_sweeps.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_sweeps.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/s64v_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/s64v_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/s64v_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_trace_io.cc" "tests/CMakeFiles/s64v_tests.dir/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_trace_io.cc.o.d"
+  "/root/repo/tests/test_versions.cc" "tests/CMakeFiles/s64v_tests.dir/test_versions.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_versions.cc.o.d"
+  "/root/repo/tests/test_warmup.cc" "tests/CMakeFiles/s64v_tests.dir/test_warmup.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_warmup.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/s64v_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/s64v_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s64v.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
