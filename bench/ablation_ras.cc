@@ -13,12 +13,14 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
+#include "obs/run_obs.hh"
 
 using namespace s64v;
 
 int
-main()
+main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv);
     printHeader("RAS study: throughput retained under error "
                 "correction and cache degradation "
                 "(IPC ratio, base = healthy machine = 100%)");

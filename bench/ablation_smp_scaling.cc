@@ -11,6 +11,7 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
+#include "obs/run_obs.hh"
 
 using namespace s64v;
 
@@ -49,8 +50,9 @@ measure(MachineParams machine, std::size_t n)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv);
     printHeader("Ablation: TPC-C SMP scaling and system balance");
 
     const std::size_t n = smpRunLength();

@@ -12,12 +12,14 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
+#include "obs/run_obs.hh"
 
 using namespace s64v;
 
 int
-main()
+main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv);
     printHeader("Ablation: §3 throughput techniques "
                 "(IPC ratio, base = full SPARC64 V = 100%)");
 

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Linked into every bench binary: a static ScopedBenchRecord times
+ * the whole process and writes BENCH_<name>.json at exit (wall time,
+ * simulated instructions, KIPS). The name comes from the
+ * S64V_BENCH_NAME compile definition set per target in
+ * bench/CMakeLists.txt.
+ */
+
+#include "obs/bench_record.hh"
+
+#ifndef S64V_BENCH_NAME
+#define S64V_BENCH_NAME "bench"
+#endif
+
+namespace
+{
+
+s64v::obs::ScopedBenchRecord g_record(S64V_BENCH_NAME);
+
+} // namespace

@@ -14,12 +14,14 @@
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
 #include "model/breakdown.hh"
+#include "obs/run_obs.hh"
 
 using namespace s64v;
 
 int
-main()
+main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv);
     printHeader("Figure 7. Benchmark characteristics "
                 "(execution-time breakdown)");
 

@@ -10,12 +10,14 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
+#include "obs/run_obs.hh"
 
 using namespace s64v;
 
 int
-main()
+main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv);
     printHeader("Figure 9. Branch history table --- latency vs size "
                 "(IPC ratio, base = 16k-4w.2t = 100%)");
 

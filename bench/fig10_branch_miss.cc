@@ -9,6 +9,7 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
+#include "obs/run_obs.hh"
 
 using namespace s64v;
 
@@ -27,8 +28,9 @@ mispredictRatio(const MachineParams &machine, const std::string &wl)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv);
     printHeader("Figure 10. Branch prediction failures");
 
     const MachineParams big = sparc64vBase();

@@ -10,12 +10,14 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
+#include "obs/run_obs.hh"
 
 using namespace s64v;
 
 int
-main()
+main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv);
     printHeader("Figure 11. L1 cache --- latency vs volume "
                 "(IPC ratio, base = 128k-2w.4c = 100%)");
 

@@ -11,12 +11,14 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
+#include "obs/run_obs.hh"
 
 using namespace s64v;
 
 int
-main()
+main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv);
     printHeader("Figure 14. L2 cache --- latency vs volume "
                 "(IPC ratio, base = on.2m-4w = 100%)");
 

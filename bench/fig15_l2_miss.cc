@@ -8,6 +8,7 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
+#include "obs/run_obs.hh"
 
 using namespace s64v;
 
@@ -28,8 +29,9 @@ l2Miss(const MachineParams &machine, const std::string &wl)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv);
     printHeader("Figure 15. L2 cache miss ratio (demand)");
 
     Table t({"workload", "on.2m-4w", "off.8m-2w", "off.8m-1w"});

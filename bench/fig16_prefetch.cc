@@ -9,12 +9,14 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
+#include "obs/run_obs.hh"
 
 using namespace s64v;
 
 int
-main()
+main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv);
     printHeader("Figure 16. Hardware prefetching impact "
                 "(IPC ratio, base = without prefetch = 100%)");
 

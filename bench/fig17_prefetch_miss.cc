@@ -11,12 +11,14 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
+#include "obs/run_obs.hh"
 
 using namespace s64v;
 
 int
-main()
+main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv);
     printHeader("Figure 17. Hardware prefetching --- L2 cache miss");
 
     Table t({"workload", "with", "with-Demand", "without"});

@@ -11,12 +11,14 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
+#include "obs/run_obs.hh"
 
 using namespace s64v;
 
 int
-main()
+main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv);
     printHeader("Figure 18. Reservation station --- 1RS vs 2RS "
                 "(IPC ratio, base = 1RS = 100%)");
 

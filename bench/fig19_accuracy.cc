@@ -22,12 +22,14 @@
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
 #include "model/versions.hh"
+#include "obs/run_obs.hh"
 
 using namespace s64v;
 
 int
-main()
+main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv);
     const std::size_t n = upRunLength();
     const WorkloadProfile wl_int = workloadByName("SPECint2000");
     const WorkloadProfile wl_fp = workloadByName("SPECfp2000");

@@ -18,6 +18,19 @@ using namespace s64v;
 namespace
 {
 
+/**
+ * Report simulated instructions per host second in KIPS — the unit
+ * the paper uses (§2.1: 7.8 KIPS on a 1-GHz Pentium III).
+ */
+void
+reportKips(benchmark::State &state, std::uint64_t instrs_per_iter)
+{
+    state.counters["KIPS"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * instrs_per_iter) /
+            1000.0,
+        benchmark::Counter::kIsRate);
+}
+
 void
 BM_SimSpeedTpccUp(benchmark::State &state)
 {
@@ -31,6 +44,7 @@ BM_SimSpeedTpccUp(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
         static_cast<std::int64_t>(n));
+    reportKips(state, n);
 }
 
 void
@@ -46,6 +60,7 @@ BM_SimSpeedSpecint(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
         static_cast<std::int64_t>(n));
+    reportKips(state, n);
 }
 
 void
@@ -65,6 +80,7 @@ BM_SimSpeedTpccSmp4(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) * 4 *
         static_cast<std::int64_t>(n));
+    reportKips(state, 4 * n);
 }
 
 void

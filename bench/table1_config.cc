@@ -10,12 +10,14 @@
 
 #include "analysis/report.hh"
 #include "model/params.hh"
+#include "obs/run_obs.hh"
 
 using namespace s64v;
 
 int
-main()
+main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv);
     const MachineParams m = sparc64vBase();
     const CoreParams &c = m.sys.core;
     const MemParams &mem = m.sys.mem;

@@ -5,6 +5,14 @@
  * five-minute tour of the public API.
  *
  * Usage: quickstart [workload=TPC-C] [instrs=100000] [pipeview=N]
+ *                   [--stats-json=out.json] [--trace-out=trace.json]
+ *                   [--sample-out=s.jsonl] [sample-period=N]
+ *                   [heartbeat=N]
+ *
+ * --stats-json writes the full stats tree as JSON and (unless
+ * --sample-out overrides the path) an interval-sample JSONL stream
+ * next to it; --trace-out writes a Chrome trace_events file loadable
+ * in chrome://tracing or Perfetto.
  */
 
 #include <cstdio>
@@ -14,6 +22,7 @@
 #include "cpu/pipeview.hh"
 #include "model/breakdown.hh"
 #include "model/perf_model.hh"
+#include "obs/run_obs.hh"
 #include "workload/generator.hh"
 #include "workload/workloads.hh"
 
@@ -22,8 +31,20 @@ using namespace s64v;
 int
 main(int argc, char **argv)
 {
+    obs::parseObsArgs(argc, argv);
+    obs::ObsOptions &opts = obs::runObsOptions();
+    if (!opts.statsJsonPath.empty() && opts.sampleOutPath.empty())
+        opts.sampleOutPath = opts.statsJsonPath + ".intervals.jsonl";
+
     ConfigMap cfg;
     cfg.parseArgs(argc, argv);
+    // The obs flags came through argv too; consume them so the
+    // unused-option check below stays quiet.
+    for (const char *key :
+         {"--stats-json", "stats-json", "--trace-out", "trace-out",
+          "--sample-out", "sample-out", "--sample-period",
+          "sample-period", "--heartbeat", "heartbeat"})
+        cfg.getString(key, "");
     const std::string wl = cfg.getString("workload", "TPC-C");
     const std::size_t n =
         static_cast<std::size_t>(cfg.getU64("instrs", 100000));
@@ -41,6 +62,10 @@ main(int argc, char **argv)
     const std::size_t pipeview_n =
         static_cast<std::size_t>(cfg.getU64("pipeview", 0));
     const SimResult res = model.run();
+    // The breakdown below runs more models; keep the recorded files
+    // describing THIS run rather than letting them be overwritten.
+    const obs::ObsOptions recorded = opts;
+    opts = obs::ObsOptions{};
 
     std::printf("machine     : %s\n", machine.name.c_str());
     std::printf("workload    : %s (%zu instructions)\n",
@@ -69,6 +94,17 @@ main(int argc, char **argv)
     // 6. Optional pipeline view: run a short trace with a recorder
     //    attached and print the stage-by-stage timeline of the last
     //    N committed instructions.
+    if (!recorded.statsJsonPath.empty()) {
+        std::printf("stats json  : %s\n",
+                    recorded.statsJsonPath.c_str());
+    }
+    if (!recorded.sampleOutPath.empty()) {
+        std::printf("samples     : %s\n",
+                    recorded.sampleOutPath.c_str());
+    }
+    if (!recorded.traceOutPath.empty())
+        std::printf("trace       : %s\n", recorded.traceOutPath.c_str());
+
     if (pipeview_n > 0) {
         PipeviewRecorder recorder(pipeview_n);
         System sys(machine.sys, machine.name + "-pipeview");

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 namespace s64v
@@ -12,6 +13,30 @@ namespace
 
 std::string *logSink = nullptr;
 bool throwOnError = false;
+
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("S64V_LOG_LEVEL");
+    if (!env || !*env)
+        return LogLevel::Info;
+    if (!std::strcmp(env, "0") || !std::strcmp(env, "silent"))
+        return LogLevel::Silent;
+    if (!std::strcmp(env, "1") || !std::strcmp(env, "warn"))
+        return LogLevel::Warn;
+    if (!std::strcmp(env, "2") || !std::strcmp(env, "info"))
+        return LogLevel::Info;
+    std::fprintf(stderr, "warn: unrecognized S64V_LOG_LEVEL '%s'; "
+                 "using info\n", env);
+    return LogLevel::Info;
+}
+
+LogLevel &
+currentLevel()
+{
+    static LogLevel level = levelFromEnv();
+    return level;
+}
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -41,6 +66,18 @@ emit(const char *tag, const std::string &msg)
 }
 
 } // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    currentLevel() = level;
+}
+
+LogLevel
+logLevel()
+{
+    return currentLevel();
+}
 
 void
 setLogSink(std::string *sink)
@@ -83,6 +120,8 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
+    if (currentLevel() < LogLevel::Warn)
+        return;
     va_list ap;
     va_start(ap, fmt);
     emit("warn", vformat(fmt, ap));
@@ -92,6 +131,8 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
+    if (currentLevel() < LogLevel::Info)
+        return;
     va_list ap;
     va_start(ap, fmt);
     emit("info", vformat(fmt, ap));

@@ -16,6 +16,26 @@ namespace s64v
 {
 
 /**
+ * Verbosity of the advisory channels. Errors (panic/fatal) are always
+ * reported; Silent suppresses warn() and inform(), Warn suppresses
+ * only inform(). The initial level comes from the S64V_LOG_LEVEL
+ * environment variable ("silent"/"0", "warn"/"1", "info"/"2"),
+ * defaulting to Info.
+ */
+enum class LogLevel : int
+{
+    Silent = 0,
+    Warn = 1,
+    Info = 2,
+};
+
+/** Override the verbosity picked up from S64V_LOG_LEVEL. */
+void setLogLevel(LogLevel level);
+
+/** Current verbosity. */
+LogLevel logLevel();
+
+/**
  * Abort the process because of an internal model bug. Never returns.
  *
  * @param fmt printf-style format for the diagnostic message.

@@ -1,11 +1,96 @@
 #include "common/stats.hh"
 
+#include <cmath>
 #include <cstdio>
 
 #include "common/logging.hh"
 
 namespace s64v::stats
 {
+
+void
+Distribution::sample(double v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    if (count_ == 0 || v < min_)
+        min_ = v;
+    if (count_ == 0 || v > max_)
+        max_ = v;
+    count_ += n;
+    const double dn = static_cast<double>(n);
+    sum_ += v * dn;
+    sumSq_ += v * v * dn;
+}
+
+double
+Distribution::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double var = sumSq_ / n - (sum_ / n) * (sum_ / n);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = sumSq_ = 0.0;
+    min_ = max_ = 0.0;
+}
+
+void
+Histogram::configure(double lo, double hi, unsigned buckets)
+{
+    if (buckets == 0 || hi <= lo)
+        panic("histogram: bad layout [%g, %g) x %u", lo, hi, buckets);
+    lo_ = lo;
+    hi_ = hi;
+    counts_.assign(buckets, 0);
+    dist_.reset();
+    underflow_ = overflow_ = 0;
+}
+
+double
+Histogram::bucketWidth() const
+{
+    return counts_.empty()
+        ? 0.0 : (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+void
+Histogram::sample(double v, std::uint64_t n)
+{
+    if (counts_.empty())
+        panic("histogram: sample() before configure()");
+    dist_.sample(v, n);
+    if (v < lo_) {
+        underflow_ += n;
+    } else if (v >= hi_) {
+        overflow_ += n;
+    } else {
+        auto i = static_cast<std::size_t>((v - lo_) / bucketWidth());
+        if (i >= counts_.size()) // numeric edge at hi_.
+            i = counts_.size() - 1;
+        counts_[i] += n;
+    }
+}
+
+void
+Histogram::reset()
+{
+    dist_.reset();
+    counts_.assign(counts_.size(), 0);
+    underflow_ = overflow_ = 0;
+}
 
 Group::Group(std::string name, Group *parent)
     : parent_(parent)
@@ -16,6 +101,13 @@ Group::Group(std::string name, Group *parent)
     } else {
         path_ = std::move(name);
     }
+}
+
+std::string
+Group::localName() const
+{
+    const auto dot = path_.rfind('.');
+    return dot == std::string::npos ? path_ : path_.substr(dot + 1);
 }
 
 Scalar &
@@ -32,6 +124,27 @@ Group::formula(const std::string &name, const std::string &desc,
                std::function<double()> fn)
 {
     formulas_[name] = Formula{desc, std::move(fn)};
+}
+
+Distribution &
+Group::distribution(const std::string &name, const std::string &desc)
+{
+    auto [it, inserted] = distributions_.try_emplace(name);
+    if (inserted)
+        it->second.desc = desc;
+    return it->second.dist;
+}
+
+Histogram &
+Group::histogram(const std::string &name, const std::string &desc,
+                 double lo, double hi, unsigned buckets)
+{
+    auto [it, inserted] = histograms_.try_emplace(name);
+    if (inserted) {
+        it->second.desc = desc;
+        it->second.hist.configure(lo, hi, buckets);
+    }
+    return it->second.hist;
 }
 
 const Scalar &
@@ -54,6 +167,16 @@ Group::evaluate(const std::string &name) const
     return it->second.fn();
 }
 
+const Histogram &
+Group::lookupHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        panic("histogram '%s' not found in group '%s'",
+              name.c_str(), path_.c_str());
+    return it->second.hist;
+}
+
 bool
 Group::hasScalar(const std::string &name) const
 {
@@ -65,6 +188,10 @@ Group::resetAll()
 {
     for (auto &[name, entry] : scalars_)
         entry.counter.reset();
+    for (auto &[name, entry] : distributions_)
+        entry.dist.reset();
+    for (auto &[name, entry] : histograms_)
+        entry.hist.reset();
     for (Group *child : children_)
         child->resetAll();
 }
@@ -72,7 +199,7 @@ Group::resetAll()
 void
 Group::dump(std::string &out) const
 {
-    char line[256];
+    char line[320];
     for (const auto &[name, entry] : scalars_) {
         std::snprintf(line, sizeof(line), "%-48s %16llu  # %s\n",
                       (path_ + "." + name).c_str(),
@@ -87,8 +214,59 @@ Group::dump(std::string &out) const
                       f.desc.c_str());
         out += line;
     }
+    for (const auto &[name, d] : distributions_) {
+        std::snprintf(line, sizeof(line),
+                      "%-48s count=%llu mean=%.3f stddev=%.3f "
+                      "min=%.0f max=%.0f  # %s\n",
+                      (path_ + "." + name).c_str(),
+                      static_cast<unsigned long long>(d.dist.count()),
+                      d.dist.mean(), d.dist.stddev(), d.dist.min(),
+                      d.dist.max(), d.desc.c_str());
+        out += line;
+    }
+    for (const auto &[name, h] : histograms_) {
+        const Distribution &d = h.hist.dist();
+        std::snprintf(line, sizeof(line),
+                      "%-48s count=%llu mean=%.3f stddev=%.3f "
+                      "min=%.0f max=%.0f  # %s\n",
+                      (path_ + "." + name).c_str(),
+                      static_cast<unsigned long long>(d.count()),
+                      d.mean(), d.stddev(), d.min(), d.max(),
+                      h.desc.c_str());
+        out += line;
+        for (unsigned i = 0; i < h.hist.numBuckets(); ++i) {
+            if (h.hist.bucketCount(i) == 0)
+                continue;
+            const double b_lo = h.hist.lo() + i * h.hist.bucketWidth();
+            std::snprintf(line, sizeof(line),
+                          "%-48s %16llu  # bucket [%g, %g)\n",
+                          (path_ + "." + name + "::" +
+                           std::to_string(i)).c_str(),
+                          static_cast<unsigned long long>(
+                              h.hist.bucketCount(i)),
+                          b_lo, b_lo + h.hist.bucketWidth());
+            out += line;
+        }
+    }
     for (const Group *child : children_)
         child->dump(out);
+}
+
+void
+Group::visit(Visitor &v) const
+{
+    v.beginGroup(*this);
+    for (const auto &[name, entry] : scalars_)
+        v.visitScalar(*this, name, entry.desc, entry.counter);
+    for (const auto &[name, f] : formulas_)
+        v.visitFormula(*this, name, f.desc, f.fn());
+    for (const auto &[name, d] : distributions_)
+        v.visitDistribution(*this, name, d.desc, d.dist);
+    for (const auto &[name, h] : histograms_)
+        v.visitHistogram(*this, name, h.desc, h.hist);
+    for (const Group *child : children_)
+        child->visit(v);
+    v.endGroup(*this);
 }
 
 } // namespace s64v::stats

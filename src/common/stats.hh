@@ -1,8 +1,10 @@
 /**
  * @file
  * Lightweight statistics package, loosely modelled on gem5's: named
- * scalar counters registered in groups, derived formula values, and a
- * text dump. Every model component owns a StatGroup.
+ * scalar counters registered in groups, derived formula values,
+ * sampled distributions and bucketed histograms, and a text dump.
+ * Every model component owns a StatGroup. Machine-readable output
+ * (JSON, interval deltas) is built on the Visitor API by src/obs/.
  */
 
 #ifndef S64V_COMMON_STATS_HH
@@ -34,6 +36,116 @@ class Scalar
 };
 
 /**
+ * Running moments of a sampled quantity: count, min, max, mean and
+ * standard deviation, without storing individual samples.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /** Record @p n occurrences of the value @p v. */
+    void sample(double v, std::uint64_t n = 1);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const;
+    /** Population standard deviation. */
+    double stddev() const;
+
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A Distribution plus equal-width bucket counts over [lo, hi).
+ * Samples below lo / at or above hi land in the underflow / overflow
+ * buckets, so no sample is ever dropped.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** Set the bucket layout; resets any accumulated samples. */
+    void configure(double lo, double hi, unsigned buckets);
+    bool configured() const { return !counts_.empty(); }
+
+    /** Record @p n occurrences of the value @p v. */
+    void sample(double v, std::uint64_t n = 1);
+
+    const Distribution &dist() const { return dist_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(counts_.size());
+    }
+    double bucketWidth() const;
+    std::uint64_t bucketCount(unsigned i) const { return counts_[i]; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    void reset();
+
+  private:
+    Distribution dist_;
+    double lo_ = 0.0;
+    double hi_ = 0.0;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+class Group;
+
+/**
+ * Read-only traversal of a Group tree. Implement the callbacks you
+ * care about; visitation order within a group is scalars, formulas,
+ * distributions, histograms, then child groups (each map in name
+ * order).
+ */
+class Visitor
+{
+  public:
+    virtual ~Visitor() = default;
+
+    virtual void beginGroup(const Group &g) { (void)g; }
+    virtual void endGroup(const Group &g) { (void)g; }
+    virtual void visitScalar(const Group &g, const std::string &name,
+                             const std::string &desc, const Scalar &s)
+    {
+        (void)g; (void)name; (void)desc; (void)s;
+    }
+    virtual void visitFormula(const Group &g, const std::string &name,
+                              const std::string &desc, double value)
+    {
+        (void)g; (void)name; (void)desc; (void)value;
+    }
+    virtual void visitDistribution(const Group &g,
+                                   const std::string &name,
+                                   const std::string &desc,
+                                   const Distribution &d)
+    {
+        (void)g; (void)name; (void)desc; (void)d;
+    }
+    virtual void visitHistogram(const Group &g, const std::string &name,
+                                const std::string &desc,
+                                const Histogram &h)
+    {
+        (void)g; (void)name; (void)desc; (void)h;
+    }
+};
+
+/**
  * A named collection of counters and derived formulas, optionally
  * nested under a parent group ("cpu0.l1d.hits").
  */
@@ -56,11 +168,26 @@ class Group
     void formula(const std::string &name, const std::string &desc,
                  std::function<double()> fn);
 
+    /** Register a sampled distribution (min/max/mean/stddev). */
+    Distribution &distribution(const std::string &name,
+                               const std::string &desc);
+
+    /**
+     * Register a bucketed histogram over [lo, hi) with @p buckets
+     * equal-width buckets (plus underflow/overflow).
+     */
+    Histogram &histogram(const std::string &name,
+                         const std::string &desc, double lo, double hi,
+                         unsigned buckets);
+
     /** Look up a counter by local name; panics if missing. */
     const Scalar &lookup(const std::string &name) const;
 
     /** Evaluate a formula by local name; panics if missing. */
     double evaluate(const std::string &name) const;
+
+    /** Look up a histogram by local name; panics if missing. */
+    const Histogram &lookupHistogram(const std::string &name) const;
 
     /** @return true if a counter with this local name exists. */
     bool hasScalar(const std::string &name) const;
@@ -71,11 +198,17 @@ class Group
     /** Full dotted path of this group. */
     const std::string &path() const { return path_; }
 
+    /** Local (last path component) name of this group. */
+    std::string localName() const;
+
     /**
      * Append a human-readable dump of this group and all children to
      * @p out, one "path value # desc" line per stat.
      */
     void dump(std::string &out) const;
+
+    /** Walk this group and all children with @p v. */
+    void visit(Visitor &v) const;
 
   private:
     struct Entry
@@ -88,12 +221,24 @@ class Group
         std::string desc;
         std::function<double()> fn;
     };
+    struct DistEntry
+    {
+        std::string desc;
+        Distribution dist;
+    };
+    struct HistEntry
+    {
+        std::string desc;
+        Histogram hist;
+    };
 
     std::string path_;
     Group *parent_;
     std::vector<Group *> children_;
     std::map<std::string, Entry> scalars_;
     std::map<std::string, Formula> formulas_;
+    std::map<std::string, DistEntry> distributions_;
+    std::map<std::string, HistEntry> histograms_;
 };
 
 } // namespace s64v::stats

@@ -36,7 +36,16 @@ Core::Core(const CoreParams &params, CpuId cpu, MemSystem &mem,
       commitIdleCycles_(statGroup_.scalar("commit_idle_cycles",
                                           "cycles with work in the "
                                           "window but nothing to "
-                                          "commit"))
+                                          "commit")),
+      windowOccupancy_(statGroup_.histogram(
+          "window_occupancy",
+          "instruction-window (ROB) entries held, sampled per cycle",
+          0.0, static_cast<double>(params.windowEntries) + 1.0,
+          std::min(params.windowEntries + 1, 16u))),
+      fetchToCommit_(statGroup_.histogram(
+          "fetch_to_commit",
+          "cycles from window entry to retirement",
+          0.0, 256.0, 32))
 {
     bpred_ = std::make_unique<BranchPredictor>(params_.bpred,
                                                &statGroup_);
@@ -197,6 +206,8 @@ Core::commitStage(Cycle cycle)
             ++committedStores_;
         if (e.rec.isBranch())
             ++committedBranches_;
+        fetchToCommit_.sample(
+            static_cast<double>(cycle - e.issueCycle));
         lastCommitCycle_ = cycle;
         if (pipeview_) {
             PipeRecord pr;
@@ -535,6 +546,11 @@ Core::issueStage(Cycle cycle)
 void
 Core::tick(Cycle cycle)
 {
+    windowOccupancy_.sample(static_cast<double>(window_.size()));
+    for (const auto &station : rs_) {
+        if (station)
+            station->sampleOccupancy();
+    }
     commitStage(cycle);
     lsq_->tick(cycle);
     loadCompletionStage(cycle);

@@ -145,6 +145,8 @@ class Core
     stats::Scalar &fetchEmptyStalls_;
     stats::Scalar &serializeStalls_;
     stats::Scalar &commitIdleCycles_;
+    stats::Histogram &windowOccupancy_;
+    stats::Histogram &fetchToCommit_;
 };
 
 } // namespace s64v

@@ -13,6 +13,12 @@ LoadStoreQueue::LoadStoreQueue(const CoreParams &params, CpuId cpu,
       loads_(params.loadQueueEntries),
       stores_(params.storeQueueEntries),
       statGroup_("lsq", parent),
+      lqOccupancy_(statGroup_.distribution("lq_occupancy",
+                                           "load-queue entries held, "
+                                           "sampled per cycle")),
+      sqOccupancy_(statGroup_.distribution("sq_occupancy",
+                                           "store-queue entries held, "
+                                           "sampled per cycle")),
       loadIssues_(statGroup_.scalar("load_issues",
                                     "loads sent to the L1D")),
       storeIssues_(statGroup_.scalar("store_issues",
@@ -117,6 +123,13 @@ LoadStoreQueue::oldestStore() const
 void
 LoadStoreQueue::tick(Cycle cycle)
 {
+    lqOccupancy_.sample(static_cast<double>(
+        std::count_if(loads_.begin(), loads_.end(),
+                      [](const LsqEntry &e) { return e.valid; })));
+    sqOccupancy_.sample(static_cast<double>(
+        std::count_if(stores_.begin(), stores_.end(),
+                      [](const LsqEntry &e) { return e.valid; })));
+
     // Release completed stores in order (FIFO retirement of the SQ).
     for (;;) {
         const std::int32_t head = oldestStore();

@@ -114,6 +114,8 @@ class LoadStoreQueue
     std::vector<LoadCompletion> completedLoads_;
 
     stats::Group statGroup_;
+    stats::Distribution &lqOccupancy_;
+    stats::Distribution &sqOccupancy_;
     stats::Scalar &loadIssues_;
     stats::Scalar &storeIssues_;
     stats::Scalar &bankConflicts_;

@@ -18,7 +18,10 @@ ReservationStation::ReservationStation(const std::string &name,
       dispatches_(statGroup_.scalar("dispatches",
                                     "dispatches to execution")),
       fullStalls_(statGroup_.scalar("full_stalls",
-                                    "issue stalls: station full"))
+                                    "issue stalls: station full")),
+      occupancy_(statGroup_.distribution("occupancy",
+                                         "entries held, sampled per "
+                                         "cycle"))
 {
     if (entries_ == 0 || dispatchWidth_ == 0)
         fatal("reservation station '%s': bad parameters",

@@ -64,6 +64,19 @@ class ReservationStation
     /** Count a dispatch made from this station. */
     void noteDispatch() { ++dispatches_; }
 
+    /**
+     * Record the current occupancy into the occupancy distribution;
+     * the core calls this once per cycle (the Figure 18 study reads
+     * station pressure off these numbers).
+     */
+    void sampleOccupancy() { occupancy_.sample(double(seqs_.size())); }
+
+    /** Occupancy distribution accessor for tests and reports. */
+    const stats::Distribution &occupancyDist() const
+    {
+        return occupancy_;
+    }
+
   private:
     unsigned entries_;
     unsigned dispatchWidth_;
@@ -73,6 +86,7 @@ class ReservationStation
     stats::Scalar &inserts_;
     stats::Scalar &dispatches_;
     stats::Scalar &fullStalls_;
+    stats::Distribution &occupancy_;
 
   public:
     /** Count an issue stall caused by this station being full. */

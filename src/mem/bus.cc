@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/chrome_trace.hh"
 
 namespace s64v
 {
@@ -16,20 +17,41 @@ Bus::Bus(const BusParams &params, const std::string &name,
                                     "cycles the bus was occupied")),
       conflictCycles_(statGroup_.scalar("conflict_cycles",
                                         "cycles requests waited for "
-                                        "the bus"))
+                                        "the bus")),
+      queueDelay_(statGroup_.distribution(
+          "queue_delay",
+          "cycles a request waited before its bus phase started"))
 {
     if (params_.bytesPerCycle == 0)
         fatal("bus '%s': zero bandwidth", name.c_str());
 }
 
+void
+Bus::attachTrace(obs::ChromeTraceWriter *writer)
+{
+    trace_ = writer;
+    if (trace_) {
+        dataTid_ = trace_->track(obs::ChromeTraceWriter::kMemPid,
+                                 statGroup_.path() + ".data");
+        addrTid_ = trace_->track(obs::ChromeTraceWriter::kMemPid,
+                                 statGroup_.path() + ".addr");
+    }
+}
+
 Cycle
-Bus::occupy(Cycle *busy_until, Cycle cycle, Cycle duration)
+Bus::occupy(Cycle *busy_until, Cycle cycle, Cycle duration,
+            unsigned trace_tid)
 {
     ++transactions_;
     const Cycle start = std::max(cycle, *busy_until);
     conflictCycles_ += start - cycle;
+    queueDelay_.sample(static_cast<double>(start - cycle));
     busyCycles_ += duration;
     *busy_until = start + duration;
+    if (trace_) {
+        trace_->span(obs::ChromeTraceWriter::kMemPid, trace_tid,
+                     "xfer", "bus", start, start + duration);
+    }
     return *busy_until;
 }
 
@@ -38,13 +60,14 @@ Bus::transfer(Cycle cycle, unsigned bytes)
 {
     const Cycle duration =
         (bytes + params_.bytesPerCycle - 1) / params_.bytesPerCycle;
-    return occupy(&dataBusyUntil_, cycle, duration);
+    return occupy(&dataBusyUntil_, cycle, duration, dataTid_);
 }
 
 Cycle
 Bus::command(Cycle cycle)
 {
-    return occupy(&addrBusyUntil_, cycle, params_.requestLatency);
+    return occupy(&addrBusyUntil_, cycle, params_.requestLatency,
+                  addrTid_);
 }
 
 } // namespace s64v

@@ -16,6 +16,8 @@
 namespace s64v
 {
 
+namespace obs { class ChromeTraceWriter; }
+
 /** Shared system bus with occupancy accounting. */
 class Bus
 {
@@ -48,8 +50,21 @@ class Bus
         return conflictCycles_.value();
     }
 
+    /** Per-request wait-for-the-bus distribution. */
+    const stats::Distribution &queueDelayDist() const
+    {
+        return queueDelay_;
+    }
+
+    /**
+     * Record every bus occupancy span into @p writer (data and
+     * address phases on separate tracks). Pass nullptr to detach.
+     */
+    void attachTrace(obs::ChromeTraceWriter *writer);
+
   private:
-    Cycle occupy(Cycle *busy_until, Cycle cycle, Cycle duration);
+    Cycle occupy(Cycle *busy_until, Cycle cycle, Cycle duration,
+                 unsigned trace_tid);
 
     BusParams params_;
     /**
@@ -60,10 +75,15 @@ class Bus
     Cycle addrBusyUntil_ = 0;
     Cycle dataBusyUntil_ = 0;
 
+    obs::ChromeTraceWriter *trace_ = nullptr;
+    unsigned dataTid_ = 0;
+    unsigned addrTid_ = 0;
+
     stats::Group statGroup_;
     stats::Scalar &transactions_;
     stats::Scalar &busyCycles_;
     stats::Scalar &conflictCycles_;
+    stats::Distribution &queueDelay_;
 };
 
 } // namespace s64v

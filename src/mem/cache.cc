@@ -1,9 +1,11 @@
 #include "mem/cache.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "obs/chrome_trace.hh"
 
 namespace s64v
 {
@@ -196,10 +198,26 @@ TimedCache::TimedCache(const CacheParams &params, stats::Group *parent)
                                       "misses excluding prefetches")),
       invalidations_(statGroup_.scalar("invalidations",
                                        "lines invalidated by "
-                                       "coherence"))
+                                       "coherence")),
+      mshrOccupancy_(statGroup_.histogram(
+          "mshr_occupancy", "in-flight fills, sampled per lookup",
+          0.0, static_cast<double>(params.mshrs) + 1.0,
+          params.mshrs + 1)),
+      mshrResidency_(statGroup_.distribution(
+          "mshr_residency", "cycles a miss held its MSHR"))
 {
     statGroup_.formula("miss_ratio", "misses / accesses",
                        [this] { return missRatio(); });
+}
+
+void
+TimedCache::attachTrace(obs::ChromeTraceWriter *writer)
+{
+    trace_ = writer;
+    if (trace_) {
+        traceTid_ = trace_->track(obs::ChromeTraceWriter::kMemPid,
+                                  statGroup_.path());
+    }
 }
 
 void
@@ -224,6 +242,7 @@ TimedCache::lookup(Addr addr, bool is_write, Cycle cycle)
     // already (fill() installs eagerly); such accesses merge with the
     // outstanding MSHR rather than hitting.
     expireMshrs(cycle);
+    mshrOccupancy_.sample(static_cast<double>(inflight_.size()));
     if (auto it = inflight_.find(line); it != inflight_.end()) {
         ++misses_;
         ++mshrMerges_;
@@ -255,6 +274,12 @@ TimedCache::lookup(Addr addr, bool is_write, Cycle cycle)
         ++mshrFullStalls_;
         start = std::max(start, mshrAvailable(cycle));
     }
+    // Every new miss is normally paired with a fill() that erases the
+    // entry; the size guard protects against callers that abandon
+    // requests.
+    if (missStart_.size() > 4096)
+        missStart_.clear();
+    missStart_[line] = cycle;
     res.ready = start;
     return res;
 }
@@ -264,6 +289,19 @@ TimedCache::fill(Addr addr, Cycle ready, bool dirty, bool prefetched)
 {
     const Addr line = alignDown(addr, kLineSize);
     inflight_[line] = ready;
+    if (auto it = missStart_.find(line); it != missStart_.end()) {
+        const Cycle start = it->second;
+        if (ready > start)
+            mshrResidency_.sample(static_cast<double>(ready - start));
+        if (trace_) {
+            char name[40];
+            std::snprintf(name, sizeof(name), "miss 0x%llx",
+                          static_cast<unsigned long long>(line));
+            trace_->span(obs::ChromeTraceWriter::kMemPid, traceTid_,
+                         name, "mem", start, ready);
+        }
+        missStart_.erase(it);
+    }
     return array_.insert(addr, dirty, prefetched);
 }
 

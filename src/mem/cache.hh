@@ -19,6 +19,8 @@
 namespace s64v
 {
 
+namespace obs { class ChromeTraceWriter; }
+
 /** Outcome of inserting a line: what (if anything) was evicted. */
 struct Eviction
 {
@@ -136,6 +138,12 @@ class TimedCache
     /** Earliest cycle an MSHR frees up, given the current set. */
     Cycle mshrAvailable(Cycle cycle);
 
+    /**
+     * Record miss-fill spans into @p writer (one track per cache,
+     * named after the stat path). Pass nullptr to detach.
+     */
+    void attachTrace(obs::ChromeTraceWriter *writer);
+
     /** @return true if a fill for this line is still in flight. */
     bool pending(Addr addr, Cycle cycle);
 
@@ -190,6 +198,11 @@ class TimedCache
     CacheParams params_;
     CacheArray array_;
     std::map<Addr, Cycle> inflight_; ///< line addr -> fill-done cycle.
+    /** Line addr -> cycle its (new) miss was discovered. */
+    std::map<Addr, Cycle> missStart_;
+
+    obs::ChromeTraceWriter *trace_ = nullptr;
+    unsigned traceTid_ = 0;
 
     stats::Group statGroup_;
     ErrorProcess errors_;
@@ -203,6 +216,8 @@ class TimedCache
     stats::Scalar &demandAccesses_;
     stats::Scalar &demandMisses_;
     stats::Scalar &invalidations_;
+    stats::Histogram &mshrOccupancy_;
+    stats::Distribution &mshrResidency_;
 };
 
 } // namespace s64v

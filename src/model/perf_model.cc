@@ -1,16 +1,35 @@
 #include "model/perf_model.hh"
 
 #include "common/logging.hh"
+#include "obs/bench_record.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/heartbeat.hh"
+#include "obs/run_obs.hh"
+#include "obs/sampler.hh"
+#include "obs/stats_export.hh"
 #include "workload/generator.hh"
 
 namespace s64v
 {
+
+namespace
+{
+
+/** Default sampling period when an output is requested without one. */
+constexpr std::uint64_t kDefaultSamplePeriod = 10'000;
+
+/** Pipeview depth per core when exporting a Chrome trace. */
+constexpr std::size_t kTracePipeviewCapacity = 4096;
+
+} // namespace
 
 PerfModel::PerfModel(MachineParams params)
     : params_(std::move(params))
 {
     traces_.resize(params_.sys.numCpus);
 }
+
+PerfModel::~PerfModel() = default;
 
 void
 PerfModel::loadWorkload(const WorkloadProfile &profile,
@@ -32,18 +51,97 @@ PerfModel::loadTrace(CpuId cpu, InstrTrace trace)
     traces_[cpu] = std::move(trace);
 }
 
-SimResult
-PerfModel::run()
+System &
+PerfModel::prepare()
 {
     for (CpuId cpu = 0; cpu < traces_.size(); ++cpu) {
         if (traces_[cpu].empty())
             fatal("cpu %u has no trace; call loadWorkload/loadTrace",
                   cpu);
     }
-    system_ = std::make_unique<System>(params_.sys, params_.name);
+
+    const obs::ObsOptions &opts = obs::runObsOptions();
+    SystemParams sys = params_.sys;
+    if (!opts.sampleOutPath.empty() && sys.samplePeriod == 0) {
+        sys.samplePeriod = opts.samplePeriod ? opts.samplePeriod
+                                             : kDefaultSamplePeriod;
+    }
+    if (opts.heartbeatPeriod != 0 && sys.heartbeatPeriod == 0)
+        sys.heartbeatPeriod = opts.heartbeatPeriod;
+
+    system_ = std::make_unique<System>(sys, params_.name);
     for (CpuId cpu = 0; cpu < traces_.size(); ++cpu)
         system_->attachTrace(cpu, traces_[cpu]);
-    return system_->run();
+    attachObservers();
+    return *system_;
+}
+
+void
+PerfModel::attachObservers()
+{
+    const obs::ObsOptions &opts = obs::runObsOptions();
+    const SystemParams &sys = system_->params();
+
+    sampler_.reset();
+    if (sys.samplePeriod != 0 && !opts.sampleOutPath.empty()) {
+        sampler_ = std::make_unique<obs::IntervalSampler>(
+            system_->root(), sys.samplePeriod);
+        if (sampler_->openFile(opts.sampleOutPath))
+            system_->attachSampler(sampler_.get());
+        else
+            sampler_.reset();
+    }
+
+    heartbeat_.reset();
+    if (sys.heartbeatPeriod != 0) {
+        std::uint64_t expected = 0;
+        for (const InstrTrace &t : traces_)
+            expected += t.size();
+        heartbeat_ = std::make_unique<obs::Heartbeat>(expected);
+        system_->attachHeartbeat(heartbeat_.get());
+    }
+
+    trace_.reset();
+    pipeviews_.clear();
+    if (!opts.traceOutPath.empty()) {
+        trace_ = std::make_unique<obs::ChromeTraceWriter>();
+        MemSystem &mem = system_->mem();
+        mem.bus().attachTrace(trace_.get());
+        for (CpuId cpu = 0; cpu < mem.numCpus(); ++cpu) {
+            mem.l1i(cpu).attachTrace(trace_.get());
+            mem.l1d(cpu).attachTrace(trace_.get());
+            mem.l2(cpu).attachTrace(trace_.get());
+        }
+        for (CpuId cpu = 0; cpu < traces_.size(); ++cpu) {
+            pipeviews_.push_back(std::make_unique<PipeviewRecorder>(
+                kTracePipeviewCapacity));
+            system_->core(cpu).attachPipeview(pipeviews_.back().get());
+        }
+    }
+}
+
+void
+PerfModel::finishObservers(const SimResult &res)
+{
+    const obs::ObsOptions &opts = obs::runObsOptions();
+    if (trace_) {
+        for (CpuId cpu = 0; cpu < pipeviews_.size(); ++cpu)
+            trace_->addPipeview(static_cast<int>(cpu),
+                                *pipeviews_[cpu]);
+        trace_->writeFile(opts.traceOutPath);
+    }
+    if (!opts.statsJsonPath.empty())
+        obs::writeStatsJson(system_->root(), opts.statsJsonPath);
+    obs::addBenchInstructions(res.instructions);
+}
+
+SimResult
+PerfModel::run()
+{
+    System &sys = prepare();
+    SimResult res = sys.run();
+    finishObservers(res);
+    return res;
 }
 
 System &

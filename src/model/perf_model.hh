@@ -18,14 +18,28 @@
 namespace s64v
 {
 
+namespace obs
+{
+class ChromeTraceWriter;
+class Heartbeat;
+class IntervalSampler;
+} // namespace obs
+
 /**
  * One configured performance model. A PerfModel owns its traces; each
  * run() builds a fresh System so the same model can be re-run.
+ *
+ * Observability: run() consults the process-wide obs::runObsOptions()
+ * (populated by obs::parseObsArgs from any entry point's argv) and
+ * attaches the matching observers — interval sampler, heartbeat,
+ * Chrome-trace writer — to the System it builds, then writes the
+ * stats-JSON / trace files after the run.
  */
 class PerfModel
 {
   public:
     explicit PerfModel(MachineParams params);
+    ~PerfModel();
 
     /**
      * Synthesize traces for every CPU from @p profile
@@ -36,6 +50,13 @@ class PerfModel
 
     /** Attach a pre-built trace to one CPU. */
     void loadTrace(CpuId cpu, InstrTrace trace);
+
+    /**
+     * Build a fresh system with traces and observers attached but do
+     * not run it. run() calls this; tests and tools can use it to
+     * inspect or tweak the system before running.
+     */
+    System &prepare();
 
     /** Build a fresh system, run it, keep it for inspection. */
     SimResult run();
@@ -53,9 +74,19 @@ class PerfModel
                               std::size_t instrs_per_cpu);
 
   private:
+    void attachObservers();
+    void finishObservers(const SimResult &res);
+
     MachineParams params_;
     std::vector<InstrTrace> traces_;
     std::unique_ptr<System> system_;
+
+    /** Observers for the current system (see obs::runObsOptions). @{ */
+    std::unique_ptr<obs::IntervalSampler> sampler_;
+    std::unique_ptr<obs::Heartbeat> heartbeat_;
+    std::unique_ptr<obs::ChromeTraceWriter> trace_;
+    std::vector<std::unique_ptr<PipeviewRecorder>> pipeviews_;
+    /** @} */
 };
 
 } // namespace s64v

@@ -1,0 +1,84 @@
+#include "obs/bench_record.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace s64v::obs
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> benchInstrs{0};
+
+double
+nowSeconds()
+{
+    using Clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+void
+addBenchInstructions(std::uint64_t n)
+{
+    benchInstrs.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t
+benchInstructions()
+{
+    return benchInstrs.load(std::memory_order_relaxed);
+}
+
+bool
+writeBenchRecord(const std::string &name, double wall_seconds)
+{
+    const char *gate = std::getenv("S64V_BENCH_JSON");
+    if (gate && !std::strcmp(gate, "0"))
+        return false;
+
+    const char *dir = std::getenv("S64V_BENCH_DIR");
+    const std::string path = std::string(dir && *dir ? dir : ".") +
+        "/BENCH_" + name + ".json";
+
+    const std::uint64_t instrs = benchInstructions();
+    JsonWriter w;
+    w.beginObject();
+    w.field("bench", name);
+    w.field("wall_seconds", wall_seconds);
+    w.field("instructions", instrs);
+    w.field("kips", wall_seconds > 0.0
+            ? static_cast<double>(instrs) / wall_seconds / 1000.0
+            : 0.0);
+    w.end();
+
+    std::ofstream f(path);
+    if (!f) {
+        warn("cannot write bench record to '%s'", path.c_str());
+        return false;
+    }
+    f << w.str() << '\n';
+    return true;
+}
+
+ScopedBenchRecord::ScopedBenchRecord(std::string name)
+    : name_(std::move(name)), startSeconds_(nowSeconds())
+{
+}
+
+ScopedBenchRecord::~ScopedBenchRecord()
+{
+    writeBenchRecord(name_, nowSeconds() - startSeconds_);
+}
+
+} // namespace s64v::obs

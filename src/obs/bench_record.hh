@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Benchmark perf records: every bench binary writes a
+ * BENCH_<name>.json file (wall time, instructions simulated, sim
+ * speed in KIPS) at exit, establishing the repo's benchmark
+ * trajectory without scraping stdout. The instruction counter is fed
+ * by PerfModel::run(), so any harness built on the model facade is
+ * covered automatically.
+ */
+
+#ifndef S64V_OBS_BENCH_RECORD_HH
+#define S64V_OBS_BENCH_RECORD_HH
+
+#include <cstdint>
+#include <string>
+
+namespace s64v::obs
+{
+
+/** Count @p n simulated instructions toward this process's record. */
+void addBenchInstructions(std::uint64_t n);
+
+/** Instructions counted so far in this process. */
+std::uint64_t benchInstructions();
+
+/**
+ * Write BENCH_<name>.json describing this process's run. Files go to
+ * $S64V_BENCH_DIR (or the working directory); setting S64V_BENCH_JSON
+ * to "0" disables the write.
+ * @return false when disabled or the file cannot be written.
+ */
+bool writeBenchRecord(const std::string &name, double wall_seconds);
+
+/**
+ * RAII helper for bench mains: times from construction to
+ * destruction, then writes the record.
+ */
+class ScopedBenchRecord
+{
+  public:
+    explicit ScopedBenchRecord(std::string name);
+    ~ScopedBenchRecord();
+
+    ScopedBenchRecord(const ScopedBenchRecord &) = delete;
+    ScopedBenchRecord &operator=(const ScopedBenchRecord &) = delete;
+
+  private:
+    std::string name_;
+    double startSeconds_;
+};
+
+} // namespace s64v::obs
+
+#endif // S64V_OBS_BENCH_RECORD_HH

@@ -1,0 +1,50 @@
+#include "obs/heartbeat.hh"
+
+#include "common/logging.hh"
+
+namespace s64v::obs
+{
+
+Heartbeat::Heartbeat(std::uint64_t expected_instrs)
+    : expectedInstrs_(expected_instrs), start_(Clock::now()),
+      lastWall_(start_)
+{
+}
+
+void
+Heartbeat::beat(Cycle cycle, std::uint64_t instrs)
+{
+    const Clock::time_point now = Clock::now();
+    const double dt =
+        std::chrono::duration<double>(now - lastWall_).count();
+    const std::uint64_t delta = instrs >= lastInstrs_
+        ? instrs - lastInstrs_ : 0;
+    lastKips_ = dt > 0.0
+        ? static_cast<double>(delta) / dt / 1000.0 : 0.0;
+    const double ipc = cycle
+        ? static_cast<double>(instrs) / static_cast<double>(cycle)
+        : 0.0;
+
+    if (expectedInstrs_ > instrs && lastKips_ > 0.0) {
+        const double eta =
+            static_cast<double>(expectedInstrs_ - instrs) /
+            (lastKips_ * 1000.0);
+        inform("heartbeat: cycle %llu, %llu instrs, ipc %.3f, "
+               "%.1f KIPS, eta %.1fs",
+               static_cast<unsigned long long>(cycle),
+               static_cast<unsigned long long>(instrs), ipc,
+               lastKips_, eta);
+    } else {
+        inform("heartbeat: cycle %llu, %llu instrs, ipc %.3f, "
+               "%.1f KIPS",
+               static_cast<unsigned long long>(cycle),
+               static_cast<unsigned long long>(instrs), ipc,
+               lastKips_);
+    }
+
+    lastWall_ = now;
+    lastInstrs_ = instrs;
+    ++beats_;
+}
+
+} // namespace s64v::obs

@@ -1,0 +1,191 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace s64v::obs
+{
+
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::comma()
+{
+    if (!open_.empty()) {
+        if (open_.back().needComma)
+            out_ += ',';
+        open_.back().needComma = true;
+    }
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    comma();
+    out_ += '"';
+    out_ += escapeJson(k);
+    out_ += "\":";
+}
+
+std::string
+JsonWriter::fmt(double v)
+{
+    // JSON has no NaN/Inf literal; clamp to null-adjacent zero.
+    if (!std::isfinite(v))
+        return "0";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+void
+JsonWriter::beginObject()
+{
+    comma();
+    out_ += '{';
+    open_.push_back(Frame{false, '}'});
+}
+
+void
+JsonWriter::beginObject(const std::string &k)
+{
+    key(k);
+    out_ += '{';
+    open_.push_back(Frame{false, '}'});
+}
+
+void
+JsonWriter::beginArray()
+{
+    comma();
+    out_ += '[';
+    open_.push_back(Frame{false, ']'});
+}
+
+void
+JsonWriter::beginArray(const std::string &k)
+{
+    key(k);
+    out_ += '[';
+    open_.push_back(Frame{false, ']'});
+}
+
+void
+JsonWriter::end()
+{
+    if (open_.empty())
+        panic("JsonWriter::end() with no open container");
+    out_ += open_.back().closer;
+    open_.pop_back();
+}
+
+void
+JsonWriter::field(const std::string &k, const std::string &v)
+{
+    key(k);
+    out_ += '"';
+    out_ += escapeJson(v);
+    out_ += '"';
+}
+
+void
+JsonWriter::field(const std::string &k, const char *v)
+{
+    field(k, std::string(v));
+}
+
+void
+JsonWriter::field(const std::string &k, double v)
+{
+    key(k);
+    out_ += fmt(v);
+}
+
+void
+JsonWriter::field(const std::string &k, std::uint64_t v)
+{
+    key(k);
+    out_ += std::to_string(v);
+}
+
+void
+JsonWriter::field(const std::string &k, std::int64_t v)
+{
+    key(k);
+    out_ += std::to_string(v);
+}
+
+void
+JsonWriter::field(const std::string &k, bool v)
+{
+    key(k);
+    out_ += v ? "true" : "false";
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    comma();
+    out_ += '"';
+    out_ += escapeJson(v);
+    out_ += '"';
+}
+
+void
+JsonWriter::value(double v)
+{
+    comma();
+    out_ += fmt(v);
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    comma();
+    out_ += std::to_string(v);
+}
+
+void
+JsonWriter::raw(const std::string &k, const std::string &json)
+{
+    key(k);
+    out_ += json;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    if (!open_.empty())
+        panic("JsonWriter::str() with %zu unclosed containers",
+              open_.size());
+    return out_;
+}
+
+} // namespace s64v::obs

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for the observability layer. No
+ * external dependency: the model only ever *emits* JSON (stats
+ * exports, interval samples, Chrome trace events), so a push-style
+ * writer with automatic comma handling is all we need.
+ */
+
+#ifndef S64V_OBS_JSON_HH
+#define S64V_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s64v::obs
+{
+
+/**
+ * Escape @p s for inclusion inside a JSON string literal (quotes,
+ * backslashes, control characters). The returned text excludes the
+ * surrounding quotes.
+ */
+std::string escapeJson(const std::string &s);
+
+/**
+ * Incremental JSON builder. Containers are opened with
+ * beginObject()/beginArray() (keyed variants inside objects) and
+ * closed with end(); commas between siblings are inserted
+ * automatically. The result is retrieved with str() once every
+ * container is closed.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter() = default;
+
+    /** Open containers. Keyed forms are for use inside objects. @{ */
+    void beginObject();
+    void beginObject(const std::string &key);
+    void beginArray();
+    void beginArray(const std::string &key);
+    /** @} */
+
+    /** Close the innermost open container. */
+    void end();
+
+    /** Keyed scalar fields (inside an object). @{ */
+    void field(const std::string &key, const std::string &value);
+    void field(const std::string &key, const char *value);
+    void field(const std::string &key, double value);
+    void field(const std::string &key, std::uint64_t value);
+    void field(const std::string &key, std::int64_t value);
+    void field(const std::string &key, bool value);
+    /** @} */
+
+    /** Unkeyed scalar values (inside an array). @{ */
+    void value(const std::string &v);
+    void value(double v);
+    void value(std::uint64_t v);
+    /** @} */
+
+    /**
+     * Splice @p json — a pre-rendered JSON value — verbatim under
+     * @p key. The caller guarantees its validity.
+     */
+    void raw(const std::string &key, const std::string &json);
+
+    /** @return the document; panics if a container is still open. */
+    const std::string &str() const;
+
+    /** Nesting depth (0 when the document is complete). */
+    std::size_t depth() const { return open_.size(); }
+
+  private:
+    struct Frame
+    {
+        bool needComma = false;
+        char closer = '}';
+    };
+
+    void comma();
+    void key(const std::string &k);
+    static std::string fmt(double v);
+
+    std::string out_;
+    std::vector<Frame> open_; ///< one frame per open container.
+};
+
+} // namespace s64v::obs
+
+#endif // S64V_OBS_JSON_HH

@@ -1,0 +1,53 @@
+#include "obs/run_obs.hh"
+
+#include <cstdlib>
+
+namespace s64v::obs
+{
+
+ObsOptions &
+runObsOptions()
+{
+    static ObsOptions options;
+    return options;
+}
+
+namespace
+{
+
+/** "--key=" or "key=" prefix match; @return the value or nullptr. */
+const char *
+matchFlag(const std::string &arg, const char *name)
+{
+    std::string token = arg;
+    if (token.rfind("--", 0) == 0)
+        token = token.substr(2);
+    const std::string prefix = std::string(name) + "=";
+    if (token.rfind(prefix, 0) == 0)
+        return arg.c_str() + (arg.size() - token.size()) +
+            prefix.size();
+    return nullptr;
+}
+
+} // namespace
+
+void
+parseObsArgs(int argc, const char *const *argv)
+{
+    ObsOptions &opts = runObsOptions();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (const char *v = matchFlag(arg, "stats-json"))
+            opts.statsJsonPath = v;
+        else if (const char *v = matchFlag(arg, "trace-out"))
+            opts.traceOutPath = v;
+        else if (const char *v = matchFlag(arg, "sample-out"))
+            opts.sampleOutPath = v;
+        else if (const char *v = matchFlag(arg, "sample-period"))
+            opts.samplePeriod = std::strtoull(v, nullptr, 0);
+        else if (const char *v = matchFlag(arg, "heartbeat"))
+            opts.heartbeatPeriod = std::strtoull(v, nullptr, 0);
+    }
+}
+
+} // namespace s64v::obs

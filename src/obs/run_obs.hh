@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Process-wide observability options. Every entry point (quickstart,
+ * the per-figure bench harnesses, the examples) accepts the same
+ * flags — --stats-json=<path>, --trace-out=<path>,
+ * --sample-out=<path>, sample-period=N, heartbeat=N — parsed once
+ * into this global; PerfModel::run() consults it and attaches the
+ * matching observers to every System it builds.
+ */
+
+#ifndef S64V_OBS_RUN_OBS_HH
+#define S64V_OBS_RUN_OBS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace s64v::obs
+{
+
+/** What to record during model runs, and where to put it. */
+struct ObsOptions
+{
+    /** End-of-run stats tree as JSON (empty = off). */
+    std::string statsJsonPath;
+    /** Chrome trace_events file (empty = off). */
+    std::string traceOutPath;
+    /** Interval-sample JSONL stream (empty = off). */
+    std::string sampleOutPath;
+    /** Cycles between interval samples (0 = default when enabled). */
+    std::uint64_t samplePeriod = 0;
+    /** Cycles between heartbeat lines (0 = off). */
+    std::uint64_t heartbeatPeriod = 0;
+
+    bool any() const
+    {
+        return !statsJsonPath.empty() || !traceOutPath.empty() ||
+            !sampleOutPath.empty() || heartbeatPeriod != 0;
+    }
+};
+
+/** The process-wide options PerfModel::run() consults. */
+ObsOptions &runObsOptions();
+
+/**
+ * Parse the observability flags out of @p argv into runObsOptions().
+ * Recognizes "--stats-json=", "--trace-out=", "--sample-out=" (also
+ * without the leading dashes, ConfigMap style), "sample-period=" and
+ * "heartbeat="; everything else is left for the caller.
+ */
+void parseObsArgs(int argc, const char *const *argv);
+
+} // namespace s64v::obs
+
+#endif // S64V_OBS_RUN_OBS_HH

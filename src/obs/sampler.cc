@@ -1,0 +1,129 @@
+#include "obs/sampler.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace s64v::obs
+{
+
+namespace
+{
+
+/** Collects a pointer to every scalar in the tree. */
+class WatchCollector : public stats::Visitor
+{
+  public:
+    explicit WatchCollector(
+        std::vector<std::pair<std::string, const stats::Scalar *>> &out)
+        : out_(out)
+    {
+    }
+
+    void visitScalar(const stats::Group &g, const std::string &name,
+                     const std::string &desc,
+                     const stats::Scalar &s) override
+    {
+        (void)desc;
+        out_.emplace_back(g.path() + "." + name, &s);
+    }
+
+  private:
+    std::vector<std::pair<std::string, const stats::Scalar *>> &out_;
+};
+
+} // namespace
+
+IntervalSampler::IntervalSampler(const stats::Group &root,
+                                 std::uint64_t period)
+    : root_(root), period_(period)
+{
+    if (period_ == 0)
+        fatal("interval sampler: period must be nonzero");
+    // Capture the baseline now: the stats tree is fully built by the
+    // time a sampler is attached, and the first interval's deltas
+    // must be measured against the attach-time values.
+    collectWatches();
+}
+
+IntervalSampler::~IntervalSampler() = default;
+
+bool
+IntervalSampler::openFile(const std::string &path)
+{
+    auto f = std::make_unique<std::ofstream>(path);
+    if (!*f) {
+        warn("cannot open interval sample file '%s'", path.c_str());
+        return false;
+    }
+    owned_ = std::move(f);
+    out_ = owned_.get();
+    return true;
+}
+
+void
+IntervalSampler::collectWatches()
+{
+    std::vector<std::pair<std::string, const stats::Scalar *>> found;
+    WatchCollector collector(found);
+    root_.visit(collector);
+    watches_.reserve(found.size());
+    for (auto &[path, scalar] : found)
+        watches_.push_back(Watch{path, scalar, scalar->value()});
+}
+
+void
+IntervalSampler::emitRecord(Cycle cycle, std::uint64_t instrs)
+{
+    const Cycle interval = cycle - lastCycle_;
+    const std::uint64_t delta_instrs = instrs >= lastInstrs_
+        ? instrs - lastInstrs_ : 0;
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("cycle", static_cast<std::uint64_t>(cycle));
+    w.field("interval_cycles", static_cast<std::uint64_t>(interval));
+    w.field("instructions", instrs);
+    w.field("interval_instructions", delta_instrs);
+    w.field("ipc", interval
+            ? static_cast<double>(delta_instrs) /
+              static_cast<double>(interval)
+            : 0.0);
+    w.beginObject("deltas");
+    for (Watch &watch : watches_) {
+        const std::uint64_t now = watch.scalar->value();
+        // Warm-up reset can rewind counters; restart the baseline.
+        const std::uint64_t delta = now >= watch.last
+            ? now - watch.last : now;
+        if (delta != 0)
+            w.field(watch.path, delta);
+        watch.last = now;
+    }
+    w.end();
+    w.end();
+
+    if (out_)
+        *out_ << w.str() << '\n';
+    lastCycle_ = cycle;
+    lastInstrs_ = instrs;
+    ++samples_;
+}
+
+void
+IntervalSampler::tick(Cycle cycle, std::uint64_t instrs)
+{
+    if (cycle != 0 && cycle % period_ == 0)
+        emitRecord(cycle, instrs);
+}
+
+void
+IntervalSampler::finish(Cycle cycle, std::uint64_t instrs)
+{
+    if (cycle > lastCycle_)
+        emitRecord(cycle, instrs);
+    if (out_)
+        out_->flush();
+}
+
+} // namespace s64v::obs

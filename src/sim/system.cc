@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/heartbeat.hh"
+#include "obs/sampler.hh"
 
 namespace s64v
 {
@@ -68,6 +70,14 @@ System::run()
                 warm_done = true;
             }
         }
+        if (sampler_ && params_.samplePeriod && cycle != 0 &&
+            cycle % params_.samplePeriod == 0) {
+            sampler_->tick(cycle, totalCommitted());
+        }
+        if (heartbeat_ && params_.heartbeatPeriod && cycle != 0 &&
+            cycle % params_.heartbeatPeriod == 0) {
+            heartbeat_->beat(cycle, totalCommitted());
+        }
         if (all_done)
             break;
         ++cycle;
@@ -85,6 +95,9 @@ System::run()
              "whole run",
              static_cast<unsigned long long>(params_.warmupInstrs));
     }
+
+    if (sampler_)
+        sampler_->finish(cycle, totalCommitted());
 
     for (std::size_t i = 0; i < cores_.size(); ++i) {
         Core &core = *cores_[i];
@@ -113,6 +126,15 @@ System::run()
           static_cast<double>(res.cycles)
         : 0.0;
     return res;
+}
+
+std::uint64_t
+System::totalCommitted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores_)
+        total += core->committed();
+    return total;
 }
 
 std::string

@@ -20,6 +20,12 @@
 namespace s64v
 {
 
+namespace obs
+{
+class IntervalSampler;
+class Heartbeat;
+} // namespace obs
+
 /** Whole-machine configuration. */
 struct SystemParams
 {
@@ -34,6 +40,14 @@ struct SystemParams
      * traces are sampled from steady state for the same reason).
      */
     std::uint64_t warmupInstrs = 0;
+    /**
+     * Interval-sampling period in cycles (0 = off). When an
+     * IntervalSampler is attached, run() ticks it every this many
+     * cycles so per-interval stat deltas land in its JSONL stream.
+     */
+    std::uint64_t samplePeriod = 0;
+    /** Heartbeat-report period in cycles (0 = off). */
+    std::uint64_t heartbeatPeriod = 0;
 };
 
 /** Per-core outcome of a simulation. */
@@ -67,6 +81,22 @@ class System
     /** Copy @p trace in as CPU @p cpu's input. */
     void attachTrace(CpuId cpu, InstrTrace trace);
 
+    /**
+     * Attach an interval sampler ticked every params().samplePeriod
+     * cycles during run(). Pass nullptr to detach. The sampler must
+     * outlive the run.
+     */
+    void attachSampler(obs::IntervalSampler *sampler)
+    {
+        sampler_ = sampler;
+    }
+
+    /** Attach a heartbeat ticked every params().heartbeatPeriod. */
+    void attachHeartbeat(obs::Heartbeat *heartbeat)
+    {
+        heartbeat_ = heartbeat;
+    }
+
     /** Run to completion (or the cycle cap). */
     SimResult run();
 
@@ -79,12 +109,16 @@ class System
     std::string statsDump() const;
 
   private:
+    std::uint64_t totalCommitted() const;
+
     SystemParams params_;
     stats::Group root_;
     std::unique_ptr<MemSystem> mem_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<InstrTrace> traces_;
     std::vector<std::unique_ptr<VectorTraceSource>> sources_;
+    obs::IntervalSampler *sampler_ = nullptr;
+    obs::Heartbeat *heartbeat_ = nullptr;
 };
 
 } // namespace s64v

@@ -19,6 +19,37 @@ TEST(Logging, WarnGoesToSink)
     EXPECT_NE(sink.find("info: status ok"), std::string::npos);
 }
 
+TEST(Logging, LogLevelGatesWarnAndInform)
+{
+    std::string sink;
+    setLogSink(&sink);
+
+    setLogLevel(LogLevel::Silent);
+    warn("hidden warning");
+    inform("hidden info");
+    EXPECT_TRUE(sink.empty());
+
+    setLogLevel(LogLevel::Warn);
+    warn("visible warning");
+    inform("still hidden");
+    EXPECT_NE(sink.find("visible warning"), std::string::npos);
+    EXPECT_EQ(sink.find("still hidden"), std::string::npos);
+
+    setLogLevel(LogLevel::Info);
+    inform("visible info");
+    EXPECT_NE(sink.find("visible info"), std::string::npos);
+
+    setLogSink(nullptr);
+}
+
+TEST(Logging, LogLevelRoundTrips)
+{
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(LogLevel::Info);
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+}
+
 TEST(Logging, PanicThrowsInTestMode)
 {
     setThrowOnError(true);

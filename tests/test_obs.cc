@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Observability layer: JSON writer/escaping, stats export, interval
+ * sampling, Chrome trace export, heartbeat, and bench records.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "obs/bench_record.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/heartbeat.hh"
+#include "obs/json.hh"
+#include "obs/run_obs.hh"
+#include "obs/sampler.hh"
+#include "obs/stats_export.hh"
+
+namespace s64v
+{
+namespace
+{
+
+/**
+ * Minimal recursive-descent JSON validity checker — the repo has no
+ * JSON parser dependency, so the tests bring their own.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') { ++pos_; return true; }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') { ++pos_; return true; }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (c == '"') { ++pos_; return true; }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control char
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    if (pos_ + 4 >= s_.size())
+                        return false;
+                    pos_ += 4;
+                } else if (!strchr("\"\\/bfnrt", e)) {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                strchr("+-.eE", s_[pos_])))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t len = strlen(word);
+        if (s_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+TEST(Json, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(obs::escapeJson("plain"), "plain");
+    EXPECT_EQ(obs::escapeJson("a\"b"), "a\\\"b");
+    EXPECT_EQ(obs::escapeJson("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(obs::escapeJson("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(obs::escapeJson("tab\there"), "tab\\there");
+    EXPECT_EQ(obs::escapeJson(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, WriterNestsAndCommas)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("a", std::uint64_t{1});
+    w.field("b", "two");
+    w.beginArray("c");
+    w.value(std::uint64_t{3});
+    w.value("four");
+    w.beginObject();
+    w.field("d", true);
+    w.end();
+    w.end();
+    w.beginObject("e");
+    w.end();
+    w.end();
+    EXPECT_EQ(w.str(),
+              "{\"a\":1,\"b\":\"two\",\"c\":[3,\"four\","
+              "{\"d\":true}],\"e\":{}}");
+    EXPECT_TRUE(JsonChecker(w.str()).valid());
+}
+
+TEST(Json, WriterRawSplice)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.raw("args", "{\"x\":1}");
+    w.end();
+    EXPECT_EQ(w.str(), "{\"args\":{\"x\":1}}");
+}
+
+TEST(Json, WriterEscapesKeysAndValues)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("he said \"hi\"", "a,b\nc");
+    w.end();
+    EXPECT_TRUE(JsonChecker(w.str()).valid());
+    EXPECT_NE(w.str().find("\\\"hi\\\""), std::string::npos);
+    EXPECT_NE(w.str().find("a,b\\nc"), std::string::npos);
+}
+
+TEST(Json, StrPanicsWithOpenContainer)
+{
+    setThrowOnError(true);
+    obs::JsonWriter w;
+    w.beginObject();
+    EXPECT_THROW(w.str(), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(StatsExport, RoundTripsNestedGroups)
+{
+    stats::Group root("sim");
+    stats::Group cpu("cpu0", &root);
+    stats::Scalar &commits = cpu.scalar("commits", "instructions");
+    commits += 7;
+    cpu.formula("ipc", "per cycle", [] { return 1.25; });
+    cpu.distribution("lat", "load latency").sample(4.0, 2);
+    stats::Histogram &h =
+        cpu.histogram("occ", "window occupancy", 0.0, 8.0, 4);
+    h.sample(3.0, 5);
+    h.sample(-1.0);
+    h.sample(9.0);
+
+    const std::string json = obs::exportStatsJson(root);
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+
+    EXPECT_NE(json.find("\"name\":\"sim\""), std::string::npos);
+    EXPECT_NE(json.find("\"path\":\"sim.cpu0\""), std::string::npos);
+    EXPECT_NE(json.find("\"commits\""), std::string::npos);
+    EXPECT_NE(json.find("\"type\":\"scalar\""), std::string::npos);
+    EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"type\":\"formula\""), std::string::npos);
+    EXPECT_NE(json.find("1.25"), std::string::npos);
+    EXPECT_NE(json.find("\"type\":\"distribution\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\":[0,5,0,0]"), std::string::npos);
+    EXPECT_NE(json.find("\"underflow\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"overflow\":1"), std::string::npos);
+}
+
+TEST(StatsExport, EscapesDescriptions)
+{
+    stats::Group root("sim");
+    root.scalar("s", "counts \"quoted\" things,\nwith newlines");
+    const std::string json = obs::exportStatsJson(root);
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+TEST(StatsExport, WriteStatsJsonFailsGracefully)
+{
+    std::string sink;
+    setLogSink(&sink);
+    stats::Group root("sim");
+    EXPECT_FALSE(
+        obs::writeStatsJson(root, "/nonexistent-dir/out.json"));
+    setLogSink(nullptr);
+    EXPECT_NE(sink.find("warn"), std::string::npos);
+}
+
+TEST(Sampler, EmitsPerIntervalDeltas)
+{
+    stats::Group root("sim");
+    stats::Scalar &work = root.scalar("work", "units");
+    stats::Scalar &idle = root.scalar("idle", "never moves");
+    (void)idle;
+
+    obs::IntervalSampler sampler(root, 10);
+    std::ostringstream out;
+    sampler.setOutput(&out);
+
+    work += 4;
+    sampler.tick(10, 4);   // boundary: record 1
+    sampler.tick(15, 6);   // not a boundary
+    work += 6;
+    sampler.tick(20, 10);  // boundary: record 2
+    work += 1;
+    sampler.finish(25, 11); // partial final interval: record 3
+
+    EXPECT_EQ(sampler.samples(), 3u);
+    std::istringstream lines(out.str());
+    std::string line;
+    std::vector<std::string> records;
+    while (std::getline(lines, line))
+        records.push_back(line);
+    ASSERT_EQ(records.size(), 3u);
+    for (const std::string &r : records)
+        EXPECT_TRUE(JsonChecker(r).valid()) << r;
+
+    EXPECT_NE(records[0].find("\"cycle\":10"), std::string::npos);
+    EXPECT_NE(records[0].find("\"sim.work\":4"), std::string::npos);
+    EXPECT_NE(records[0].find("\"ipc\":0.4"), std::string::npos);
+    EXPECT_NE(records[1].find("\"sim.work\":6"), std::string::npos);
+    EXPECT_NE(records[1].find("\"ipc\":0.6"), std::string::npos);
+    EXPECT_NE(records[2].find("\"interval_cycles\":5"),
+              std::string::npos);
+    // Unchanged counters are omitted from the deltas.
+    EXPECT_EQ(records[0].find("sim.idle"), std::string::npos);
+}
+
+TEST(Sampler, ToleratesWarmupReset)
+{
+    stats::Group root("sim");
+    stats::Scalar &work = root.scalar("work", "units");
+
+    obs::IntervalSampler sampler(root, 10);
+    std::ostringstream out;
+    sampler.setOutput(&out);
+
+    work += 8;
+    sampler.tick(10, 8);
+    root.resetAll(); // warm-up boundary rewinds every counter.
+    work += 3;
+    sampler.tick(20, 3);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    std::getline(lines, line);
+    std::getline(lines, line);
+    // After the reset the delta restarts from the new absolute value.
+    EXPECT_NE(line.find("\"sim.work\":3"), std::string::npos);
+}
+
+TEST(ChromeTrace, RendersValidDocument)
+{
+    obs::ChromeTraceWriter tw;
+    const unsigned tid =
+        tw.track(obs::ChromeTraceWriter::kMemPid, "bus.data");
+    tw.span(obs::ChromeTraceWriter::kMemPid, tid, "xfer", "bus",
+            100, 108);
+    tw.counter(0, "rob_occupancy", 50, 12.0);
+
+    PipeRecord rec;
+    rec.seq = 3;
+    rec.pc = 0x4000;
+    rec.cls = InstrClass::IntAlu;
+    rec.issue = 10;
+    rec.dispatch = 11;
+    rec.execute = 12;
+    rec.complete = 13;
+    rec.commit = 14;
+    tw.addPipeRecord(0, rec);
+
+    const std::string doc = tw.render();
+    EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(doc.find("\"bus.data\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(doc.find("\"seq\":3"), std::string::npos);
+    EXPECT_NE(doc.find("0x4000"), std::string::npos);
+    EXPECT_NE(doc.find("\"exec\""), std::string::npos);
+}
+
+TEST(ChromeTrace, TrackIsStableAndCapIsEnforced)
+{
+    obs::ChromeTraceWriter tw(/*max_events=*/3);
+    const unsigned a = tw.track(1, "t"); // 1 metadata event
+    EXPECT_EQ(tw.track(1, "t"), a);      // no duplicate metadata
+    tw.span(1, a, "s1", "c", 0, 1);
+    tw.span(1, a, "s2", "c", 1, 2);
+    tw.span(1, a, "s3", "c", 2, 3); // over the cap: dropped
+    EXPECT_EQ(tw.events(), 3u);
+    EXPECT_EQ(tw.dropped(), 1u);
+    EXPECT_TRUE(JsonChecker(tw.render()).valid());
+}
+
+TEST(Heartbeat, ReportsProgress)
+{
+    std::string sink;
+    setLogSink(&sink);
+    obs::Heartbeat hb(/*expected_instrs=*/1000);
+    hb.beat(100, 50);
+    hb.beat(200, 100);
+    setLogSink(nullptr);
+
+    EXPECT_EQ(hb.beats(), 2u);
+    EXPECT_NE(sink.find("heartbeat"), std::string::npos);
+    EXPECT_NE(sink.find("ipc"), std::string::npos);
+    EXPECT_NE(sink.find("KIPS"), std::string::npos);
+}
+
+TEST(RunObs, ParsesObservabilityFlags)
+{
+    obs::runObsOptions() = obs::ObsOptions{};
+    const char *argv[] = {
+        "prog", "--stats-json=a.json", "trace-out=b.json",
+        "--sample-out=c.jsonl", "sample-period=500",
+        "--heartbeat=2000", "workload=TPC-C",
+    };
+    obs::parseObsArgs(7, argv);
+    const obs::ObsOptions &o = obs::runObsOptions();
+    EXPECT_EQ(o.statsJsonPath, "a.json");
+    EXPECT_EQ(o.traceOutPath, "b.json");
+    EXPECT_EQ(o.sampleOutPath, "c.jsonl");
+    EXPECT_EQ(o.samplePeriod, 500u);
+    EXPECT_EQ(o.heartbeatPeriod, 2000u);
+    EXPECT_TRUE(o.any());
+    obs::runObsOptions() = obs::ObsOptions{};
+    EXPECT_FALSE(obs::runObsOptions().any());
+}
+
+TEST(BenchRecord, WritesJsonRecord)
+{
+    ::setenv("S64V_BENCH_DIR", "/tmp", 1);
+    obs::addBenchInstructions(5000);
+    EXPECT_GE(obs::benchInstructions(), 5000u);
+    ASSERT_TRUE(obs::writeBenchRecord("obstest", 0.5));
+    ::unsetenv("S64V_BENCH_DIR");
+
+    std::ifstream f("/tmp/BENCH_obstest.json");
+    ASSERT_TRUE(f.good());
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const std::string json = ss.str();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"bench\":\"obstest\""), std::string::npos);
+    EXPECT_NE(json.find("\"wall_seconds\":0.5"), std::string::npos);
+    EXPECT_NE(json.find("\"kips\""), std::string::npos);
+    std::remove("/tmp/BENCH_obstest.json");
+}
+
+TEST(BenchRecord, DisabledByEnvSwitch)
+{
+    ::setenv("S64V_BENCH_JSON", "0", 1);
+    EXPECT_FALSE(obs::writeBenchRecord("disabled", 1.0));
+    ::unsetenv("S64V_BENCH_JSON");
+}
+
+} // namespace
+} // namespace s64v

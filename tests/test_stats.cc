@@ -77,7 +77,176 @@ TEST(Stats, MissingLookupPanics)
     stats::Group g("root");
     EXPECT_THROW(g.lookup("absent"), std::runtime_error);
     EXPECT_THROW(g.evaluate("absent"), std::runtime_error);
+    EXPECT_THROW(g.lookupHistogram("absent"), std::runtime_error);
     setThrowOnError(false);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    stats::Group g("root");
+    stats::Distribution &d = g.distribution("lat", "latency");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(6.0, 2);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.sum(), 18.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 6.0);
+    // Population stddev of {2, 4, 6, 6}.
+    EXPECT_NEAR(d.stddev(), 1.6583, 1e-4);
+
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    stats::Group g("root");
+    stats::Histogram &h = g.histogram("occ", "occupancy",
+                                      0.0, 10.0, 5);
+    EXPECT_EQ(h.numBuckets(), 5u);
+    EXPECT_DOUBLE_EQ(h.bucketWidth(), 2.0);
+
+    h.sample(-1.0);       // underflow
+    h.sample(0.0);        // bucket 0
+    h.sample(1.9);        // bucket 0
+    h.sample(5.0);        // bucket 2
+    h.sample(9.99);       // bucket 4
+    h.sample(10.0);       // overflow (hi is exclusive)
+    h.sample(42.0, 3);    // overflow x3
+
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 0u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.dist().count(), 9u); // every sample is counted.
+
+    EXPECT_EQ(&g.lookupHistogram("occ"), &h);
+}
+
+TEST(Stats, HistogramSampleBeforeConfigurePanics)
+{
+    setThrowOnError(true);
+    stats::Histogram h;
+    EXPECT_THROW(h.sample(1.0), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(Stats, ResetAllCoversEveryStatKind)
+{
+    stats::Group root("sim");
+    stats::Group child("cpu0", &root);
+    stats::Distribution &d = root.distribution("d", "");
+    stats::Histogram &h = child.histogram("h", "", 0.0, 4.0, 4);
+    d.sample(3.0);
+    h.sample(1.0);
+    root.resetAll();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(h.dist().count(), 0u);
+    EXPECT_EQ(h.bucketCount(1), 0u);
+    // The layout survives the reset; only the samples are dropped.
+    EXPECT_EQ(h.numBuckets(), 4u);
+    h.sample(1.0);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+}
+
+TEST(Stats, FormulasEvaluateAfterResetAll)
+{
+    stats::Group root("sim");
+    stats::Group child("cpu0", &root);
+    stats::Scalar &hits = child.scalar("hits", "");
+    stats::Scalar &total = child.scalar("total", "");
+    child.formula("ratio", "hit ratio", [&] {
+        return total.value()
+            ? double(hits.value()) / total.value() : 0.0;
+    });
+    hits += 1;
+    total += 2;
+    EXPECT_DOUBLE_EQ(child.evaluate("ratio"), 0.5);
+
+    root.resetAll();
+    // Formula still bound to the (reset) counters, not stale values.
+    EXPECT_DOUBLE_EQ(child.evaluate("ratio"), 0.0);
+    hits += 3;
+    total += 4;
+    EXPECT_DOUBLE_EQ(child.evaluate("ratio"), 0.75);
+}
+
+TEST(Stats, DumpIncludesHistogramBuckets)
+{
+    stats::Group root("sim");
+    stats::Histogram &h = root.histogram("occ", "occupancy",
+                                         0.0, 4.0, 4);
+    h.sample(1.0, 7);
+    std::string out;
+    root.dump(out);
+    EXPECT_NE(out.find("sim.occ"), std::string::npos);
+    EXPECT_NE(out.find("sim.occ::1"), std::string::npos);
+    EXPECT_NE(out.find("bucket [1, 2)"), std::string::npos);
+}
+
+TEST(Stats, VisitorWalksEveryKindInOrder)
+{
+    stats::Group root("sim");
+    stats::Group child("cpu0", &root);
+    root.scalar("s", "scalar") += 2;
+    root.formula("f", "formula", [] { return 1.5; });
+    root.distribution("d", "dist").sample(3.0);
+    root.histogram("h", "hist", 0.0, 4.0, 2).sample(1.0);
+    child.scalar("inner", "child scalar") += 1;
+
+    struct Recorder : stats::Visitor
+    {
+        std::vector<std::string> log;
+        void beginGroup(const stats::Group &g) override
+        {
+            log.push_back("begin " + g.path());
+        }
+        void endGroup(const stats::Group &g) override
+        {
+            log.push_back("end " + g.path());
+        }
+        void visitScalar(const stats::Group &, const std::string &n,
+                         const std::string &,
+                         const stats::Scalar &s) override
+        {
+            log.push_back("scalar " + n + "=" +
+                          std::to_string(s.value()));
+        }
+        void visitFormula(const stats::Group &, const std::string &n,
+                          const std::string &, double v) override
+        {
+            log.push_back("formula " + n + "=" + std::to_string(v));
+        }
+        void visitDistribution(const stats::Group &,
+                               const std::string &n,
+                               const std::string &,
+                               const stats::Distribution &) override
+        {
+            log.push_back("dist " + n);
+        }
+        void visitHistogram(const stats::Group &, const std::string &n,
+                            const std::string &,
+                            const stats::Histogram &) override
+        {
+            log.push_back("hist " + n);
+        }
+    } rec;
+    root.visit(rec);
+
+    const std::vector<std::string> want = {
+        "begin sim", "scalar s=2", "formula f=1.500000", "dist d",
+        "hist h", "begin sim.cpu0", "scalar inner=1", "end sim.cpu0",
+        "end sim",
+    };
+    EXPECT_EQ(rec.log, want);
 }
 
 } // namespace
