@@ -7,7 +7,9 @@
  * Usage: quickstart [workload=TPC-C] [instrs=100000] [pipeview=N]
  *                   [--stats-json=out.json] [--trace-out=trace.json]
  *                   [--sample-out=s.jsonl] [sample-period=N]
- *                   [heartbeat=N]
+ *                   [heartbeat=N] [--crash-report=crash.json]
+ *                   [--watchdog=N] [--check=off|end|cycle]
+ *                   [--inject-fault=<kind>:<n>]
  *
  * --stats-json writes the full stats tree as JSON and (unless
  * --sample-out overrides the path) an interval-sample JSONL stream
@@ -43,7 +45,9 @@ main(int argc, char **argv)
     for (const char *key :
          {"--stats-json", "stats-json", "--trace-out", "trace-out",
           "--sample-out", "sample-out", "--sample-period",
-          "sample-period", "--heartbeat", "heartbeat"})
+          "sample-period", "--heartbeat", "heartbeat",
+          "--crash-report", "crash-report", "--watchdog", "watchdog",
+          "--check", "check", "--inject-fault", "inject-fault"})
         cfg.getString(key, "");
     const std::string wl = cfg.getString("workload", "TPC-C");
     const std::size_t n =

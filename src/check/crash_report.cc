@@ -1,0 +1,183 @@
+#include "check/crash_report.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+#include "obs/run_obs.hh"
+#include "obs/stats_export.hh"
+#include "sim/system.hh"
+
+namespace s64v
+{
+namespace check
+{
+
+namespace
+{
+System *crashSystem_ = nullptr;
+} // namespace
+
+void
+setCrashSystem(System *sys)
+{
+    crashSystem_ = sys;
+}
+
+System *
+crashSystem()
+{
+    return crashSystem_;
+}
+
+namespace
+{
+
+void
+writeCoreState(obs::JsonWriter &w, Core &core, CpuId cpu)
+{
+    w.beginObject();
+    w.field("cpu", std::uint64_t{cpu});
+    w.field("raw_issued", core.rawIssued());
+    w.field("raw_committed", core.rawCommitted());
+    w.field("last_commit_cycle",
+            std::uint64_t{core.lastCommitCycle()});
+
+    w.beginObject("occupancy");
+    w.field("window", std::uint64_t{core.windowSize()});
+    w.field("window_capacity", std::uint64_t{core.windowCapacity()});
+    w.field("fetch_queue", std::uint64_t{core.fetchUnit().queueSize()});
+    w.field("lq", std::uint64_t{core.lsq().lqSize()});
+    w.field("lq_capacity", std::uint64_t{core.lsq().lqCapacity()});
+    w.field("sq", std::uint64_t{core.lsq().sqSize()});
+    w.field("sq_capacity", std::uint64_t{core.lsq().sqCapacity()});
+    w.field("pending_stores",
+            std::uint64_t{core.pendingStoreCount()});
+    w.field("int_rename", std::uint64_t{core.renameUnit().intInUse()});
+    w.field("fp_rename", std::uint64_t{core.renameUnit().fpInUse()});
+    w.beginArray("stations");
+    for (unsigned i = 0; i < kNumRs; ++i) {
+        const ReservationStation *rs = core.station(i);
+        if (!rs)
+            continue;
+        w.beginObject();
+        w.field("index", std::uint64_t{i});
+        w.field("occupancy", std::uint64_t{rs->occupancy()});
+        w.field("capacity", std::uint64_t{rs->capacity()});
+        w.end();
+    }
+    w.end(); // stations
+    w.end(); // occupancy
+
+    w.beginArray("recent_commits");
+    for (const RecentCommit &rc : core.recentCommits()) {
+        w.beginObject();
+        w.field("seq", rc.seq);
+        w.field("pc", std::uint64_t{rc.pc});
+        w.field("cycle", std::uint64_t{rc.cycle});
+        w.end();
+    }
+    w.end(); // recent_commits
+    w.end(); // core object
+}
+
+void
+writeMemState(obs::JsonWriter &w, System &sys)
+{
+    MemSystem &mem = sys.mem();
+    const Cycle now = sys.currentCycle();
+
+    w.beginObject("mem");
+    w.field("bus_transactions", mem.bus().transactions());
+    w.field("coherence_invalidations",
+            mem.coherence().invalidationsSent());
+    w.field("coherence_dirty_supplies",
+            mem.coherence().dirtySupplies());
+
+    w.beginArray("pending_fills");
+    for (CpuId c = 0; c < mem.numCpus(); ++c) {
+        TimedCache *caches[3] = {&mem.l1i(c), &mem.l1d(c),
+                                 &mem.l2(c)};
+        const char *names[3] = {"l1i", "l1d", "l2"};
+        for (unsigned i = 0; i < 3; ++i) {
+            const std::size_t pending =
+                caches[i]->pendingFillCount(now);
+            if (pending == 0)
+                continue;
+            w.beginObject();
+            w.field("cpu", std::uint64_t{c});
+            w.field("cache", names[i]);
+            w.field("count", std::uint64_t{pending});
+            w.field("earliest_ready",
+                    std::uint64_t{caches[i]->earliestPendingFill(now)});
+            w.end();
+        }
+    }
+    w.end(); // pending_fills
+    w.end(); // mem
+}
+
+} // namespace
+
+std::string
+buildCrashReportJson(System &sys, const char *kind,
+                     const std::string &msg)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("kind", kind);
+    w.field("message", msg);
+    w.field("cycle", std::uint64_t{sys.currentCycle()});
+    w.field("num_cpus", std::uint64_t{sys.params().numCpus});
+    w.beginArray("cores");
+    for (CpuId c = 0; c < sys.params().numCpus; ++c)
+        writeCoreState(w, sys.core(c), c);
+    w.end(); // cores
+    writeMemState(w, sys);
+    w.end();
+    return w.str();
+}
+
+bool
+writeCrashReport(const std::string &path, const std::string &json)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        warn("cannot write crash report to '%s'", path.c_str());
+        return false;
+    }
+    out << json << '\n';
+    out.close();
+    if (!out) {
+        warn("short write on crash report '%s'", path.c_str());
+        return false;
+    }
+    warn("crash report written to %s", path.c_str());
+    return true;
+}
+
+void
+installCrashReporting(const std::string &path)
+{
+    const std::string dest =
+        path.empty() ? "crash_report.json" : path;
+    setErrorHook([dest](const char *kind, const std::string &msg) {
+        System *sys = crashSystem();
+        if (!sys)
+            return;
+        writeCrashReport(dest, buildCrashReportJson(*sys, kind, msg));
+        // Salvage the partial stats of the crashed run as well.
+        const obs::ObsOptions &opts = obs::runObsOptions();
+        if (!opts.statsJsonPath.empty())
+            obs::writeStatsJson(sys->root(), opts.statsJsonPath);
+    });
+}
+
+void
+uninstallCrashReporting()
+{
+    setErrorHook({});
+}
+
+} // namespace check
+} // namespace s64v

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Structured crash reports. A 400M-cycle run that dies with a
+ * one-line panic message is nearly undebuggable after the fact; this
+ * module captures the dying machine's state — current cycle, per-core
+ * pipeline occupancy, the last committed instructions, in-flight
+ * memory transactions — as a JSON document the moment panic() or
+ * fatal() is raised (via the logging error hook), and also flushes a
+ * partial --stats-json file so the observability outputs of a crashed
+ * run are not lost.
+ */
+
+#ifndef S64V_CHECK_CRASH_REPORT_HH
+#define S64V_CHECK_CRASH_REPORT_HH
+
+#include <string>
+
+namespace s64v
+{
+
+class System;
+
+namespace check
+{
+
+/**
+ * Register the live System crash reports should capture; System::run
+ * calls this on entry. Pass nullptr to unregister (a destroyed System
+ * unregisters itself).
+ */
+void setCrashSystem(System *sys);
+
+/** The currently registered system, or nullptr. */
+System *crashSystem();
+
+/**
+ * Render @p sys's state plus the error that killed it as a JSON
+ * document (see DESIGN.md "Robustness & self-checks" for the schema).
+ */
+std::string buildCrashReportJson(System &sys, const char *kind,
+                                 const std::string &msg);
+
+/** Write @p json to @p path. @return false (with a warning) on I/O
+ *  failure. */
+bool writeCrashReport(const std::string &path, const std::string &json);
+
+/**
+ * Install the logging error hook: on panic()/fatal(), write a crash
+ * report for the registered system to @p path (default
+ * "crash_report.json" when empty) and flush a partial stats JSON if
+ * --stats-json was given.
+ */
+void installCrashReporting(const std::string &path);
+
+/** Remove the error hook installed by installCrashReporting(). */
+void uninstallCrashReporting();
+
+} // namespace check
+} // namespace s64v
+
+#endif // S64V_CHECK_CRASH_REPORT_HH

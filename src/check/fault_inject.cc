@@ -1,0 +1,51 @@
+#include "check/fault_inject.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace s64v::check
+{
+
+FaultPlan &
+activeFaultPlan()
+{
+    static FaultPlan plan;
+    return plan;
+}
+
+void
+FaultPlan::parse(const std::string &spec)
+{
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos || colon + 1 >= spec.size())
+        fatal("--inject-fault: expected <kind>:<n>, got '%s'",
+              spec.c_str());
+
+    const std::string name = spec.substr(0, colon);
+    if (name == "stall")
+        kind = FaultKind::CommitStall;
+    else if (name == "lost-grant")
+        kind = FaultKind::LostGrant;
+    else if (name == "lost-inval")
+        kind = FaultKind::LostInvalidate;
+    else if (name == "trace-corrupt")
+        kind = FaultKind::TraceCorrupt;
+    else
+        fatal("--inject-fault: unknown fault kind '%s' (expected "
+              "stall, lost-grant, lost-inval, or trace-corrupt)",
+              name.c_str());
+
+    const std::string num = spec.substr(colon + 1);
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(num.c_str(), &end, 0);
+    if (errno != 0 || end == num.c_str() || *end != '\0')
+        fatal("--inject-fault: bad count '%s' in '%s'", num.c_str(),
+              spec.c_str());
+    at = v;
+}
+
+} // namespace s64v::check

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Graceful-stop machinery. A ScopedSignalGuard installed around a
+ * model run converts SIGINT/SIGTERM into a stop *request*; the cycle
+ * loop in System::run() honours it at the next cycle boundary so
+ * observers (stats JSON, interval samples, Chrome traces, bench
+ * records) are flushed before the process exits, instead of dying
+ * mid-run with nothing on disk.
+ */
+
+#ifndef S64V_CHECK_SIGNALS_HH
+#define S64V_CHECK_SIGNALS_HH
+
+namespace s64v::check
+{
+
+/** @return true once a stop has been requested (signal or API). */
+bool stopRequested();
+
+/** Programmatic stop request (what the signal handlers call). */
+void requestStop();
+
+/** Clear a pending stop request (start of a fresh run; tests). */
+void clearStopRequest();
+
+/** Signal number that triggered the pending stop, or 0. */
+int stopSignal();
+
+/**
+ * RAII guard installing SIGINT/SIGTERM handlers that call
+ * requestStop(); the previous handlers are restored on destruction.
+ * Nesting is safe — only the outermost guard installs handlers.
+ */
+class ScopedSignalGuard
+{
+  public:
+    ScopedSignalGuard();
+    ~ScopedSignalGuard();
+
+    ScopedSignalGuard(const ScopedSignalGuard &) = delete;
+    ScopedSignalGuard &operator=(const ScopedSignalGuard &) = delete;
+
+  private:
+    bool installed_ = false;
+};
+
+} // namespace s64v::check
+
+#endif // S64V_CHECK_SIGNALS_HH

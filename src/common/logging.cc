@@ -13,6 +13,24 @@ namespace
 
 std::string *logSink = nullptr;
 bool throwOnError = false;
+ErrorHook errorHook;
+bool inErrorHook = false;
+
+/** Run the error hook once, shielding against recursive errors. */
+void
+runErrorHook(const char *kind, const std::string &msg)
+{
+    if (!errorHook || inErrorHook)
+        return;
+    inErrorHook = true;
+    try {
+        errorHook(kind, msg);
+    } catch (...) {
+        // A crash reporter that itself dies must not mask the
+        // original error.
+    }
+    inErrorHook = false;
+}
 
 LogLevel
 levelFromEnv()
@@ -92,12 +110,19 @@ setThrowOnError(bool throw_on_error)
 }
 
 void
+setErrorHook(ErrorHook hook)
+{
+    errorHook = std::move(hook);
+}
+
+void
 panic(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
+    runErrorHook("panic", msg);
     if (throwOnError)
         throw std::runtime_error("panic: " + msg);
     std::fprintf(stderr, "panic: %s\n", msg.c_str());
@@ -111,6 +136,7 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
+    runErrorHook("fatal", msg);
     if (throwOnError)
         throw std::runtime_error("fatal: " + msg);
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());

@@ -4,12 +4,27 @@
  * panic() is for internal model bugs (aborts), fatal() is for user
  * errors such as bad configurations (clean exit), warn()/inform() are
  * advisory.
+ *
+ * Exit convention (binding for every binary linking this library —
+ * tests, bench harnesses, examples):
+ *   - fatal()  -> prints "fatal: ..." to stderr and exits with
+ *                 status 1 (std::exit, so atexit flushes run). Use for
+ *                 user errors: bad flags, malformed trace files,
+ *                 impossible configurations.
+ *   - panic()  -> prints "panic: ..." to stderr and calls
+ *                 std::abort() (SIGABRT, core dump where enabled).
+ *                 Use for internal model bugs and violated
+ *                 invariants.
+ * Both routes first invoke the error hook (setErrorHook) so the
+ * crash-report machinery in src/check/ can capture the dying model's
+ * state; see check/crash_report.hh.
  */
 
 #ifndef S64V_COMMON_LOGGING_HH
 #define S64V_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 namespace s64v
@@ -69,6 +84,16 @@ void setLogSink(std::string *sink);
  * terminating. Used by the test suite to assert on error paths.
  */
 void setThrowOnError(bool throw_on_error);
+
+/**
+ * Callback invoked with ("panic"|"fatal", message) from inside
+ * panic()/fatal() before the process terminates (or the test-mode
+ * exception is thrown). Recursive errors raised while the hook runs
+ * do not re-enter it. Pass an empty function to uninstall.
+ */
+using ErrorHook =
+    std::function<void(const char *kind, const std::string &msg)>;
+void setErrorHook(ErrorHook hook);
 
 } // namespace s64v
 

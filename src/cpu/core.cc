@@ -189,6 +189,13 @@ Core::stationFor(const TraceRecord &rec)
 void
 Core::commitStage(Cycle cycle)
 {
+    if (cycle >= commitStallAt_) {
+        // Injected retirement freeze: leave everything in the window
+        // so the deadlock propagates upstream naturally.
+        if (!window_.empty())
+            ++commitIdleCycles_;
+        return;
+    }
     unsigned n = 0;
     while (n < params_.commitWidth && !window_.empty()) {
         WindowEntry &e = window_.head();
@@ -209,6 +216,9 @@ Core::commitStage(Cycle cycle)
         fetchToCommit_.sample(
             static_cast<double>(cycle - e.issueCycle));
         lastCommitCycle_ = cycle;
+        ++rawCommitted_;
+        recent_[recentNext_] = {e.seq, e.rec.pc, cycle};
+        recentNext_ = (recentNext_ + 1) % kRecentCommits;
         if (pipeview_) {
             PipeRecord pr;
             pr.seq = e.seq;
@@ -506,6 +516,7 @@ Core::issueStage(Cycle cycle)
         }
 
         WindowEntry &e = window_.allocate(rec, cycle);
+        ++rawIssued_;
         e.usesIntRename = need_int;
         e.usesFpRename = need_fp;
         rename_->allocate(need_int, need_fp);
@@ -565,6 +576,20 @@ bool
 Core::done() const
 {
     return fetch_->exhausted() && window_.empty() && lsq_->drained();
+}
+
+std::vector<RecentCommit>
+Core::recentCommits() const
+{
+    std::vector<RecentCommit> out;
+    out.reserve(kRecentCommits);
+    for (unsigned i = 0; i < kRecentCommits; ++i) {
+        const RecentCommit &rc =
+            recent_[(recentNext_ + i) % kRecentCommits];
+        if (rc.seq != 0)
+            out.push_back(rc);
+    }
+    return out;
 }
 
 } // namespace s64v

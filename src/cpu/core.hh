@@ -42,6 +42,14 @@ enum RsId : std::uint8_t
     kNumRs = 6
 };
 
+/** A recently retired instruction (crash-report breadcrumbs). */
+struct RecentCommit
+{
+    std::uint64_t seq = 0;
+    Addr pc = 0;
+    Cycle cycle = 0;
+};
+
 /** One processor core. */
 class Core
 {
@@ -81,6 +89,41 @@ class Core
         return windowFullStalls_.value();
     }
     /** @} */
+
+    /** Self-check and crash-report access. @{ */
+    std::size_t windowSize() const { return window_.size(); }
+    std::size_t windowCapacity() const
+    {
+        return window_.capacity();
+    }
+    const ReservationStation *station(unsigned i) const
+    {
+        return i < rs_.size() ? rs_[i].get() : nullptr;
+    }
+    const RenameUnit &renameUnit() const { return *rename_; }
+    const LoadStoreQueue &lsq() const { return *lsq_; }
+    std::size_t pendingStoreCount() const
+    {
+        return pendingStores_.size();
+    }
+    /**
+     * Plain counters mirroring issue/commit, never cleared by the
+     * warmup stats reset — the invariant auditor's conservation
+     * checks (issued == committed + in-window) depend on them
+     * spanning the whole run.
+     */
+    std::uint64_t rawIssued() const { return rawIssued_; }
+    std::uint64_t rawCommitted() const { return rawCommitted_; }
+    /** Last retired instructions, oldest first. */
+    std::vector<RecentCommit> recentCommits() const;
+    /** @} */
+
+    /**
+     * Fault injection (--inject-fault=stall:<cycle>): from @p cycle
+     * on, the commit stage retires nothing, so the whole window backs
+     * up — the watchdog must detect and diagnose this.
+     */
+    void injectCommitStall(Cycle cycle) { commitStallAt_ = cycle; }
 
   private:
     /**
@@ -132,6 +175,13 @@ class Core
     unsigned rsfToggle_ = 0;
     Cycle lastCommitCycle_ = 0;
     PipeviewRecorder *pipeview_ = nullptr;
+
+    std::uint64_t rawIssued_ = 0;    ///< see rawIssued().
+    std::uint64_t rawCommitted_ = 0; ///< see rawCommitted().
+    Cycle commitStallAt_ = kCycleNever; ///< see injectCommitStall().
+    static constexpr unsigned kRecentCommits = 16;
+    std::array<RecentCommit, kRecentCommits> recent_{};
+    unsigned recentNext_ = 0; ///< next write slot in recent_.
 
     std::vector<std::uint64_t> selectScratch_;
     std::vector<PendingExec> dueScratch_;

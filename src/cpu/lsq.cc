@@ -270,4 +270,20 @@ LoadStoreQueue::drained() const
                      [](const LsqEntry &e) { return e.valid; });
 }
 
+std::size_t
+LoadStoreQueue::lqSize() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(loads_.begin(), loads_.end(),
+                      [](const LsqEntry &e) { return e.valid; }));
+}
+
+std::size_t
+LoadStoreQueue::sqSize() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(stores_.begin(), stores_.end(),
+                      [](const LsqEntry &e) { return e.valid; }));
+}
+
 } // namespace s64v

@@ -85,6 +85,13 @@ class LoadStoreQueue
     bool sqEmpty() const;
     bool drained() const;
 
+    /** Occupancy snapshot (invariant auditor / crash report). @{ */
+    std::size_t lqSize() const;
+    std::size_t sqSize() const;
+    std::size_t lqCapacity() const { return loads_.size(); }
+    std::size_t sqCapacity() const { return stores_.size(); }
+    /** @} */
+
     /** Issue-stall accounting hooks. @{ */
     void noteLqFullStall() { ++lqFullStalls_; }
     void noteSqFullStall() { ++sqFullStalls_; }

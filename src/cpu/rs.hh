@@ -40,6 +40,7 @@ class ReservationStation
     bool full() const { return seqs_.size() >= entries_; }
     bool empty() const { return seqs_.empty(); }
     std::size_t occupancy() const { return seqs_.size(); }
+    unsigned capacity() const { return entries_; }
     unsigned dispatchWidth() const { return dispatchWidth_; }
 
     /** Insert a newly issued instruction. */

@@ -42,6 +42,14 @@ Cycle
 Bus::occupy(Cycle *busy_until, Cycle cycle, Cycle duration,
             unsigned trace_tid)
 {
+    if (cycle >= lostGrantAt_) {
+        // Injected arbiter failure: the request is accepted but its
+        // grant never arrives. Half of kCycleNever keeps downstream
+        // latency arithmetic from overflowing while staying far
+        // beyond any watchdog grace window.
+        ++transactions_;
+        return kCycleNever / 2;
+    }
     ++transactions_;
     const Cycle start = std::max(cycle, *busy_until);
     conflictCycles_ += start - cycle;

@@ -41,6 +41,14 @@ class Bus
     /** Earliest cycle the data bus is free (for tests). */
     Cycle freeAt() const { return dataBusyUntil_; }
 
+    /**
+     * Fault injection (--inject-fault=lost-grant:<cycle>): from
+     * @p cycle on, the arbiter never grants again — transactions get
+     * an unreachable completion cycle, which must trip the watchdog
+     * rather than hang the run.
+     */
+    void injectLostGrant(Cycle cycle) { lostGrantAt_ = cycle; }
+
     std::uint64_t transactions() const
     {
         return transactions_.value();
@@ -74,6 +82,7 @@ class Bus
      */
     Cycle addrBusyUntil_ = 0;
     Cycle dataBusyUntil_ = 0;
+    Cycle lostGrantAt_ = kCycleNever; ///< fault injection; see above.
 
     obs::ChromeTraceWriter *trace_ = nullptr;
     unsigned dataTid_ = 0;

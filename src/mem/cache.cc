@@ -172,6 +172,22 @@ CacheArray::validLines() const
                       [](const Line &l) { return l.valid; }));
 }
 
+void
+CacheArray::forEachValidLine(
+    const std::function<void(Addr, bool)> &fn) const
+{
+    for (unsigned set = 0; set < numSets_; ++set) {
+        const Line *base =
+            &lines_[static_cast<std::size_t>(set) * assoc_];
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (base[w].valid) {
+                fn((base[w].tag * numSets_ + set) * kLineSize,
+                   base[w].dirty);
+            }
+        }
+    }
+}
+
 TimedCache::TimedCache(const CacheParams &params, stats::Group *parent)
     : params_(params), array_(params),
       statGroup_(params.name, parent),
@@ -310,6 +326,23 @@ TimedCache::pending(Addr addr, Cycle cycle)
 {
     expireMshrs(cycle);
     return inflight_.count(alignDown(addr, kLineSize)) != 0;
+}
+
+std::size_t
+TimedCache::pendingFillCount(Cycle cycle)
+{
+    expireMshrs(cycle);
+    return inflight_.size();
+}
+
+Cycle
+TimedCache::earliestPendingFill(Cycle cycle)
+{
+    expireMshrs(cycle);
+    Cycle earliest = kCycleNever;
+    for (const auto &[line, ready] : inflight_)
+        earliest = std::min(earliest, ready);
+    return earliest;
 }
 
 Cycle

@@ -9,6 +9,7 @@
 #define S64V_MEM_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -73,6 +74,14 @@ class CacheArray
 
     /** Count of valid lines (for tests). */
     std::size_t validLines() const;
+
+    /**
+     * Invoke @p fn(lineAddr, dirty) for every valid line. Used by the
+     * invariant auditor to cross-check coherence state; the traversal
+     * does not disturb LRU.
+     */
+    void forEachValidLine(
+        const std::function<void(Addr, bool)> &fn) const;
 
   private:
     struct Line
@@ -146,6 +155,23 @@ class TimedCache
 
     /** @return true if a fill for this line is still in flight. */
     bool pending(Addr addr, Cycle cycle);
+
+    /** Fills still in flight as of @p cycle (auditor/crash report). */
+    std::size_t pendingFillCount(Cycle cycle);
+
+    /**
+     * Earliest completion among fills still in flight at @p cycle, or
+     * kCycleNever when none. The watchdog's event probe uses this to
+     * tell a long-latency stall from a true deadlock.
+     */
+    Cycle earliestPendingFill(Cycle cycle);
+
+    /**
+     * Misses recorded by lookup() whose fill() never arrived. The
+     * hierarchy services every miss synchronously, so any nonzero
+     * value at drain is a leak.
+     */
+    std::size_t unpairedMisses() const { return missStart_.size(); }
 
     /** Count a writeback leaving this cache. */
     void noteWriteback() { ++writebacks_; }

@@ -37,10 +37,19 @@ CoherenceController::snoopRead(CpuId requester, Addr addr)
         TimedCache *l2 = clusters_[c].l2;
         if (!l2->array().probe(addr))
             continue;
-        if (l2->array().isDirty(addr)) {
+        // The authoritative dirty copy may still sit in the owner's
+        // L1D (write hits dirty only the L1). The snoop probes both
+        // levels; missing the L1D state here would hand the requester
+        // a stale SharedClean and later let a dirty copy-back create
+        // a second owner.
+        TimedCache *l1d = clusters_[c].l1d;
+        const bool l1_dirty = l1d->array().isDirty(addr);
+        if (l2->array().isDirty(addr) || l1_dirty) {
             // Owner supplies the line and keeps a clean copy; memory
             // is updated in the same transaction.
             l2->array().insert(addr, /*dirty=*/false);
+            if (l1_dirty)
+                l1d->array().insert(addr, /*dirty=*/false);
             ++dirtySupplies_;
             return SnoopOutcome::DirtySupply;
         }
@@ -54,7 +63,15 @@ CoherenceController::snoopRead(CpuId requester, Addr addr)
 bool
 CoherenceController::invalidateOthers(CpuId requester, Addr addr)
 {
+    const std::uint64_t broadcast = invalidationsSent_.value();
     ++invalidationsSent_;
+    if (broadcast == lostInvalidateIndex_) {
+        // Injected fault: the broadcast goes out on the wire (counted
+        // above) but no remote controller acts on it. Stale sharers
+        // survive alongside the requester's soon-to-be-dirty copy —
+        // exactly the state the invariant auditor must flag.
+        return false;
+    }
     bool dirty_supply = false;
     for (CpuId c = 0; c < clusters_.size(); ++c) {
         if (c == requester)
@@ -62,6 +79,10 @@ CoherenceController::invalidateOthers(CpuId requester, Addr addr)
         TimedCache *l2 = clusters_[c].l2;
         if (!l2->array().probe(addr))
             continue;
+        // As with snoopRead, the victim's authoritative copy may be a
+        // dirty L1D line above a clean L2 line.
+        if (clusters_[c].l1d->array().isDirty(addr))
+            dirty_supply = true;
         if (l2->array().invalidate(addr))
             dirty_supply = true;
         l2->noteInvalidation();

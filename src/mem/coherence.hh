@@ -53,7 +53,8 @@ class CoherenceController
 
     /**
      * Probe the other processors for a read miss by @p requester.
-     * A dirty owner's copy is downgraded to clean (ownership-style
+     * A dirty owner's copy — whether the dirty data sits in its L2 or
+     * still in its L1D — is downgraded to clean (ownership-style
      * supply with simultaneous memory update).
      */
     SnoopOutcome snoopRead(CpuId requester, Addr addr);
@@ -76,6 +77,22 @@ class CoherenceController
 
     const SnoopParams &params() const { return params_; }
 
+    /** Cluster registered for @p cpu (invariant auditor access). */
+    const CacheCluster &cluster(CpuId cpu) const
+    {
+        return clusters_[cpu];
+    }
+
+    /**
+     * Fault injection (--inject-fault=lost-inval:<n>): invalidation
+     * broadcast number @p index (0-based) is dropped on the floor,
+     * leaving stale sharers for the invariant auditor to find.
+     */
+    void injectLostInvalidate(std::uint64_t index)
+    {
+        lostInvalidateIndex_ = index;
+    }
+
     std::uint64_t dirtySupplies() const
     {
         return dirtySupplies_.value();
@@ -88,6 +105,8 @@ class CoherenceController
   private:
     SnoopParams params_;
     std::vector<CacheCluster> clusters_;
+    /** Broadcast index to drop, or ~0 for none (fault injection). */
+    std::uint64_t lostInvalidateIndex_ = ~std::uint64_t{0};
 
     stats::Group statGroup_;
     stats::Scalar &snoops_;

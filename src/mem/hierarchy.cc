@@ -152,6 +152,14 @@ MemSystem::l2Access(CpuId cpu, Addr addr, bool is_write, bool is_fetch,
 
     l2_hit = false;
     if (res.merged) {
+        // A write merging into an in-flight read miss still needs the
+        // upgrade: the original request did not invalidate remote
+        // copies, and the merged store dirties the local line.
+        if (is_write && cpus_.size() > 1 &&
+            coherence_->othersHold(cpu, addr)) {
+            bus_->command(res.ready);
+            coherence_->invalidateOthers(cpu, addr);
+        }
         runPrefetches(cpu, prefetchScratch_, cycle);
         return res.ready;
     }
@@ -241,6 +249,13 @@ MemSystem::data(CpuId cpu, Addr addr, bool is_write, Cycle cycle)
 
     out.l1Hit = false;
     if (res.merged) {
+        // Same upgrade obligation as the L2 merge path: a store
+        // merging into a read miss's MSHR dirties the line here.
+        if (is_write && cpus_.size() > 1 &&
+            coherence_->othersHold(cpu, addr)) {
+            bus_->command(res.ready);
+            coherence_->invalidateOthers(cpu, addr);
+        }
         out.ready = res.ready;
         return out;
     }

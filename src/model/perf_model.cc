@@ -1,5 +1,7 @@
 #include "model/perf_model.hh"
 
+#include "check/crash_report.hh"
+#include "check/signals.hh"
 #include "common/logging.hh"
 #include "obs/bench_record.hh"
 #include "obs/chrome_trace.hh"
@@ -68,6 +70,12 @@ PerfModel::prepare()
     }
     if (opts.heartbeatPeriod != 0 && sys.heartbeatPeriod == 0)
         sys.heartbeatPeriod = opts.heartbeatPeriod;
+    if (opts.watchdogCycles != obs::ObsOptions::kUnset)
+        sys.watchdogCycles = opts.watchdogCycles;
+    if (!opts.checkLevel.empty()) {
+        sys.checkLevel =
+            check::checkLevelFromString(opts.checkLevel.c_str());
+    }
 
     system_ = std::make_unique<System>(sys, params_.name);
     for (CpuId cpu = 0; cpu < traces_.size(); ++cpu)
@@ -138,9 +146,17 @@ PerfModel::finishObservers(const SimResult &res)
 SimResult
 PerfModel::run()
 {
+    // Any panic/fatal from here on dumps the dying system's state;
+    // SIGINT/SIGTERM stop the run at a cycle boundary instead of
+    // killing the process, so the observers below still flush.
+    check::installCrashReporting(obs::runObsOptions().crashReportPath);
+    check::ScopedSignalGuard signal_guard;
+
     System &sys = prepare();
     SimResult res = sys.run();
     finishObservers(res);
+    if (res.interrupted)
+        warn("run interrupted; outputs reflect a partial run");
     return res;
 }
 

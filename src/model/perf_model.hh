@@ -34,6 +34,13 @@ class IntervalSampler;
  * attaches the matching observers — interval sampler, heartbeat,
  * Chrome-trace writer — to the System it builds, then writes the
  * stats-JSON / trace files after the run.
+ *
+ * Robustness: run() installs crash reporting (panic/fatal dumps the
+ * dying system's state as JSON, see check/crash_report.hh) and a
+ * SIGINT/SIGTERM guard that stops the run at the next cycle boundary
+ * with all observer outputs flushed. The watchdog and invariant
+ * auditor are configured through SystemParams or the --watchdog= /
+ * --check= flags.
  */
 class PerfModel
 {

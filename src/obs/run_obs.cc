@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 
+#include "check/fault_inject.hh"
+#include "check/invariants.hh"
+
 namespace s64v::obs
 {
 
@@ -47,6 +50,15 @@ parseObsArgs(int argc, const char *const *argv)
             opts.samplePeriod = std::strtoull(v, nullptr, 0);
         else if (const char *v = matchFlag(arg, "heartbeat"))
             opts.heartbeatPeriod = std::strtoull(v, nullptr, 0);
+        else if (const char *v = matchFlag(arg, "crash-report"))
+            opts.crashReportPath = v;
+        else if (const char *v = matchFlag(arg, "watchdog"))
+            opts.watchdogCycles = std::strtoull(v, nullptr, 0);
+        else if (const char *v = matchFlag(arg, "check")) {
+            check::checkLevelFromString(v); // validate eagerly.
+            opts.checkLevel = v;
+        } else if (const char *v = matchFlag(arg, "inject-fault"))
+            check::activeFaultPlan().parse(v);
     }
 }
 

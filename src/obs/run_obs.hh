@@ -20,6 +20,9 @@ namespace s64v::obs
 /** What to record during model runs, and where to put it. */
 struct ObsOptions
 {
+    /** Sentinel for numeric options the command line did not set. */
+    static constexpr std::uint64_t kUnset = ~std::uint64_t{0};
+
     /** End-of-run stats tree as JSON (empty = off). */
     std::string statsJsonPath;
     /** Chrome trace_events file (empty = off). */
@@ -30,6 +33,12 @@ struct ObsOptions
     std::uint64_t samplePeriod = 0;
     /** Cycles between heartbeat lines (0 = off). */
     std::uint64_t heartbeatPeriod = 0;
+    /** Crash-report JSON path ("" = crash_report.json on crash). */
+    std::string crashReportPath;
+    /** Watchdog threshold override, cycles (kUnset = configured). */
+    std::uint64_t watchdogCycles = kUnset;
+    /** Check-level override: "off"/"end"/"cycle" ("" = configured). */
+    std::string checkLevel;
 
     bool any() const
     {
@@ -44,8 +53,11 @@ ObsOptions &runObsOptions();
 /**
  * Parse the observability flags out of @p argv into runObsOptions().
  * Recognizes "--stats-json=", "--trace-out=", "--sample-out=" (also
- * without the leading dashes, ConfigMap style), "sample-period=" and
- * "heartbeat="; everything else is left for the caller.
+ * without the leading dashes, ConfigMap style), "sample-period=",
+ * "heartbeat=", and the self-check flags "crash-report=",
+ * "watchdog=" (cycles, 0 = off), "check=" (off/end/cycle) and
+ * "inject-fault=<kind>:<n>" (see check/fault_inject.hh); everything
+ * else is left for the caller.
  */
 void parseObsArgs(int argc, const char *const *argv);
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "check/crash_report.hh"
+#include "check/fault_inject.hh"
+#include "check/signals.hh"
 #include "common/logging.hh"
 #include "obs/heartbeat.hh"
 #include "obs/sampler.hh"
@@ -22,6 +25,24 @@ System::System(const SystemParams &params, const std::string &name)
         cores_.push_back(std::make_unique<Core>(params_.core, i,
                                                 *mem_, &root_));
     }
+
+    // Arm whatever fault the process-wide plan asks for (see
+    // check/fault_inject.hh; TraceCorrupt acts in trace_io instead).
+    const check::FaultPlan &fault = check::activeFaultPlan();
+    if (fault.active(check::FaultKind::CommitStall)) {
+        for (auto &core : cores_)
+            core->injectCommitStall(fault.at);
+    } else if (fault.active(check::FaultKind::LostGrant)) {
+        mem_->bus().injectLostGrant(fault.at);
+    } else if (fault.active(check::FaultKind::LostInvalidate)) {
+        mem_->coherence().injectLostInvalidate(fault.at);
+    }
+}
+
+System::~System()
+{
+    if (check::crashSystem() == this)
+        check::setCrashSystem(nullptr);
 }
 
 void
@@ -45,8 +66,32 @@ System::run()
     SimResult res;
     std::vector<std::uint64_t> warmup_committed(cores_.size(), 0);
     bool warm_done = params_.warmupInstrs == 0;
+
+    // Self-check machinery: crash reports read live state through the
+    // registration; the watchdog distinguishes long-latency stalls
+    // from deadlock via the earliest in-flight fill; the auditor
+    // cross-checks structural invariants.
+    check::setCrashSystem(this);
+    check::InvariantAuditor auditor(*this);
+    std::unique_ptr<check::Watchdog> watchdog;
+    if (params_.watchdogCycles != 0) {
+        watchdog =
+            std::make_unique<check::Watchdog>(params_.watchdogCycles);
+        watchdog->setEventProbe([this](Cycle now) {
+            Cycle earliest = kCycleNever;
+            for (CpuId c = 0; c < mem_->numCpus(); ++c) {
+                earliest = std::min(
+                    {earliest, mem_->l1i(c).earliestPendingFill(now),
+                     mem_->l1d(c).earliestPendingFill(now),
+                     mem_->l2(c).earliestPendingFill(now)});
+            }
+            return earliest;
+        });
+    }
+
     Cycle cycle = 0;
     for (;;) {
+        currentCycle_ = cycle;
         bool all_done = true;
         for (auto &core : cores_) {
             if (!core->done()) {
@@ -54,6 +99,12 @@ System::run()
                 all_done = false;
             }
         }
+        if (watchdog &&
+            watchdog->tick(cycle, totalRawCommitted())) {
+            panic("%s", watchdog->diagnosis().c_str());
+        }
+        if (params_.checkLevel == check::CheckLevel::PerCycle)
+            auditor.checkCycle(cycle);
         if (!warm_done) {
             bool all_warm = true;
             for (auto &core : cores_) {
@@ -80,6 +131,13 @@ System::run()
         }
         if (all_done)
             break;
+        if (check::stopRequested()) {
+            warn("stop requested (signal %d); ending the run at cycle "
+                 "%llu", check::stopSignal(),
+                 static_cast<unsigned long long>(cycle));
+            res.interrupted = true;
+            break;
+        }
         ++cycle;
         if (cycle >= params_.maxCycles) {
             warn("simulation hit the %llu-cycle cap; likely a model "
@@ -87,6 +145,17 @@ System::run()
                  static_cast<unsigned long long>(params_.maxCycles));
             res.hitCycleLimit = true;
             break;
+        }
+    }
+    currentCycle_ = cycle;
+
+    if (params_.checkLevel != check::CheckLevel::Off) {
+        if (res.hitCycleLimit || res.interrupted) {
+            // The machine did not drain; audit only what must hold at
+            // any cycle boundary.
+            auditor.checkCycle(cycle);
+        } else {
+            auditor.checkEndOfRun(cycle);
         }
     }
 
@@ -134,6 +203,18 @@ System::totalCommitted() const
     std::uint64_t total = 0;
     for (const auto &core : cores_)
         total += core->committed();
+    return total;
+}
+
+std::uint64_t
+System::totalRawCommitted() const
+{
+    // The watchdog must not mistake the warm-up stats reset for a
+    // hundred-thousand-cycle commit drought, so it watches the raw
+    // counters, which are never cleared.
+    std::uint64_t total = 0;
+    for (const auto &core : cores_)
+        total += core->rawCommitted();
     return total;
 }
 

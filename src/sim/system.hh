@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "check/invariants.hh"
+#include "check/watchdog.hh"
 #include "common/stats.hh"
 #include "cpu/core.hh"
 #include "mem/hierarchy.hh"
@@ -48,6 +50,14 @@ struct SystemParams
     std::uint64_t samplePeriod = 0;
     /** Heartbeat-report period in cycles (0 = off). */
     std::uint64_t heartbeatPeriod = 0;
+    /**
+     * Watchdog threshold: panic when no core commits for this many
+     * cycles and no in-flight fill is about to land (0 = disabled).
+     * See check::Watchdog.
+     */
+    std::uint64_t watchdogCycles = check::kDefaultWatchdogCycles;
+    /** Self-check depth; see check::InvariantAuditor. */
+    check::CheckLevel checkLevel = check::CheckLevel::EndOfRun;
 };
 
 /** Per-core outcome of a simulation. */
@@ -67,6 +77,8 @@ struct SimResult
     std::uint64_t measured = 0;    ///< window instructions.
     double ipc = 0.0;              ///< aggregate window throughput.
     bool hitCycleLimit = false;
+    /** Run stopped early by SIGINT/SIGTERM (see check/signals.hh). */
+    bool interrupted = false;
     Cycle warmupEndCycle = 0;
     std::vector<CoreResult> cores;
 };
@@ -77,6 +89,7 @@ class System
   public:
     System(const SystemParams &params,
            const std::string &name = "sim");
+    ~System();
 
     /** Copy @p trace in as CPU @p cpu's input. */
     void attachTrace(CpuId cpu, InstrTrace trace);
@@ -105,11 +118,16 @@ class System
     stats::Group &root() { return root_; }
     const SystemParams &params() const { return params_; }
 
+    /** Cycle the run loop is at (crash reports; live while running). */
+    Cycle currentCycle() const { return currentCycle_; }
+
     /** Full stats dump as text. */
     std::string statsDump() const;
 
   private:
     std::uint64_t totalCommitted() const;
+    /** Warm-up-reset-immune commit total (watchdog food). */
+    std::uint64_t totalRawCommitted() const;
 
     SystemParams params_;
     stats::Group root_;
@@ -119,6 +137,7 @@ class System
     std::vector<std::unique_ptr<VectorTraceSource>> sources_;
     obs::IntervalSampler *sampler_ = nullptr;
     obs::Heartbeat *heartbeat_ = nullptr;
+    Cycle currentCycle_ = 0;
 };
 
 } // namespace s64v

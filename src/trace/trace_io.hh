@@ -36,7 +36,10 @@ void writeTraceFile(const std::string &path, const InstrTrace &trace);
 
 /**
  * Read a trace file written by writeTraceFile(); fatal() on missing
- * files, bad magic, or truncated data.
+ * files, bad magic, unsupported versions, truncated data, a record
+ * count that disagrees with the file size, or records whose class or
+ * register fields are out of range. Corrupt input is always a clean
+ * fatal() (exit status 1), never a crash or hang.
  */
 InstrTrace readTraceFile(const std::string &path);
 

@@ -1,0 +1,146 @@
+#include "check/fault_inject.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hh"
+#include "sim/system.hh"
+#include "trace/trace_io.hh"
+#include "workload/generator.hh"
+#include "workload/workloads.hh"
+
+namespace s64v
+{
+namespace
+{
+
+using check::FaultKind;
+using check::FaultPlan;
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+class FaultInjectTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { check::activeFaultPlan().clear(); }
+};
+
+TEST_F(FaultInjectTest, ParsesEveryKind)
+{
+    FaultPlan p;
+    p.parse("stall:5000");
+    EXPECT_EQ(p.kind, FaultKind::CommitStall);
+    EXPECT_EQ(p.at, 5000u);
+
+    p.parse("lost-grant:1234");
+    EXPECT_EQ(p.kind, FaultKind::LostGrant);
+    EXPECT_EQ(p.at, 1234u);
+
+    p.parse("lost-inval:0");
+    EXPECT_EQ(p.kind, FaultKind::LostInvalidate);
+    EXPECT_EQ(p.at, 0u);
+
+    p.parse("trace-corrupt:7");
+    EXPECT_EQ(p.kind, FaultKind::TraceCorrupt);
+    EXPECT_EQ(p.at, 7u);
+}
+
+TEST_F(FaultInjectTest, MalformedSpecsAreFatal)
+{
+    FaultPlan p;
+    setThrowOnError(true);
+    EXPECT_THROW(p.parse("stall"), std::runtime_error);
+    EXPECT_THROW(p.parse("stall:"), std::runtime_error);
+    EXPECT_THROW(p.parse("stall:abc"), std::runtime_error);
+    EXPECT_THROW(p.parse("stall:12junk"), std::runtime_error);
+    EXPECT_THROW(p.parse(":12"), std::runtime_error);
+    EXPECT_THROW(p.parse("meteor-strike:1"), std::runtime_error);
+    EXPECT_THROW(p.parse(""), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST_F(FaultInjectTest, ClearDisarmsThePlan)
+{
+    FaultPlan p;
+    p.parse("stall:10");
+    EXPECT_TRUE(p.active(FaultKind::CommitStall));
+    p.clear();
+    EXPECT_FALSE(p.active(FaultKind::CommitStall));
+    EXPECT_EQ(p.kind, FaultKind::None);
+}
+
+TEST_F(FaultInjectTest, CommitStallTripsTheWatchdog)
+{
+    check::activeFaultPlan().parse("stall:100");
+    SystemParams sp;
+    sp.watchdogCycles = 400;
+    System sys(sp); // the constructor arms the fault into the cores.
+    check::activeFaultPlan().clear();
+    sys.attachTrace(0, generateTrace(tpccProfile(), 50'000));
+
+    setThrowOnError(true);
+    EXPECT_THROW(sys.run(), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST_F(FaultInjectTest, LostBusGrantTripsTheWatchdogDespiteInFlightWork)
+{
+    // The hard half of deadlock detection: the bus still has a
+    // transaction "in flight", but its completion cycle is unreachable.
+    // The watchdog's event probe must see through it and fire anyway.
+    check::activeFaultPlan().parse("lost-grant:50");
+    SystemParams sp;
+    sp.watchdogCycles = 400;
+    System sys(sp);
+    check::activeFaultPlan().clear();
+    sys.attachTrace(0, generateTrace(tpccProfile(), 50'000));
+
+    setThrowOnError(true);
+    EXPECT_THROW(sys.run(), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST_F(FaultInjectTest, TraceCorruptionIsCaughtOnRead)
+{
+    // End-to-end: the writer flips one bit of record 5; the hardened
+    // reader must reject the file cleanly.
+    InstrTrace t("fuzz");
+    for (int i = 0; i < 10; ++i) {
+        TraceRecord r;
+        r.pc = 0x4000 + 4 * i;
+        t.append(r);
+    }
+    const std::string path = tempPath("injected.s64vtrc");
+    check::activeFaultPlan().parse("trace-corrupt:5");
+    writeTraceFile(path, t);
+    check::activeFaultPlan().clear();
+
+    setThrowOnError(true);
+    EXPECT_THROW(readTraceFile(path), std::runtime_error);
+    setThrowOnError(false);
+    std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectTest, UninjectedWritesStayReadable)
+{
+    InstrTrace t("clean");
+    for (int i = 0; i < 10; ++i) {
+        TraceRecord r;
+        r.pc = 0x4000 + 4 * i;
+        t.append(r);
+    }
+    const std::string path = tempPath("uninjected.s64vtrc");
+    writeTraceFile(path, t);
+    const InstrTrace back = readTraceFile(path);
+    EXPECT_EQ(back.size(), 10u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace s64v

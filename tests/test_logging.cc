@@ -1,5 +1,7 @@
 #include "common/logging.hh"
 
+#include <csignal>
+
 #include <gtest/gtest.h>
 
 namespace s64v
@@ -67,6 +69,68 @@ TEST(Logging, FatalThrowsInTestMode)
         EXPECT_NE(std::string(e.what()).find("bad config 'x'"),
                   std::string::npos);
     }
+    setThrowOnError(false);
+}
+
+// The process-level contract (see logging.hh): fatal() is a user
+// error and exits with status 1; panic() is an internal bug and
+// aborts so a debugger or core dump catches it.
+
+TEST(LoggingDeath, FatalExitsWithStatusOne)
+{
+    setThrowOnError(false);
+    EXPECT_EXIT(fatal("user gave us garbage"),
+                ::testing::ExitedWithCode(1), "fatal: user gave us");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    setThrowOnError(false);
+    EXPECT_EXIT(panic("internal invariant broken"),
+                ::testing::KilledBySignal(SIGABRT),
+                "panic: internal invariant");
+}
+
+TEST(Logging, ErrorHookRunsBeforeTheThrow)
+{
+    std::string seen_kind, seen_msg;
+    setErrorHook([&](const char *kind, const std::string &msg) {
+        seen_kind = kind;
+        seen_msg = msg;
+    });
+    setThrowOnError(true);
+    EXPECT_THROW(fatal("hooked failure %d", 7), std::runtime_error);
+    EXPECT_THROW(panic("hooked panic"), std::runtime_error);
+    setThrowOnError(false);
+    setErrorHook({});
+
+    EXPECT_EQ(seen_kind, "panic");
+    EXPECT_NE(seen_msg.find("hooked panic"), std::string::npos);
+}
+
+TEST(Logging, ThrowingErrorHookDoesNotMaskTheError)
+{
+    setErrorHook([](const char *, const std::string &) {
+        throw std::logic_error("hook exploded");
+    });
+    setThrowOnError(true);
+    // The original runtime_error must still surface even though the
+    // hook itself threw.
+    EXPECT_THROW(fatal("primary failure"), std::runtime_error);
+    setThrowOnError(false);
+    setErrorHook({});
+}
+
+TEST(Logging, RecursiveErrorHookDoesNotLoop)
+{
+    setThrowOnError(true);
+    setErrorHook([](const char *, const std::string &) {
+        // A buggy hook that itself hits an error path; the recursion
+        // guard must prevent infinite reentry.
+        fatal("error inside the error hook");
+    });
+    EXPECT_THROW(fatal("outer failure"), std::runtime_error);
+    setErrorHook({});
     setThrowOnError(false);
 }
 

@@ -1,0 +1,111 @@
+#include "check/watchdog.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace s64v::check
+{
+namespace
+{
+
+TEST(Watchdog, DoesNotFireWhileProgressing)
+{
+    Watchdog wd(100);
+    std::uint64_t committed = 0;
+    for (Cycle c = 0; c < 10'000; ++c) {
+        if (c % 50 == 0)
+            ++committed; // slow but steady progress.
+        EXPECT_FALSE(wd.tick(c, committed));
+    }
+    EXPECT_FALSE(wd.fired());
+}
+
+TEST(Watchdog, FiresAfterThresholdWithoutCommits)
+{
+    Watchdog wd(100);
+    EXPECT_FALSE(wd.tick(0, 5)); // progress observed at cycle 0.
+    bool fired = false;
+    Cycle fired_at = 0;
+    for (Cycle c = 1; c < 500 && !fired; ++c) {
+        fired = wd.tick(c, 5);
+        fired_at = c;
+    }
+    ASSERT_TRUE(fired);
+    EXPECT_EQ(fired_at, 100u);
+    EXPECT_TRUE(wd.fired());
+    EXPECT_EQ(wd.firedCycle(), 100u);
+    // Fires exactly once.
+    EXPECT_FALSE(wd.tick(fired_at + 1, 5));
+}
+
+TEST(Watchdog, CommitClearsTheDeadline)
+{
+    Watchdog wd(100);
+    std::uint64_t committed = 0;
+    for (Cycle c = 0; c < 99; ++c)
+        EXPECT_FALSE(wd.tick(c, committed));
+    ++committed; // commit just before the deadline.
+    EXPECT_FALSE(wd.tick(99, committed));
+    for (Cycle c = 100; c < 198; ++c)
+        EXPECT_FALSE(wd.tick(c, committed));
+    EXPECT_TRUE(wd.tick(199, committed)); // 100 cycles after cycle 99.
+}
+
+TEST(Watchdog, PendingEventWithinWindowDefers)
+{
+    Watchdog wd(100);
+    // A fill completing 50 cycles after the deadline: a legitimate
+    // long-latency stall, not a deadlock.
+    wd.setEventProbe([](Cycle now) { return now + 50; });
+    std::uint64_t committed = 1;
+    wd.tick(0, committed);
+    for (Cycle c = 1; c < 400; ++c)
+        EXPECT_FALSE(wd.tick(c, committed)) << "cycle " << c;
+    EXPECT_GT(wd.graceExtensions(), 0u);
+}
+
+TEST(Watchdog, UnreachableEventDoesNotDefer)
+{
+    Watchdog wd(100);
+    // A lost bus grant parks its transaction at kCycleNever / 2 —
+    // far beyond one threshold, so it must not count as progress.
+    wd.setEventProbe([](Cycle) { return kCycleNever / 2; });
+    wd.tick(0, 1);
+    bool fired = false;
+    for (Cycle c = 1; c <= 100 && !fired; ++c)
+        fired = wd.tick(c, 1);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(wd.graceExtensions(), 0u);
+}
+
+TEST(Watchdog, NoEventProbeMeansNoGrace)
+{
+    Watchdog wd(10);
+    wd.tick(0, 0);
+    bool fired = false;
+    for (Cycle c = 1; c <= 10 && !fired; ++c)
+        fired = wd.tick(c, 0);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Watchdog, DiagnosisMentionsTheDrought)
+{
+    Watchdog wd(10);
+    wd.tick(0, 7);
+    for (Cycle c = 1; c <= 10; ++c)
+        wd.tick(c, 7);
+    const std::string d = wd.diagnosis();
+    EXPECT_NE(d.find("no instruction committed"), std::string::npos);
+    EXPECT_NE(d.find("7 instructions"), std::string::npos);
+}
+
+TEST(Watchdog, ZeroThresholdIsFatal)
+{
+    setThrowOnError(true);
+    EXPECT_THROW(Watchdog wd(0), std::runtime_error);
+    setThrowOnError(false);
+}
+
+} // namespace
+} // namespace s64v::check
