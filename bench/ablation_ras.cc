@@ -25,24 +25,25 @@ main(int argc, char **argv)
                 "correction and cache degradation "
                 "(IPC ratio, base = healthy machine = 100%)");
 
+    const std::vector<GridRow> rows = standardRows();
+    const auto grid = runGrid(
+        rows,
+        {{"base", sparc64vBase()},
+         {"ecc-lo", withCacheErrorRate(sparc64vBase(), 1000)},
+         {"ecc-hi", withCacheErrorRate(sparc64vBase(), 10000)},
+         {"deg-1", withDegradedL2Ways(sparc64vBase(), 1)},
+         {"deg-2", withDegradedL2Ways(sparc64vBase(), 2)}});
+
     Table t({"workload", "base IPC", "ECC @1e3/M", "ECC @1e4/M",
              "L2 3/4 ways", "L2 2/4 ways"});
 
-    for (const std::string &wl : workloadNames()) {
-        const double base = runStandard(sparc64vBase(), wl).ipc;
-        const double ecc_lo = runStandard(
-            withCacheErrorRate(sparc64vBase(), 1000), wl).ipc;
-        const double ecc_hi = runStandard(
-            withCacheErrorRate(sparc64vBase(), 10000), wl).ipc;
-        const double deg1 = runStandard(
-            withDegradedL2Ways(sparc64vBase(), 1), wl).ipc;
-        const double deg2 = runStandard(
-            withDegradedL2Ways(sparc64vBase(), 2), wl).ipc;
-        t.addRow({wl, fmtDouble(base),
-                  fmtRatioPercent(ecc_lo, base),
-                  fmtRatioPercent(ecc_hi, base),
-                  fmtRatioPercent(deg1, base),
-                  fmtRatioPercent(deg2, base)});
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const double base = grid[r][0].sim.ipc;
+        t.addRow({rows[r].label, fmtDouble(base),
+                  fmtRatioPercent(grid[r][1].sim.ipc, base),
+                  fmtRatioPercent(grid[r][2].sim.ipc, base),
+                  fmtRatioPercent(grid[r][3].sim.ipc, base),
+                  fmtRatioPercent(grid[r][4].sim.ipc, base)});
     }
     std::fputs(t.render().c_str(), stdout);
     t.maybeWriteCsv("ablation_ras");

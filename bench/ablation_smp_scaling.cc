@@ -8,9 +8,12 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
+#include "common/logging.hh"
+#include "exp/sweep.hh"
 #include "obs/run_obs.hh"
 
 using namespace s64v;
@@ -18,33 +21,14 @@ using namespace s64v;
 namespace
 {
 
-struct Point
+/** Per-CPU IPC of one point (aggregate of the core IPCs). */
+double
+perCpuIpc(const SimResult &res)
 {
-    double throughput = 0.0;
-    double perCpu = 0.0;
-    std::uint64_t c2c = 0;
-    std::uint64_t invals = 0;
-    double busWaitPerKi = 0.0;
-};
-
-Point
-measure(MachineParams machine, std::size_t n)
-{
-    PerfModel model(machine);
-    model.loadWorkload(workloadByName("TPC-C"), n);
-    const SimResult res = model.run();
-    Point p;
-    p.throughput = res.ipc;
+    double per_cpu = 0.0;
     for (const CoreResult &cr : res.cores)
-        p.perCpu += cr.ipc;
-    p.perCpu /= res.cores.size();
-    p.c2c = model.system().mem().coherence().dirtySupplies();
-    p.invals = model.system().mem().coherence().invalidationsSent();
-    p.busWaitPerKi = res.measured
-        ? 1000.0 * model.system().mem().bus().conflictCycles() /
-            res.measured
-        : 0.0;
-    return p;
+        per_cpu += cr.ipc;
+    return per_cpu / res.cores.size();
 }
 
 } // namespace
@@ -56,37 +40,68 @@ main(int argc, char **argv)
     printHeader("Ablation: TPC-C SMP scaling and system balance");
 
     const std::size_t n = smpRunLength();
-    Table t({"CPUs", "throughput", "per-CPU IPC", "efficiency",
-             "bus wait/ki", "c2c", "invalidations"});
-
-    double base_per_cpu = 0.0;
-    for (unsigned cpus : {1u, 2u, 4u, 8u, 16u}) {
-        const Point p = measure(sparc64vBase(cpus), n);
-        if (cpus == 1)
-            base_per_cpu = p.perCpu;
-        t.addRow({std::to_string(cpus), fmtDouble(p.throughput),
-                  fmtDouble(p.perCpu),
-                  fmtRatioPercent(p.perCpu, base_per_cpu),
-                  fmtDouble(p.busWaitPerKi, 1),
-                  std::to_string(p.c2c), std::to_string(p.invals)});
-    }
-    std::fputs(t.render().c_str(), stdout);
+    const WorkloadProfile tpcc = workloadByName("TPC-C");
+    const unsigned widths[] = {1, 2, 4, 8, 16};
 
     // Balance counterfactual: a rebalanced communication structure at
     // 16P -- twice the bus bandwidth, a faster command phase, and
-    // twice the memory channels.
+    // twice the memory channels. It rides in the same sweep as the
+    // width scan (and shares the 16P trace with the stock machine).
     MachineParams wide = sparc64vBase(16);
     wide.sys.mem.bus.bytesPerCycle *= 2;
     wide.sys.mem.bus.requestLatency /= 2;
     wide.sys.mem.memctrl.channels *= 2;
     wide.name += "-rebalanced";
-    const Point base16 = measure(sparc64vBase(16), n);
-    const Point wide16 = measure(wide, n);
+
+    exp::Sweep sweep;
+    for (unsigned cpus : widths)
+        sweep.add(std::to_string(cpus) + "P", sparc64vBase(cpus),
+                  tpcc, n);
+    sweep.add("16P-rebalanced", wide, tpcc, n);
+    sweep.setMetricFn([](PerfModel &model, const SimResult &res,
+                         std::map<std::string, double> &metrics) {
+        MemSystem &mem = model.system().mem();
+        metrics["c2c"] =
+            static_cast<double>(mem.coherence().dirtySupplies());
+        metrics["invals"] = static_cast<double>(
+            mem.coherence().invalidationsSent());
+        metrics["bus_wait_per_ki"] = res.measured
+            ? 1000.0 * static_cast<double>(
+                  mem.bus().conflictCycles()) / res.measured
+            : 0.0;
+    });
+
+    const std::vector<exp::PointResult> results =
+        exp::runSweep(sweep);
+    for (const exp::PointResult &p : results) {
+        if (!p.ok)
+            fatal("sweep point '%s' failed: %s", p.label.c_str(),
+                  p.error.c_str());
+    }
+
+    Table t({"CPUs", "throughput", "per-CPU IPC", "efficiency",
+             "bus wait/ki", "c2c", "invalidations"});
+
+    const double base_per_cpu = perCpuIpc(results[0].sim);
+    for (std::size_t i = 0; i < std::size(widths); ++i) {
+        const exp::PointResult &p = results[i];
+        t.addRow({std::to_string(widths[i]), fmtDouble(p.sim.ipc),
+                  fmtDouble(perCpuIpc(p.sim)),
+                  fmtRatioPercent(perCpuIpc(p.sim), base_per_cpu),
+                  fmtDouble(p.metrics.at("bus_wait_per_ki"), 1),
+                  std::to_string(static_cast<std::uint64_t>(
+                      p.metrics.at("c2c"))),
+                  std::to_string(static_cast<std::uint64_t>(
+                      p.metrics.at("invals")))});
+    }
+    std::fputs(t.render().c_str(), stdout);
+
+    const double base16 = results[std::size(widths) - 1].sim.ipc;
+    const double wide16 = results[std::size(widths)].sim.ipc;
     std::printf("\n16P throughput with a rebalanced bus/memory path: "
                 "%s of the stock system (%0.3f vs %0.3f IPC)\n",
-                fmtRatioPercent(wide16.throughput,
-                                base16.throughput).c_str(),
-                wide16.throughput, base16.throughput);
+                fmtRatioPercent(wide16, base16).c_str(),
+                wide16, base16);
     std::puts("the gap is the \"system balance\" headroom the paper's "
               "methodology is designed to expose before silicon");
     return 0;

@@ -23,12 +23,8 @@ main(int argc, char **argv)
     printHeader("Ablation: §3 throughput techniques "
                 "(IPC ratio, base = full SPARC64 V = 100%)");
 
-    struct Variant
-    {
-        const char *label;
-        MachineParams machine;
-    };
-    const std::vector<Variant> variants = {
+    const std::vector<MachineVariant> variants = {
+        {"base", sparc64vBase()},
         {"no speculative dispatch (§3.1)",
          withSpeculativeDispatch(sparc64vBase(), false)},
         {"no data forwarding (§3.1)",
@@ -38,18 +34,20 @@ main(int argc, char **argv)
         {"no prefetch (§3.4)", withPrefetch(sparc64vBase(), false)},
     };
 
+    const std::vector<GridRow> rows = standardRows();
+    const auto grid = runGrid(rows, variants);
+
     std::vector<std::string> headers = {"workload", "base IPC"};
-    for (const Variant &v : variants)
-        headers.push_back(v.label);
+    for (std::size_t v = 1; v < variants.size(); ++v)
+        headers.push_back(variants[v].label);
     Table t(headers);
 
-    for (const std::string &wl : workloadNames()) {
-        const double base = runStandard(sparc64vBase(), wl).ipc;
-        std::vector<std::string> row = {wl, fmtDouble(base)};
-        for (const Variant &v : variants) {
-            const double ipc = runStandard(v.machine, wl).ipc;
-            row.push_back(fmtRatioPercent(ipc, base));
-        }
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const double base = grid[r][0].sim.ipc;
+        std::vector<std::string> row = {rows[r].label,
+                                        fmtDouble(base)};
+        for (std::size_t v = 1; v < variants.size(); ++v)
+            row.push_back(fmtRatioPercent(grid[r][v].sim.ipc, base));
         t.addRow(std::move(row));
     }
     std::fputs(t.render().c_str(), stdout);

@@ -25,12 +25,20 @@ main(int argc, char **argv)
     printHeader("Figure 7. Benchmark characteristics "
                 "(execution-time breakdown)");
 
+    // One parallel sweep: 4 differential runs per workload, every
+    // workload's trace synthesized once.
+    std::vector<WorkloadProfile> profiles;
+    for (const std::string &wl : workloadNames())
+        profiles.push_back(workloadByName(wl));
+    const std::vector<Breakdown> breakdowns =
+        computeBreakdowns(sparc64vBase(), profiles, upRunLength());
+
     Table t({"workload", "core", "branch", "ibs/tlb", "sx"});
-    for (const std::string &wl : workloadNames()) {
-        const Breakdown b = computeBreakdown(
-            sparc64vBase(), workloadByName(wl), upRunLength());
-        t.addRow({wl, fmtPercent(b.core), fmtPercent(b.branch),
-                  fmtPercent(b.ibsTlb), fmtPercent(b.sx)});
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const Breakdown &b = breakdowns[i];
+        t.addRow({profiles[i].name, fmtPercent(b.core),
+                  fmtPercent(b.branch), fmtPercent(b.ibsTlb),
+                  fmtPercent(b.sx)});
     }
     std::fputs(t.render().c_str(), stdout);
 

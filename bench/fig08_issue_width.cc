@@ -20,14 +20,18 @@ main(int argc, char **argv)
     printHeader("Figure 8. Issue width --- 4-way vs 2-way "
                 "(IPC ratio, base = 2-way = 100%)");
 
-    const MachineParams m4 = sparc64vBase();
-    const MachineParams m2 = withIssueWidth(sparc64vBase(), 2);
+    // Workloads x widths as one parallel sweep; each workload's
+    // trace is synthesized once and shared by both machines.
+    const std::vector<GridRow> rows = standardRows();
+    const auto grid = runGrid(
+        rows, {{"2-way", withIssueWidth(sparc64vBase(), 2)},
+               {"4-way", sparc64vBase()}});
 
     Table t({"workload", "2-way IPC", "4-way IPC", "4w/2w"});
-    for (const std::string &wl : workloadNames()) {
-        const double ipc2 = runStandard(m2, wl).ipc;
-        const double ipc4 = runStandard(m4, wl).ipc;
-        t.addRow({wl, fmtDouble(ipc2), fmtDouble(ipc4),
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const double ipc2 = grid[r][0].sim.ipc;
+        const double ipc4 = grid[r][1].sim.ipc;
+        t.addRow({rows[r].label, fmtDouble(ipc2), fmtDouble(ipc4),
                   fmtRatioPercent(ipc4, ipc2)});
     }
     std::fputs(t.render().c_str(), stdout);

@@ -21,15 +21,18 @@ main(int argc, char **argv)
     printHeader("Figure 9. Branch history table --- latency vs size "
                 "(IPC ratio, base = 16k-4w.2t = 100%)");
 
-    const MachineParams big = sparc64vBase();
-    const MachineParams small = withSmallBht(sparc64vBase());
+    const std::vector<GridRow> rows = standardRows();
+    const auto grid =
+        runGrid(rows, {{"16k-4w.2t", sparc64vBase()},
+                       {"4k-2w.1t", withSmallBht(sparc64vBase())}});
 
     Table t({"workload", "16k-4w.2t IPC", "4k-2w.1t IPC",
              "4k-2w.1t / 16k-4w.2t"});
-    for (const std::string &wl : workloadNames()) {
-        const double ipc_big = runStandard(big, wl).ipc;
-        const double ipc_small = runStandard(small, wl).ipc;
-        t.addRow({wl, fmtDouble(ipc_big), fmtDouble(ipc_small),
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const double ipc_big = grid[r][0].sim.ipc;
+        const double ipc_small = grid[r][1].sim.ipc;
+        t.addRow({rows[r].label, fmtDouble(ipc_big),
+                  fmtDouble(ipc_small),
                   fmtRatioPercent(ipc_small, ipc_big)});
     }
     std::fputs(t.render().c_str(), stdout);

@@ -13,34 +13,32 @@
 
 using namespace s64v;
 
-namespace
-{
-
-double
-mispredictRatio(const MachineParams &machine, const std::string &wl)
-{
-    PerfModel model(machine);
-    model.loadWorkload(workloadByName(wl), upRunLength());
-    model.run();
-    return model.system().core(0).bpred().mispredictRatio();
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
     s64v::obs::parseObsArgs(argc, argv);
     printHeader("Figure 10. Branch prediction failures");
 
-    const MachineParams big = sparc64vBase();
-    const MachineParams small = withSmallBht(sparc64vBase());
+    // The misprediction ratio lives in the branch predictor, not in
+    // SimResult: a metric probe reads it on the worker thread while
+    // each point's system is still alive.
+    const std::vector<GridRow> rows = standardRows();
+    const auto grid = runGrid(
+        rows,
+        {{"16k-4w.2t", sparc64vBase()},
+         {"4k-2w.1t", withSmallBht(sparc64vBase())}},
+        [](PerfModel &model, const SimResult &,
+           std::map<std::string, double> &metrics) {
+            metrics["mispredict"] =
+                model.system().core(0).bpred().mispredictRatio();
+        });
 
     Table t({"workload", "16k-4w.2t", "4k-2w.1t", "4k/16k"});
-    for (const std::string &wl : workloadNames()) {
-        const double r_big = mispredictRatio(big, wl);
-        const double r_small = mispredictRatio(small, wl);
-        t.addRow({wl, fmtPercent(r_big, 2), fmtPercent(r_small, 2),
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const double r_big = grid[r][0].metrics.at("mispredict");
+        const double r_small = grid[r][1].metrics.at("mispredict");
+        t.addRow({rows[r].label, fmtPercent(r_big, 2),
+                  fmtPercent(r_small, 2),
                   fmtRatioPercent(r_small, r_big)});
     }
     std::fputs(t.render().c_str(), stdout);

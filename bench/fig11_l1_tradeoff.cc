@@ -21,15 +21,18 @@ main(int argc, char **argv)
     printHeader("Figure 11. L1 cache --- latency vs volume "
                 "(IPC ratio, base = 128k-2w.4c = 100%)");
 
-    const MachineParams big = sparc64vBase();
-    const MachineParams small = withSmallL1(sparc64vBase());
+    const std::vector<GridRow> rows = standardRows();
+    const auto grid =
+        runGrid(rows, {{"128k-2w.4c", sparc64vBase()},
+                       {"32k-1w.3c", withSmallL1(sparc64vBase())}});
 
     Table t({"workload", "128k-2w.4c IPC", "32k-1w.3c IPC",
              "32k / 128k"});
-    for (const std::string &wl : workloadNames()) {
-        const double ipc_big = runStandard(big, wl).ipc;
-        const double ipc_small = runStandard(small, wl).ipc;
-        t.addRow({wl, fmtDouble(ipc_big), fmtDouble(ipc_small),
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const double ipc_big = grid[r][0].sim.ipc;
+        const double ipc_small = grid[r][1].sim.ipc;
+        t.addRow({rows[r].label, fmtDouble(ipc_big),
+                  fmtDouble(ipc_small),
                   fmtRatioPercent(ipc_small, ipc_big)});
     }
     std::fputs(t.render().c_str(), stdout);

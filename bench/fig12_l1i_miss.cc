@@ -13,34 +13,29 @@
 
 using namespace s64v;
 
-namespace
-{
-
-double
-l1iMiss(const MachineParams &machine, const std::string &wl)
-{
-    PerfModel model(machine);
-    model.loadWorkload(workloadByName(wl), upRunLength());
-    model.run();
-    return model.system().mem().l1i(0).demandMissRatio();
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
     s64v::obs::parseObsArgs(argc, argv);
     printHeader("Figure 12. L1 instruction cache miss ratio");
 
-    const MachineParams big = sparc64vBase();
-    const MachineParams small = withSmallL1(sparc64vBase());
+    const std::vector<GridRow> rows = standardRows();
+    const auto grid = runGrid(
+        rows,
+        {{"128k-2w", sparc64vBase()},
+         {"32k-1w", withSmallL1(sparc64vBase())}},
+        [](PerfModel &model, const SimResult &,
+           std::map<std::string, double> &metrics) {
+            metrics["l1i_miss"] =
+                model.system().mem().l1i(0).demandMissRatio();
+        });
 
     Table t({"workload", "128k-2w", "32k-1w", "32k/128k"});
-    for (const std::string &wl : workloadNames()) {
-        const double m_big = l1iMiss(big, wl);
-        const double m_small = l1iMiss(small, wl);
-        t.addRow({wl, fmtPercent(m_big, 2), fmtPercent(m_small, 2),
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const double m_big = grid[r][0].metrics.at("l1i_miss");
+        const double m_small = grid[r][1].metrics.at("l1i_miss");
+        t.addRow({rows[r].label, fmtPercent(m_big, 2),
+                  fmtPercent(m_small, 2),
                   fmtRatioPercent(m_small, m_big)});
     }
     std::fputs(t.render().c_str(), stdout);

@@ -22,32 +22,37 @@ main(int argc, char **argv)
     printHeader("Figure 14. L2 cache --- latency vs volume "
                 "(IPC ratio, base = on.2m-4w = 100%)");
 
-    Table t({"workload", "on.2m-4w IPC", "off.8m-2w", "off.8m-1w"});
+    // The UP rows use the long L2 run length; the SMP row uses the
+    // standard SMP length (instrs = 0). One sweep covers all of it,
+    // with per-row machine builders because the L2 variants must be
+    // constructed at each row's CPU count.
+    std::vector<GridRow> rows;
+    for (const std::string &wl : workloadNames())
+        rows.push_back({wl, wl, 1, l2RunLength()});
+    rows.push_back({"TPC-C (" + std::to_string(kSmpWidth) + "P)",
+                    "TPC-C", kSmpWidth, 0});
 
-    auto add_row = [&](const std::string &wl, unsigned cpus) {
-        const MachineParams on = sparc64vBase(cpus);
-        const MachineParams off2 =
-            withOffChipL2(sparc64vBase(cpus), 2);
-        const MachineParams off1 =
-            withOffChipL2(sparc64vBase(cpus), 1);
-        auto run = [&](const MachineParams &m) {
-            const std::size_t n = m.sys.numCpus > 1 ? smpRunLength()
-                                                    : l2RunLength();
-            return PerfModel::simulate(m, workloadByName(wl), n).ipc;
-        };
-        const double base = run(on);
-        const double o2 = run(off2);
-        const double o1 = run(off1);
-        const std::string label =
-            cpus > 1 ? wl + " (" + std::to_string(cpus) + "P)" : wl;
-        t.addRow({label, fmtDouble(base),
+    const auto grid = runGrid(
+        rows,
+        {{"on.2m-4w",
+          [](unsigned cpus) { return sparc64vBase(cpus); }},
+         {"off.8m-2w",
+          [](unsigned cpus) {
+              return withOffChipL2(sparc64vBase(cpus), 2);
+          }},
+         {"off.8m-1w", [](unsigned cpus) {
+              return withOffChipL2(sparc64vBase(cpus), 1);
+          }}});
+
+    Table t({"workload", "on.2m-4w IPC", "off.8m-2w", "off.8m-1w"});
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const double base = grid[r][0].sim.ipc;
+        const double o2 = grid[r][1].sim.ipc;
+        const double o1 = grid[r][2].sim.ipc;
+        t.addRow({rows[r].label, fmtDouble(base),
                   fmtRatioPercent(o2, base),
                   fmtRatioPercent(o1, base)});
-    };
-
-    for (const std::string &wl : workloadNames())
-        add_row(wl, 1);
-    add_row("TPC-C", kSmpWidth);
+    }
 
     std::fputs(t.render().c_str(), stdout);
     std::puts("\npaper reference: off.8m-1w: TPC-C(UP) 86%, "

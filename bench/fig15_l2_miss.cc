@@ -12,46 +12,43 @@
 
 using namespace s64v;
 
-namespace
-{
-
-double
-l2Miss(const MachineParams &machine, const std::string &wl)
-{
-    PerfModel model(machine);
-    const std::size_t n = machine.sys.numCpus > 1 ? smpRunLength()
-                                                  : l2RunLength();
-    model.loadWorkload(workloadByName(wl), n);
-    model.run();
-    return model.system().mem().l2DemandMissRatio();
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
     s64v::obs::parseObsArgs(argc, argv);
     printHeader("Figure 15. L2 cache miss ratio (demand)");
 
-    Table t({"workload", "on.2m-4w", "off.8m-2w", "off.8m-1w"});
-
-    auto add_row = [&](const std::string &wl, unsigned cpus) {
-        const double on =
-            l2Miss(sparc64vBase(cpus), wl);
-        const double o2 =
-            l2Miss(withOffChipL2(sparc64vBase(cpus), 2), wl);
-        const double o1 =
-            l2Miss(withOffChipL2(sparc64vBase(cpus), 1), wl);
-        const std::string label =
-            cpus > 1 ? wl + " (" + std::to_string(cpus) + "P)" : wl;
-        t.addRow({label, fmtPercent(on, 2), fmtPercent(o2, 2),
-                  fmtPercent(o1, 2)});
-    };
-
+    std::vector<GridRow> rows;
     for (const std::string &wl : workloadNames())
-        add_row(wl, 1);
-    add_row("TPC-C", kSmpWidth);
+        rows.push_back({wl, wl, 1, l2RunLength()});
+    rows.push_back({"TPC-C (" + std::to_string(kSmpWidth) + "P)",
+                    "TPC-C", kSmpWidth, 0});
+
+    const auto grid = runGrid(
+        rows,
+        {{"on.2m-4w",
+          [](unsigned cpus) { return sparc64vBase(cpus); }},
+         {"off.8m-2w",
+          [](unsigned cpus) {
+              return withOffChipL2(sparc64vBase(cpus), 2);
+          }},
+         {"off.8m-1w",
+          [](unsigned cpus) {
+              return withOffChipL2(sparc64vBase(cpus), 1);
+          }}},
+        [](PerfModel &model, const SimResult &,
+           std::map<std::string, double> &metrics) {
+            metrics["l2_miss"] =
+                model.system().mem().l2DemandMissRatio();
+        });
+
+    Table t({"workload", "on.2m-4w", "off.8m-2w", "off.8m-1w"});
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        t.addRow({rows[r].label,
+                  fmtPercent(grid[r][0].metrics.at("l2_miss"), 2),
+                  fmtPercent(grid[r][1].metrics.at("l2_miss"), 2),
+                  fmtPercent(grid[r][2].metrics.at("l2_miss"), 2)});
+    }
 
     std::fputs(t.render().c_str(), stdout);
     std::puts("\npaper reference: 8m-2w clearly below 2m-4w on "

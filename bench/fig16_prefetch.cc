@@ -20,16 +20,17 @@ main(int argc, char **argv)
     printHeader("Figure 16. Hardware prefetching impact "
                 "(IPC ratio, base = without prefetch = 100%)");
 
-    const MachineParams with_pf = sparc64vBase();
-    const MachineParams without_pf =
-        withPrefetch(sparc64vBase(), false);
+    const std::vector<GridRow> rows = standardRows();
+    const auto grid = runGrid(
+        rows, {{"no-prefetch", withPrefetch(sparc64vBase(), false)},
+               {"prefetch", sparc64vBase()}});
 
     Table t({"workload", "no-prefetch IPC", "prefetch IPC",
              "with/without"});
-    for (const std::string &wl : workloadNames()) {
-        const double off = runStandard(without_pf, wl).ipc;
-        const double on = runStandard(with_pf, wl).ipc;
-        t.addRow({wl, fmtDouble(off), fmtDouble(on),
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const double off = grid[r][0].sim.ipc;
+        const double on = grid[r][1].sim.ipc;
+        t.addRow({rows[r].label, fmtDouble(off), fmtDouble(on),
                   fmtRatioPercent(on, off)});
     }
     std::fputs(t.render().c_str(), stdout);

@@ -21,24 +21,24 @@ main(int argc, char **argv)
     s64v::obs::parseObsArgs(argc, argv);
     printHeader("Figure 17. Hardware prefetching --- L2 cache miss");
 
+    const std::vector<GridRow> rows = standardRows();
+    const auto grid = runGrid(
+        rows,
+        {{"with", sparc64vBase()},
+         {"without", withPrefetch(sparc64vBase(), false)}},
+        [](PerfModel &model, const SimResult &,
+           std::map<std::string, double> &metrics) {
+            metrics["l2_all"] = model.system().mem().l2MissRatio();
+            metrics["l2_demand"] =
+                model.system().mem().l2DemandMissRatio();
+        });
+
     Table t({"workload", "with", "with-Demand", "without"});
-    for (const std::string &wl : workloadNames()) {
-        PerfModel pf(sparc64vBase());
-        pf.loadWorkload(workloadByName(wl), upRunLength());
-        pf.run();
-        const double with_all = pf.system().mem().l2MissRatio();
-        const double with_demand =
-            pf.system().mem().l2DemandMissRatio();
-
-        PerfModel nopf(withPrefetch(sparc64vBase(), false));
-        nopf.loadWorkload(workloadByName(wl), upRunLength());
-        nopf.run();
-        const double without =
-            nopf.system().mem().l2DemandMissRatio();
-
-        t.addRow({wl, fmtPercent(with_all, 2),
-                  fmtPercent(with_demand, 2),
-                  fmtPercent(without, 2)});
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        t.addRow({rows[r].label,
+                  fmtPercent(grid[r][0].metrics.at("l2_all"), 2),
+                  fmtPercent(grid[r][0].metrics.at("l2_demand"), 2),
+                  fmtPercent(grid[r][1].metrics.at("l2_demand"), 2)});
     }
     std::fputs(t.render().c_str(), stdout);
     std::puts("\npaper reference: with-Demand < without (prefetch "

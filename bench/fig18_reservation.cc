@@ -22,14 +22,16 @@ main(int argc, char **argv)
     printHeader("Figure 18. Reservation station --- 1RS vs 2RS "
                 "(IPC ratio, base = 1RS = 100%)");
 
-    const MachineParams rs1 = withUnifiedRs(sparc64vBase(), true);
-    const MachineParams rs2 = sparc64vBase(); // 2RS is the default.
+    const std::vector<GridRow> rows = standardRows();
+    const auto grid = runGrid(
+        rows, {{"1RS", withUnifiedRs(sparc64vBase(), true)},
+               {"2RS", sparc64vBase()}}); // 2RS is the default.
 
     Table t({"workload", "1RS IPC", "2RS IPC", "2RS/1RS"});
-    for (const std::string &wl : workloadNames()) {
-        const double ipc1 = runStandard(rs1, wl).ipc;
-        const double ipc2 = runStandard(rs2, wl).ipc;
-        t.addRow({wl, fmtDouble(ipc1), fmtDouble(ipc2),
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const double ipc1 = grid[r][0].sim.ipc;
+        const double ipc2 = grid[r][1].sim.ipc;
+        t.addRow({rows[r].label, fmtDouble(ipc1), fmtDouble(ipc2),
                   fmtRatioPercent(ipc2, ipc1)});
     }
     std::fputs(t.render().c_str(), stdout);

@@ -21,6 +21,8 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
+#include "common/logging.hh"
+#include "exp/sweep.hh"
 #include "model/versions.hh"
 #include "obs/run_obs.hh"
 
@@ -37,14 +39,30 @@ main(int argc, char **argv)
     printHeader("Figure 19 (upper). Estimates vs model version "
                 "(normalized to v8 = 100%)");
 
+    // All 2 x 8 version estimates as one parallel sweep; the two
+    // workload traces are synthesized once each and shared by every
+    // model version.
+    exp::Sweep versions;
+    for (unsigned v = 1; v <= kNumModelVersions; ++v) {
+        versions.add("v" + std::to_string(v) + "/int",
+                     modelVersion(v), wl_int, n);
+        versions.add("v" + std::to_string(v) + "/fp",
+                     modelVersion(v), wl_fp, n);
+    }
+    const std::vector<exp::PointResult> vres =
+        exp::runSweep(versions);
+    for (const exp::PointResult &p : vres) {
+        if (!p.ok)
+            fatal("sweep point '%s' failed: %s", p.label.c_str(),
+                  p.error.c_str());
+    }
+
     double v8_int = 0.0, v8_fp = 0.0;
     std::vector<double> ipc_int(kNumModelVersions + 1);
     std::vector<double> ipc_fp(kNumModelVersions + 1);
     for (unsigned v = 1; v <= kNumModelVersions; ++v) {
-        ipc_int[v] =
-            PerfModel::simulate(modelVersion(v), wl_int, n).ipc;
-        ipc_fp[v] =
-            PerfModel::simulate(modelVersion(v), wl_fp, n).ipc;
+        ipc_int[v] = vres[2 * (v - 1)].sim.ipc;
+        ipc_fp[v] = vres[2 * (v - 1) + 1].sim.ipc;
     }
     v8_int = ipc_int[kNumModelVersions];
     v8_fp = ipc_fp[kNumModelVersions];
@@ -65,19 +83,34 @@ main(int argc, char **argv)
 
     // The "physical machine": the final design including the silicon
     // details the software model abstracts (see physicalMachine()).
-    const double phys_int =
-        PerfModel::simulate(physicalMachine(), wl_int, n).ipc;
-    const double phys_fp =
-        PerfModel::simulate(physicalMachine(), wl_fp, n).ipc;
+    // It and every timeline point run in one sweep.
+    exp::Sweep timeline;
+    timeline.add("phys/int", physicalMachine(), wl_int, n);
+    timeline.add("phys/fp", physicalMachine(), wl_fp, n);
+    const std::vector<TimelinePoint> pts = validationTimeline();
+    for (const TimelinePoint &pt : pts) {
+        const MachineParams m =
+            applyTimelinePoint(sparc64vBase(), pt);
+        timeline.add(pt.label + "/int", m, wl_int, n);
+        timeline.add(pt.label + "/fp", m, wl_fp, n);
+    }
+    const std::vector<exp::PointResult> tres =
+        exp::runSweep(timeline);
+    for (const exp::PointResult &p : tres) {
+        if (!p.ok)
+            fatal("sweep point '%s' failed: %s", p.label.c_str(),
+                  p.error.c_str());
+    }
+    const double phys_int = tres[0].sim.ipc;
+    const double phys_fp = tres[1].sim.ipc;
 
     Table low({"time", "int2000 model/phys", "fp2000 model/phys",
                "int err", "fp err"});
     double final_int_err = 0.0, final_fp_err = 0.0;
-    for (const TimelinePoint &pt : validationTimeline()) {
-        const MachineParams m =
-            applyTimelinePoint(sparc64vBase(), pt);
-        const double mi = PerfModel::simulate(m, wl_int, n).ipc;
-        const double mf = PerfModel::simulate(m, wl_fp, n).ipc;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const TimelinePoint &pt = pts[i];
+        const double mi = tres[2 + 2 * i].sim.ipc;
+        const double mf = tres[2 + 2 * i + 1].sim.ipc;
         final_int_err = std::fabs(mi / phys_int - 1.0);
         final_fp_err = std::fabs(mf / phys_fp - 1.0);
         low.addRow({pt.label, fmtRatioPercent(mi, phys_int),

@@ -35,7 +35,8 @@ void
 BM_SimSpeedTpccUp(benchmark::State &state)
 {
     const auto n = static_cast<std::size_t>(state.range(0));
-    const InstrTrace trace = generateTrace(tpccProfile(), n);
+    const auto trace = std::make_shared<const InstrTrace>(
+        generateTrace(tpccProfile(), n));
     for (auto _ : state) {
         PerfModel m(sparc64vBase());
         m.loadTrace(0, trace);
@@ -51,7 +52,8 @@ void
 BM_SimSpeedSpecint(benchmark::State &state)
 {
     const auto n = static_cast<std::size_t>(state.range(0));
-    const InstrTrace trace = generateTrace(specint2000Profile(), n);
+    const auto trace = std::make_shared<const InstrTrace>(
+        generateTrace(specint2000Profile(), n));
     for (auto _ : state) {
         PerfModel m(sparc64vBase());
         m.loadTrace(0, trace);
@@ -68,9 +70,10 @@ BM_SimSpeedTpccSmp4(benchmark::State &state)
 {
     const auto n = static_cast<std::size_t>(state.range(0));
     TraceGenerator gen(tpccProfile(), 4);
-    std::vector<InstrTrace> traces;
+    std::vector<std::shared_ptr<const InstrTrace>> traces;
     for (CpuId c = 0; c < 4; ++c)
-        traces.push_back(gen.generate(n, c));
+        traces.push_back(
+            std::make_shared<const InstrTrace>(gen.generate(n, c)));
     for (auto _ : state) {
         PerfModel m(sparc64vBase(4));
         for (CpuId c = 0; c < 4; ++c)

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Sweep-engine scaling harness: runs a Figure-8-style sweep (every
+ * paper workload x two issue widths) once serially and once on the
+ * worker pool, verifies the results are identical point for point,
+ * and records both wall times plus the parallel speedup in
+ * BENCH_sweep.json. This is the repo's regression guard for the
+ * experiment engine: the speedup trend belongs in the benchmark
+ * trajectory next to the KIPS numbers.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "analysis/experiment.hh"
+#include "common/logging.hh"
+#include "exp/sweep.hh"
+#include "obs/bench_record.hh"
+#include "obs/run_obs.hh"
+
+using namespace s64v;
+
+namespace
+{
+
+double
+nowSeconds()
+{
+    using Clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+exp::Sweep
+buildSweep()
+{
+    exp::Sweep sweep;
+    const MachineParams machines[2] = {
+        withIssueWidth(sparc64vBase(), 2), sparc64vBase()};
+    const char *const widths[2] = {"2-way", "4-way"};
+    for (const std::string &wl : workloadNames()) {
+        for (unsigned m = 0; m < 2; ++m) {
+            sweep.add(wl + "/" + widths[m], machines[m],
+                      workloadByName(wl), upRunLength());
+        }
+    }
+    return sweep;
+}
+
+/** Die unless @p a and @p b are the same run, bit for bit. */
+void
+requireIdentical(const exp::PointResult &a, const exp::PointResult &b)
+{
+    if (!a.ok || !b.ok) {
+        fatal("sweep point '%s' failed: %s", a.label.c_str(),
+              (a.ok ? b.error : a.error).c_str());
+    }
+    const bool same = a.sim.cycles == b.sim.cycles &&
+        a.sim.instructions == b.sim.instructions &&
+        a.sim.measured == b.sim.measured && a.sim.ipc == b.sim.ipc &&
+        a.sim.warmupEndCycle == b.sim.warmupEndCycle &&
+        a.sim.hitCycleCap == b.sim.hitCycleCap;
+    if (!same) {
+        fatal("serial/parallel divergence at point '%s': "
+              "%llu vs %llu cycles, %.6f vs %.6f IPC",
+              a.label.c_str(),
+              static_cast<unsigned long long>(a.sim.cycles),
+              static_cast<unsigned long long>(b.sim.cycles),
+              a.sim.ipc, b.sim.ipc);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    s64v::obs::parseObsArgs(argc, argv);
+    const unsigned threads = exp::SweepRunner::resolveThreads(0);
+
+    const exp::Sweep sweep = buildSweep();
+    std::printf("sweep scaling: %zu points, %u worker thread(s)\n",
+                sweep.size(), threads);
+
+    const double t0 = nowSeconds();
+    exp::SweepOptions serial_opts;
+    serial_opts.threads = 1;
+    const std::vector<exp::PointResult> serial =
+        exp::SweepRunner(serial_opts).run(sweep);
+    const double t1 = nowSeconds();
+    const std::vector<exp::PointResult> parallel =
+        exp::SweepRunner().run(sweep);
+    const double t2 = nowSeconds();
+
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        requireIdentical(serial[i], parallel[i]);
+
+    const double serial_s = t1 - t0;
+    const double parallel_s = t2 - t1;
+    const double speedup =
+        parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+    std::printf("serial   %7.3f s\nparallel %7.3f s  (speedup "
+                "%.2fx on %u threads)\nresults identical point for "
+                "point\n",
+                serial_s, parallel_s, speedup, threads);
+
+    obs::setBenchMetric("serial_seconds", serial_s);
+    obs::setBenchMetric("parallel_seconds", parallel_s);
+    obs::setBenchMetric("parallel_speedup", speedup);
+    obs::setBenchMetric("threads", static_cast<double>(threads));
+    return 0;
+}

@@ -15,7 +15,9 @@
 #include "analysis/report.hh"
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "exp/sweep.hh"
 #include "model/perf_model.hh"
+#include "obs/run_obs.hh"
 #include "workload/workloads.hh"
 
 using namespace s64v;
@@ -23,6 +25,7 @@ using namespace s64v;
 int
 main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv); // honour --threads=N etc.
     ConfigMap cfg;
     cfg.parseArgs(argc, argv);
     const std::string wl = cfg.getString("workload", "TPC-C");
@@ -51,16 +54,25 @@ main(int argc, char **argv)
 
     printHeader("Design-space sweep on " + wl);
 
-    double base_ipc = 0.0;
+    // One parallel sweep: the workload trace is synthesized once and
+    // shared by all machine variants.
+    exp::Sweep sweep;
+    for (const Variant &v : variants)
+        sweep.add(v.label, v.machine, profile, n);
+    const std::vector<exp::PointResult> results =
+        exp::runSweep(sweep);
+    for (const exp::PointResult &p : results) {
+        if (!p.ok)
+            fatal("sweep point '%s' failed: %s", p.label.c_str(),
+                  p.error.c_str());
+    }
+
+    const double base_ipc = results[0].sim.ipc;
     Table t({"variant", "IPC", "vs base", ""});
-    for (const Variant &v : variants) {
-        const SimResult res =
-            PerfModel::simulate(v.machine, profile, n);
-        if (base_ipc == 0.0)
-            base_ipc = res.ipc;
-        t.addRow({v.label, fmtDouble(res.ipc),
-                  fmtRatioPercent(res.ipc, base_ipc),
-                  fmtBar(res.ipc / (2 * base_ipc), 30)});
+    for (const exp::PointResult &p : results) {
+        t.addRow({p.label, fmtDouble(p.sim.ipc),
+                  fmtRatioPercent(p.sim.ipc, base_ipc),
+                  fmtBar(p.sim.ipc / (2 * base_ipc), 30)});
     }
     std::fputs(t.render().c_str(), stdout);
     for (const std::string &key : cfg.unconsumedKeys())

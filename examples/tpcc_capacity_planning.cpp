@@ -15,7 +15,9 @@
 #include "analysis/report.hh"
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "exp/sweep.hh"
 #include "model/perf_model.hh"
+#include "obs/run_obs.hh"
 #include "workload/workloads.hh"
 
 using namespace s64v;
@@ -23,6 +25,7 @@ using namespace s64v;
 int
 main(int argc, char **argv)
 {
+    s64v::obs::parseObsArgs(argc, argv); // honour --threads=N etc.
     ConfigMap cfg;
     cfg.parseArgs(argc, argv);
     const std::size_t n =
@@ -35,11 +38,33 @@ main(int argc, char **argv)
     Table t({"CPUs", "throughput (IPC)", "per-CPU IPC", "efficiency",
              "bus busy", "c2c transfers"});
 
+    // All SMP widths as one parallel sweep; component counters come
+    // back through a metric probe.
+    exp::Sweep sweep;
+    for (unsigned cpus = 1; cpus <= max_cpus; cpus *= 2)
+        sweep.add(std::to_string(cpus) + "P", sparc64vBase(cpus),
+                  tpccProfile(), n);
+    sweep.setMetricFn([](PerfModel &model, const SimResult &res,
+                         std::map<std::string, double> &metrics) {
+        MemSystem &mem = model.system().mem();
+        metrics["bus_busy"] = res.cycles
+            ? static_cast<double>(mem.bus().conflictCycles()) /
+                res.cycles
+            : 0.0;
+        metrics["c2c"] =
+            static_cast<double>(mem.coherence().dirtySupplies());
+    });
+    const std::vector<exp::PointResult> results =
+        exp::runSweep(sweep);
+
     double base_per_cpu = 0.0;
-    for (unsigned cpus = 1; cpus <= max_cpus; cpus *= 2) {
-        PerfModel model(sparc64vBase(cpus));
-        model.loadWorkload(tpccProfile(), n);
-        const SimResult res = model.run();
+    std::size_t i = 0;
+    for (unsigned cpus = 1; cpus <= max_cpus; cpus *= 2, ++i) {
+        const exp::PointResult &p = results[i];
+        if (!p.ok)
+            fatal("sweep point '%s' failed: %s", p.label.c_str(),
+                  p.error.c_str());
+        const SimResult &res = p.sim;
 
         double per_cpu = 0.0;
         for (const CoreResult &cr : res.cores)
@@ -48,19 +73,12 @@ main(int argc, char **argv)
         if (cpus == 1)
             base_per_cpu = per_cpu;
 
-        Bus &bus = model.system().mem().bus();
-        const double bus_busy = res.cycles
-            ? static_cast<double>(bus.conflictCycles()) / res.cycles
-            : 0.0;
-
         t.addRow({std::to_string(cpus), fmtDouble(res.ipc),
                   fmtDouble(per_cpu),
                   fmtRatioPercent(per_cpu, base_per_cpu),
-                  fmtDouble(bus_busy, 2),
-                  std::to_string(model.system()
-                                     .mem()
-                                     .coherence()
-                                     .dirtySupplies())});
+                  fmtDouble(p.metrics.at("bus_busy"), 2),
+                  std::to_string(static_cast<std::uint64_t>(
+                      p.metrics.at("c2c")))});
     }
     std::fputs(t.render().c_str(), stdout);
     std::puts("\nefficiency = per-CPU IPC relative to the "

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/sweep.hh"
 #include "model/params.hh"
 #include "model/perf_model.hh"
 #include "workload/workloads.hh"
@@ -61,6 +62,51 @@ void forEachWorkload(
  */
 SimResult runStandard(const MachineParams &machine,
                       const std::string &workload_name);
+
+/**
+ * A labelled machine configuration of a bench grid — one column of a
+ * paper figure. Constructible from a fixed machine (the common UP
+ * case) or from a builder invoked with each row's CPU count (for
+ * grids that mix UP and SMP rows, e.g. Figures 14/15).
+ */
+struct MachineVariant
+{
+    /** Fixed machine: every row must match its CPU count. */
+    MachineVariant(std::string label, MachineParams machine);
+
+    /** Per-row machine, built from the row's CPU count. */
+    MachineVariant(std::string label,
+                   std::function<MachineParams(unsigned cpus)> build);
+
+    std::string label;
+    std::function<MachineParams(unsigned cpus)> build;
+};
+
+/** One grid row: a workload played at a given SMP width and length. */
+struct GridRow
+{
+    std::string label;    ///< row label for tables.
+    std::string workload; ///< workloadByName() key.
+    unsigned cpus = 1;
+    /** Trace records per CPU; 0 = standard length for @c cpus. */
+    std::size_t instrs = 0;
+};
+
+/** One GridRow per paper workload (UP, standard run length). */
+std::vector<GridRow> standardRows();
+
+/**
+ * Run rows x variants as ONE parallel sweep (see exp::SweepRunner):
+ * every distinct trace is synthesized once, the points run on the
+ * sweep worker pool, and @p metric (if any) captures component
+ * statistics per point. @return results indexed [row][variant]. A
+ * failed point is fatal — the figures these grids feed cannot
+ * tolerate silently missing cells.
+ */
+std::vector<std::vector<exp::PointResult>>
+runGrid(const std::vector<GridRow> &rows,
+        const std::vector<MachineVariant> &variants,
+        const exp::MetricFn &metric = {});
 
 } // namespace s64v
 

@@ -1,6 +1,7 @@
 #include "check/crash_report.hh"
 
 #include <fstream>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "obs/json.hh"
@@ -15,7 +16,12 @@ namespace check
 
 namespace
 {
-System *crashSystem_ = nullptr;
+/**
+ * Per-thread: each sweep worker registers the system it is running,
+ * so a panic on any thread reports the machine that actually died
+ * instead of whichever system another thread registered last.
+ */
+thread_local System *crashSystem_ = nullptr;
 } // namespace
 
 void
@@ -128,6 +134,8 @@ buildCrashReportJson(System &sys, const char *kind,
     w.field("kind", kind);
     w.field("message", msg);
     w.field("cycle", std::uint64_t{sys.currentCycle()});
+    w.field("max_cycles", sys.params().maxCycles);
+    w.field("hit_cycle_cap", sys.hitCycleCap());
     w.field("num_cpus", std::uint64_t{sys.params().numCpus});
     w.beginArray("cores");
     for (CpuId c = 0; c < sys.params().numCpus; ++c)
@@ -165,6 +173,10 @@ installCrashReporting(const std::string &path)
         System *sys = crashSystem();
         if (!sys)
             return;
+        // Concurrent sweep points can crash together; serialize the
+        // report files so they never interleave.
+        static std::mutex reportMutex;
+        std::lock_guard<std::mutex> lock(reportMutex);
         writeCrashReport(dest, buildCrashReportJson(*sys, kind, msg));
         // Salvage the partial stats of the crashed run as well.
         const obs::ObsOptions &opts = obs::runObsOptions();

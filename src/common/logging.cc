@@ -12,9 +12,14 @@ namespace
 {
 
 std::string *logSink = nullptr;
-bool throwOnError = false;
+/**
+ * Per-thread: a sweep worker converts its own panics into exceptions
+ * (per-point error isolation) without changing how every other
+ * thread's errors terminate the process.
+ */
+thread_local bool throwOnError = false;
 ErrorHook errorHook;
-bool inErrorHook = false;
+thread_local bool inErrorHook = false;
 
 /** Run the error hook once, shielding against recursive errors. */
 void
@@ -107,6 +112,12 @@ void
 setThrowOnError(bool throw_on_error)
 {
     throwOnError = throw_on_error;
+}
+
+bool
+throwOnErrorEnabled()
+{
+    return throwOnError;
 }
 
 void

@@ -81,9 +81,14 @@ void setLogSink(std::string *sink);
 
 /**
  * Make panic()/fatal() throw std::runtime_error instead of
- * terminating. Used by the test suite to assert on error paths.
+ * terminating. Per-thread: the test suite uses it to assert on error
+ * paths, and each sweep worker uses it to contain a dying point to
+ * that point.
  */
 void setThrowOnError(bool throw_on_error);
+
+/** Whether panic()/fatal() throw on the calling thread. */
+bool throwOnErrorEnabled();
 
 /**
  * Callback invoked with ("panic"|"fatal", message) from inside

@@ -25,6 +25,7 @@
 #include "cpu/rob.hh"
 #include "cpu/rs.hh"
 #include "mem/hierarchy.hh"
+#include "sim/clocked.hh"
 #include "trace/trace.hh"
 
 namespace s64v
@@ -50,8 +51,8 @@ struct RecentCommit
     Cycle cycle = 0;
 };
 
-/** One processor core. */
-class Core
+/** One processor core; a Clocked component of the cycle kernel. */
+class Core : public Clocked
 {
   public:
     Core(const CoreParams &params, CpuId cpu, MemSystem &mem,
@@ -70,10 +71,10 @@ class Core
     }
 
     /** Advance the core by one cycle. */
-    void tick(Cycle cycle);
+    void tick(Cycle cycle) override;
 
     /** @return true when the trace is fully executed and drained. */
-    bool done() const;
+    bool done() const override;
 
     std::uint64_t committed() const { return committed_.value(); }
     Cycle lastCommitCycle() const { return lastCommitCycle_; }

@@ -1,0 +1,172 @@
+#include "exp/sweep.hh"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "check/crash_report.hh"
+#include "check/signals.hh"
+#include "common/logging.hh"
+#include "obs/run_obs.hh"
+
+namespace s64v::exp
+{
+
+SweepPoint &
+Sweep::add(std::string label, MachineParams machine,
+           WorkloadProfile profile, std::size_t instrs)
+{
+    points_.push_back({std::move(label), std::move(machine),
+                       std::move(profile), instrs});
+    return points_.back();
+}
+
+unsigned
+SweepRunner::resolveThreads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    if (obs::runObsOptions().threads != 0)
+        return obs::runObsOptions().threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+unsigned
+SweepRunner::effectiveThreads(std::size_t num_points) const
+{
+    const unsigned resolved = resolveThreads(opts_.threads);
+    if (num_points == 0)
+        return 1;
+    return resolved < num_points
+        ? resolved
+        : static_cast<unsigned>(num_points);
+}
+
+/**
+ * RAII save/restore of the calling thread's throw-on-error flag. A
+ * worker needs panics converted to exceptions for the lifetime of one
+ * point only; the sweep may itself be running under a test harness
+ * that already set the flag.
+ */
+namespace
+{
+class ScopedThrowOnError
+{
+  public:
+    ScopedThrowOnError() : saved_(throwOnErrorEnabled())
+    {
+        setThrowOnError(true);
+    }
+    ~ScopedThrowOnError() { setThrowOnError(saved_); }
+
+    ScopedThrowOnError(const ScopedThrowOnError &) = delete;
+    ScopedThrowOnError &operator=(const ScopedThrowOnError &) = delete;
+
+  private:
+    bool saved_;
+};
+} // namespace
+
+void
+SweepRunner::runPoint(const SweepPoint &point,
+                      const TracePool::TraceSet &traces,
+                      const MetricFn &metricFn, PointResult &out) const
+{
+    out.label = point.label;
+
+    MachineParams machine = point.machine;
+    if (opts_.standardWarmup)
+        machine.sys.warmupInstrs = point.instrs / 5;
+
+    ScopedThrowOnError isolate;
+    try {
+        PerfModel model(machine);
+        model.setEmbedded(true);
+        for (CpuId cpu = 0; cpu < machine.sys.numCpus; ++cpu)
+            model.loadTrace(cpu, traces[cpu]);
+        out.sim = model.run();
+        if (metricFn)
+            metricFn(model, out.sim, out.metrics);
+        out.ok = true;
+    } catch (const std::exception &e) {
+        out.ok = false;
+        out.error = e.what();
+        warn("sweep point '%s' failed: %s", point.label.c_str(),
+             e.what());
+    }
+
+    if (opts_.verbose && out.ok) {
+        inform("sweep point '%s' done: ipc=%.4f cycles=%llu",
+               point.label.c_str(), out.sim.ipc,
+               static_cast<unsigned long long>(out.sim.cycles));
+    }
+}
+
+std::vector<PointResult>
+SweepRunner::run(const Sweep &sweep)
+{
+    const std::vector<SweepPoint> &points = sweep.points();
+    std::vector<PointResult> results(points.size());
+    if (points.empty())
+        return results;
+
+    // All trace synthesis happens here, serially, before any worker
+    // starts: N points over one workload share a single immutable
+    // trace, and generation order (hence every Rng stream) does not
+    // depend on the worker count.
+    TracePool pool;
+    std::vector<const TracePool::TraceSet *> traceSets(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        traceSets[i] = &pool.acquire(points[i].profile,
+                                     points[i].machine.sys.numCpus,
+                                     points[i].instrs);
+    }
+
+    // Process-level run machinery, once for the whole sweep. The
+    // embedded models skip their own installs.
+    check::installCrashReporting(obs::runObsOptions().crashReportPath);
+    check::ScopedSignalGuard guard;
+
+    const unsigned threads = effectiveThreads(points.size());
+    std::atomic<std::size_t> next{0};
+    const MetricFn &metricFn = sweep.metricFn();
+
+    auto workerLoop = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size())
+                break;
+            if (check::stopRequested()) {
+                results[i].label = points[i].label;
+                results[i].error = "interrupted";
+                continue;
+            }
+            runPoint(points[i], *traceSets[i], metricFn, results[i]);
+        }
+    };
+
+    if (threads <= 1) {
+        workerLoop();
+    } else {
+        std::vector<std::thread> workers;
+        workers.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            workers.emplace_back(workerLoop);
+        for (std::thread &w : workers)
+            w.join();
+    }
+
+    check::uninstallCrashReporting();
+    return results;
+}
+
+std::vector<PointResult>
+runSweep(const Sweep &sweep)
+{
+    return SweepRunner().run(sweep);
+}
+
+} // namespace s64v::exp

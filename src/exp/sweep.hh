@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The experiment engine: declarative parameter sweeps run on a worker
+ * pool. A Sweep is an ordered list of (machine, workload) points; a
+ * SweepRunner synthesizes every distinct trace once up front (shared
+ * immutably across points, see exp::TracePool), then runs the points
+ * on N threads with per-point error isolation — one panicking
+ * configuration is reported as a failed point instead of killing the
+ * whole sweep. Results come back in point order regardless of the
+ * worker count, and a single-run sweep executes the exact serial code
+ * path, so serial and parallel sweeps produce bit-identical
+ * SimResults point for point.
+ *
+ * Thread count: SweepOptions::threads, else the process-wide
+ * --threads=N flag (obs::runObsOptions().threads), else one worker
+ * per hardware thread.
+ */
+
+#ifndef S64V_EXP_SWEEP_HH
+#define S64V_EXP_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/trace_pool.hh"
+#include "model/params.hh"
+#include "model/perf_model.hh"
+#include "sim/system.hh"
+#include "workload/profile.hh"
+
+namespace s64v::exp
+{
+
+/** One simulation to run: a machine playing a workload. */
+struct SweepPoint
+{
+    /** Human-readable point name used in logs and failure reports. */
+    std::string label;
+    MachineParams machine;
+    WorkloadProfile profile;
+    /** Trace records per CPU. */
+    std::size_t instrs = 0;
+};
+
+/**
+ * Hook run on the worker thread after a point finishes, while its
+ * System is still alive — the only chance to read component-level
+ * counters (branch-predictor ratios, cache miss ratios, bus
+ * transactions, ...) that are not part of SimResult. Store what you
+ * need into @p metrics under names of your choosing.
+ */
+using MetricFn = std::function<void(
+    PerfModel &model, const SimResult &res,
+    std::map<std::string, double> &metrics)>;
+
+/** Outcome of one sweep point. */
+struct PointResult
+{
+    std::string label;
+    SimResult sim;
+    /** Values captured by the sweep's MetricFn (empty if none). */
+    std::map<std::string, double> metrics;
+    /** False if the point panicked/fataled; see error. */
+    bool ok = false;
+    /** Diagnostic for a failed point. */
+    std::string error;
+};
+
+/** An ordered batch of sweep points plus an optional metric probe. */
+class Sweep
+{
+  public:
+    /** Append a point; returns it for further tweaking. */
+    SweepPoint &add(std::string label, MachineParams machine,
+                    WorkloadProfile profile, std::size_t instrs);
+
+    /** Install the per-point metric probe (see MetricFn). */
+    void setMetricFn(MetricFn fn) { metricFn_ = std::move(fn); }
+
+    const std::vector<SweepPoint> &points() const { return points_; }
+    const MetricFn &metricFn() const { return metricFn_; }
+    std::size_t size() const { return points_.size(); }
+
+  private:
+    std::vector<SweepPoint> points_;
+    MetricFn metricFn_;
+};
+
+struct SweepOptions
+{
+    /**
+     * Worker threads; 0 defers to --threads=N and then to
+     * std::thread::hardware_concurrency(). Clamped to the point
+     * count. 1 runs every point inline on the calling thread.
+     */
+    unsigned threads = 0;
+    /**
+     * Apply the standard warmup convention (warmupInstrs =
+     * instrs / 5, matching PerfModel::loadWorkload) to every point.
+     * Disable to honour each point's own machine.sys.warmupInstrs.
+     */
+    bool standardWarmup = true;
+    /** Announce per-point completion via inform(). */
+    bool verbose = false;
+};
+
+/**
+ * Executes Sweeps. Owns the process-level run machinery (crash
+ * reporting, the SIGINT/SIGTERM guard) once for the whole sweep; the
+ * embedded PerfModels it hosts skip their per-run installs. The
+ * process-wide observability options and fault-injection plan must
+ * not be mutated while run() is executing.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts = {}) : opts_(opts) {}
+
+    /**
+     * Run every point; @return results in point order. A failed point
+     * occupies its slot with ok == false and a default SimResult.
+     * Ctrl-C stops dispatching new points; already-running points
+     * finish at the next cycle boundary and undispatched points come
+     * back as failed with error "interrupted".
+     */
+    std::vector<PointResult> run(const Sweep &sweep);
+
+    /** The worker count run() will use for @p num_points points. */
+    unsigned effectiveThreads(std::size_t num_points) const;
+
+    /** Resolve a thread request (see SweepOptions::threads). */
+    static unsigned resolveThreads(unsigned requested);
+
+  private:
+    void runPoint(const SweepPoint &point,
+                  const TracePool::TraceSet &traces,
+                  const MetricFn &metricFn, PointResult &out) const;
+
+    SweepOptions opts_;
+};
+
+/** One-shot convenience: run @p sweep with default options. */
+std::vector<PointResult> runSweep(const Sweep &sweep);
+
+} // namespace s64v::exp
+
+#endif // S64V_EXP_SWEEP_HH

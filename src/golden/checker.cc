@@ -16,7 +16,7 @@ checkReplay(const InstrTrace &trace, const SimResult &result,
         return "result has no such cpu";
     const CoreResult &cr = result.cores[cpu];
 
-    if (result.hitCycleLimit)
+    if (result.hitCycleCap)
         return "simulation aborted at the cycle limit";
     if (cr.committed != trace.size()) {
         std::snprintf(buf, sizeof(buf),

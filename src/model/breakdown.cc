@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "model/perf_model.hh"
+#include "common/logging.hh"
+#include "exp/sweep.hh"
 
 namespace s64v
 {
@@ -19,35 +20,64 @@ Breakdown::toString() const
     return buf;
 }
 
+std::vector<Breakdown>
+computeBreakdowns(const MachineParams &base,
+                  const std::vector<WorkloadProfile> &profiles,
+                  std::size_t instrs_per_cpu)
+{
+    // The §4.2 differential ladder, from the real machine to an
+    // ideal core. The four variants of one workload share a single
+    // synthesized trace (none of the perfect-component switches
+    // changes the CPU count).
+    const MachineParams ladder[4] = {
+        base,
+        withPerfectL2(base),
+        withPerfectTlb(withPerfectL1(withPerfectL2(base))),
+        withPerfectBranch(
+            withPerfectTlb(withPerfectL1(withPerfectL2(base)))),
+    };
+    static const char *const kStage[4] = {"real", "perfect-l2",
+                                          "perfect-l1", "core"};
+
+    exp::Sweep sweep;
+    for (const WorkloadProfile &profile : profiles) {
+        for (unsigned s = 0; s < 4; ++s) {
+            sweep.add(profile.name + "/" + kStage[s], ladder[s],
+                      profile, instrs_per_cpu);
+        }
+    }
+
+    const std::vector<exp::PointResult> flat =
+        exp::SweepRunner().run(sweep);
+
+    std::vector<Breakdown> out(profiles.size());
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        double t[4];
+        for (unsigned s = 0; s < 4; ++s) {
+            const exp::PointResult &p = flat[w * 4 + s];
+            if (!p.ok) {
+                fatal("breakdown point '%s' failed: %s",
+                      p.label.c_str(), p.error.c_str());
+            }
+            t[s] = static_cast<double>(p.sim.cycles);
+        }
+        Breakdown &b = out[w];
+        if (t[0] <= 0.0)
+            continue;
+        b.sx = std::max(0.0, t[0] - t[1]) / t[0];
+        b.ibsTlb = std::max(0.0, t[1] - t[2]) / t[0];
+        b.branch = std::max(0.0, t[2] - t[3]) / t[0];
+        b.core = std::max(0.0, 1.0 - b.sx - b.ibsTlb - b.branch);
+    }
+    return out;
+}
+
 Breakdown
 computeBreakdown(const MachineParams &base,
                  const WorkloadProfile &profile,
                  std::size_t instrs_per_cpu)
 {
-    const double t_real = static_cast<double>(
-        PerfModel::simulate(base, profile, instrs_per_cpu).cycles);
-
-    const MachineParams m_pl2 = withPerfectL2(base);
-    const double t_pl2 = static_cast<double>(
-        PerfModel::simulate(m_pl2, profile, instrs_per_cpu).cycles);
-
-    const MachineParams m_pl1 =
-        withPerfectTlb(withPerfectL1(m_pl2));
-    const double t_pl1 = static_cast<double>(
-        PerfModel::simulate(m_pl1, profile, instrs_per_cpu).cycles);
-
-    const MachineParams m_core = withPerfectBranch(m_pl1);
-    const double t_core = static_cast<double>(
-        PerfModel::simulate(m_core, profile, instrs_per_cpu).cycles);
-
-    Breakdown b;
-    if (t_real <= 0.0)
-        return b;
-    b.sx = std::max(0.0, t_real - t_pl2) / t_real;
-    b.ibsTlb = std::max(0.0, t_pl2 - t_pl1) / t_real;
-    b.branch = std::max(0.0, t_pl1 - t_core) / t_real;
-    b.core = std::max(0.0, 1.0 - b.sx - b.ibsTlb - b.branch);
-    return b;
+    return computeBreakdowns(base, {profile}, instrs_per_cpu)[0];
 }
 
 } // namespace s64v

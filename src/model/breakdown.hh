@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "model/params.hh"
 #include "workload/profile.hh"
@@ -39,6 +40,18 @@ struct Breakdown
 Breakdown computeBreakdown(const MachineParams &base,
                            const WorkloadProfile &profile,
                            std::size_t instrs_per_cpu);
+
+/**
+ * Batch form: breakdowns for many workloads at once. All
+ * 4 * profiles.size() differential simulations run as one parallel
+ * sweep (see exp::SweepRunner), with each workload's trace
+ * synthesized once and shared across its four model variants.
+ * @return one Breakdown per profile, in order.
+ */
+std::vector<Breakdown>
+computeBreakdowns(const MachineParams &base,
+                  const std::vector<WorkloadProfile> &profiles,
+                  std::size_t instrs_per_cpu);
 
 } // namespace s64v
 

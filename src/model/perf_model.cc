@@ -38,18 +38,23 @@ PerfModel::loadWorkload(const WorkloadProfile &profile,
                         std::size_t instrs_per_cpu)
 {
     TraceGenerator gen(profile, params_.sys.numCpus);
-    for (CpuId cpu = 0; cpu < params_.sys.numCpus; ++cpu)
-        traces_[cpu] = gen.generate(instrs_per_cpu, cpu);
+    for (CpuId cpu = 0; cpu < params_.sys.numCpus; ++cpu) {
+        traces_[cpu] = std::make_shared<const InstrTrace>(
+            gen.generate(instrs_per_cpu, cpu));
+    }
     // Standard warm-up: the first fifth of the trace primes caches
     // and predictors; measurement covers the remainder.
     params_.sys.warmupInstrs = instrs_per_cpu / 5;
 }
 
 void
-PerfModel::loadTrace(CpuId cpu, InstrTrace trace)
+PerfModel::loadTrace(CpuId cpu,
+                     std::shared_ptr<const InstrTrace> trace)
 {
     if (cpu >= traces_.size())
         fatal("loadTrace: cpu %u out of range", cpu);
+    if (!trace)
+        fatal("loadTrace: cpu %u given a null trace", cpu);
     traces_[cpu] = std::move(trace);
 }
 
@@ -57,18 +62,20 @@ System &
 PerfModel::prepare()
 {
     for (CpuId cpu = 0; cpu < traces_.size(); ++cpu) {
-        if (traces_[cpu].empty())
+        if (!traces_[cpu] || traces_[cpu]->empty())
             fatal("cpu %u has no trace; call loadWorkload/loadTrace",
                   cpu);
     }
 
     const obs::ObsOptions &opts = obs::runObsOptions();
     SystemParams sys = params_.sys;
-    if (!opts.sampleOutPath.empty() && sys.samplePeriod == 0) {
+    if (!embedded_ && !opts.sampleOutPath.empty() &&
+        sys.samplePeriod == 0) {
         sys.samplePeriod = opts.samplePeriod ? opts.samplePeriod
                                              : kDefaultSamplePeriod;
     }
-    if (opts.heartbeatPeriod != 0 && sys.heartbeatPeriod == 0)
+    if (!embedded_ && opts.heartbeatPeriod != 0 &&
+        sys.heartbeatPeriod == 0)
         sys.heartbeatPeriod = opts.heartbeatPeriod;
     if (opts.watchdogCycles != obs::ObsOptions::kUnset)
         sys.watchdogCycles = opts.watchdogCycles;
@@ -91,6 +98,21 @@ PerfModel::attachObservers()
     const SystemParams &sys = system_->params();
 
     sampler_.reset();
+    if (embedded_) {
+        // File-output observers are per-process conveniences; N
+        // concurrent sweep points must not race on the same paths.
+        heartbeat_.reset();
+        trace_.reset();
+        pipeviews_.clear();
+        if (sys.heartbeatPeriod != 0) {
+            std::uint64_t expected = 0;
+            for (const auto &t : traces_)
+                expected += t->size();
+            heartbeat_ = std::make_unique<obs::Heartbeat>(expected);
+            system_->attachHeartbeat(heartbeat_.get());
+        }
+        return;
+    }
     if (sys.samplePeriod != 0 && !opts.sampleOutPath.empty()) {
         sampler_ = std::make_unique<obs::IntervalSampler>(
             system_->root(), sys.samplePeriod);
@@ -103,8 +125,8 @@ PerfModel::attachObservers()
     heartbeat_.reset();
     if (sys.heartbeatPeriod != 0) {
         std::uint64_t expected = 0;
-        for (const InstrTrace &t : traces_)
-            expected += t.size();
+        for (const auto &t : traces_)
+            expected += t->size();
         heartbeat_ = std::make_unique<obs::Heartbeat>(expected);
         system_->attachHeartbeat(heartbeat_.get());
     }
@@ -131,6 +153,9 @@ PerfModel::attachObservers()
 void
 PerfModel::finishObservers(const SimResult &res)
 {
+    obs::addBenchInstructions(res.instructions);
+    if (embedded_)
+        return;
     const obs::ObsOptions &opts = obs::runObsOptions();
     if (trace_) {
         for (CpuId cpu = 0; cpu < pipeviews_.size(); ++cpu)
@@ -138,9 +163,10 @@ PerfModel::finishObservers(const SimResult &res)
                                 *pipeviews_[cpu]);
         trace_->writeFile(opts.traceOutPath);
     }
-    if (!opts.statsJsonPath.empty())
-        obs::writeStatsJson(system_->root(), opts.statsJsonPath);
-    obs::addBenchInstructions(res.instructions);
+    if (!opts.statsJsonPath.empty()) {
+        obs::writeStatsJson(system_->root(), opts.statsJsonPath,
+                            &res);
+    }
 }
 
 SimResult
@@ -148,9 +174,16 @@ PerfModel::run()
 {
     // Any panic/fatal from here on dumps the dying system's state;
     // SIGINT/SIGTERM stop the run at a cycle boundary instead of
-    // killing the process, so the observers below still flush.
-    check::installCrashReporting(obs::runObsOptions().crashReportPath);
-    check::ScopedSignalGuard signal_guard;
+    // killing the process, so the observers below still flush. A
+    // sweep-embedded run leaves both to the sweep runner, which owns
+    // them once for the whole sweep.
+    if (!embedded_) {
+        check::installCrashReporting(
+            obs::runObsOptions().crashReportPath);
+    }
+    std::unique_ptr<check::ScopedSignalGuard> signal_guard;
+    if (!embedded_)
+        signal_guard = std::make_unique<check::ScopedSignalGuard>();
 
     System &sys = prepare();
     SimResult res = sys.run();

@@ -55,8 +55,30 @@ class PerfModel
     void loadWorkload(const WorkloadProfile &profile,
                       std::size_t instrs_per_cpu);
 
-    /** Attach a pre-built trace to one CPU. */
-    void loadTrace(CpuId cpu, InstrTrace trace);
+    /**
+     * Attach a pre-built immutable trace to one CPU. The trace is
+     * shared, not copied — N models sweeping a parameter space can
+     * reference one synthesis result (see exp::TracePool).
+     */
+    void loadTrace(CpuId cpu, std::shared_ptr<const InstrTrace> trace);
+
+    /** Convenience overload: wrap an owned trace and attach it. */
+    void loadTrace(CpuId cpu, InstrTrace trace)
+    {
+        loadTrace(cpu, std::make_shared<const InstrTrace>(
+                           std::move(trace)));
+    }
+
+    /**
+     * Mark this model as embedded in a sweep: run() skips the
+     * process-level conveniences that are not thread-safe or would
+     * collide across concurrent runs — consulting the file-output
+     * observability options, installing crash reporting and signal
+     * handlers — while still honouring the watchdog / check-level
+     * overrides. The sweep runner owns those process-level concerns
+     * once for the whole sweep.
+     */
+    void setEmbedded(bool embedded) { embedded_ = embedded; }
 
     /**
      * Build a fresh system with traces and observers attached but do
@@ -85,8 +107,9 @@ class PerfModel
     void finishObservers(const SimResult &res);
 
     MachineParams params_;
-    std::vector<InstrTrace> traces_;
+    std::vector<std::shared_ptr<const InstrTrace>> traces_;
     std::unique_ptr<System> system_;
+    bool embedded_ = false;
 
     /** Observers for the current system (see obs::runObsOptions). @{ */
     std::unique_ptr<obs::IntervalSampler> sampler_;

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "obs/json.hh"
@@ -16,6 +18,25 @@ namespace
 {
 
 std::atomic<std::uint64_t> benchInstrs{0};
+
+/**
+ * Deliberately leaked: writeBenchRecord runs from the destructor of a
+ * static ScopedBenchRecord in another translation unit, which can
+ * outlive any function-local static map (reverse destruction order).
+ */
+std::mutex &
+benchMetricsMutex()
+{
+    static std::mutex *mutex = new std::mutex;
+    return *mutex;
+}
+
+std::map<std::string, double> &
+benchMetrics()
+{
+    static auto *metrics = new std::map<std::string, double>;
+    return *metrics;
+}
 
 double
 nowSeconds()
@@ -40,6 +61,13 @@ benchInstructions()
     return benchInstrs.load(std::memory_order_relaxed);
 }
 
+void
+setBenchMetric(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(benchMetricsMutex());
+    benchMetrics()[name] = value;
+}
+
 bool
 writeBenchRecord(const std::string &name, double wall_seconds)
 {
@@ -60,6 +88,15 @@ writeBenchRecord(const std::string &name, double wall_seconds)
     w.field("kips", wall_seconds > 0.0
             ? static_cast<double>(instrs) / wall_seconds / 1000.0
             : 0.0);
+    {
+        std::lock_guard<std::mutex> lock(benchMetricsMutex());
+        if (!benchMetrics().empty()) {
+            w.beginObject("metrics");
+            for (const auto &[name, value] : benchMetrics())
+                w.field(name.c_str(), value);
+            w.end();
+        }
+    }
     w.end();
 
     std::ofstream f(path);

@@ -24,6 +24,13 @@ void addBenchInstructions(std::uint64_t n);
 std::uint64_t benchInstructions();
 
 /**
+ * Attach an extra named metric to this process's bench record (e.g.
+ * "parallel_speedup"). Emitted under a "metrics" object in the JSON.
+ * Thread-safe; last write per name wins.
+ */
+void setBenchMetric(const std::string &name, double value);
+
+/**
  * Write BENCH_<name>.json describing this process's run. Files go to
  * $S64V_BENCH_DIR (or the working directory); setting S64V_BENCH_JSON
  * to "0" disables the write.

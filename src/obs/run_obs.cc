@@ -54,6 +54,10 @@ parseObsArgs(int argc, const char *const *argv)
             opts.crashReportPath = v;
         else if (const char *v = matchFlag(arg, "watchdog"))
             opts.watchdogCycles = std::strtoull(v, nullptr, 0);
+        else if (const char *v = matchFlag(arg, "threads")) {
+            opts.threads = static_cast<unsigned>(
+                std::strtoul(v, nullptr, 0));
+        }
         else if (const char *v = matchFlag(arg, "check")) {
             check::checkLevelFromString(v); // validate eagerly.
             opts.checkLevel = v;

@@ -3,9 +3,10 @@
  * Process-wide observability options. Every entry point (quickstart,
  * the per-figure bench harnesses, the examples) accepts the same
  * flags — --stats-json=<path>, --trace-out=<path>,
- * --sample-out=<path>, sample-period=N, heartbeat=N — parsed once
- * into this global; PerfModel::run() consults it and attaches the
- * matching observers to every System it builds.
+ * --sample-out=<path>, sample-period=N, heartbeat=N, --threads=N —
+ * parsed once into this global; PerfModel::run() consults it and
+ * attaches the matching observers to every System it builds, and the
+ * sweep runner (exp/sweep.hh) reads `threads` to size its pool.
  */
 
 #ifndef S64V_OBS_RUN_OBS_HH
@@ -39,6 +40,11 @@ struct ObsOptions
     std::uint64_t watchdogCycles = kUnset;
     /** Check-level override: "off"/"end"/"cycle" ("" = configured). */
     std::string checkLevel;
+    /**
+     * Worker threads for experiment sweeps (--threads=N; 0 = one per
+     * hardware thread). Read-only while any sweep is running.
+     */
+    unsigned threads = 0;
 
     bool any() const
     {
@@ -55,9 +61,10 @@ ObsOptions &runObsOptions();
  * Recognizes "--stats-json=", "--trace-out=", "--sample-out=" (also
  * without the leading dashes, ConfigMap style), "sample-period=",
  * "heartbeat=", and the self-check flags "crash-report=",
- * "watchdog=" (cycles, 0 = off), "check=" (off/end/cycle) and
- * "inject-fault=<kind>:<n>" (see check/fault_inject.hh); everything
- * else is left for the caller.
+ * "watchdog=" (cycles, 0 = off), "check=" (off/end/cycle),
+ * "inject-fault=<kind>:<n>" (see check/fault_inject.hh) and
+ * "threads=" (sweep worker threads, 0 = hardware concurrency);
+ * everything else is left for the caller.
  */
 void parseObsArgs(int argc, const char *const *argv);
 

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "sim/system.hh"
 
 namespace s64v::obs
 {
@@ -121,23 +122,43 @@ StatsExporter::visitHistogram(const stats::Group &g,
 }
 
 std::string
-exportStatsJson(const stats::Group &root)
+exportStatsJson(const stats::Group &root, const SimResult *result)
 {
     JsonWriter w;
     StatsExporter exporter(w);
     root.visit(exporter);
-    return w.str();
+    if (!result)
+        return w.str();
+
+    JsonWriter run;
+    run.beginObject();
+    run.field("cycles", std::uint64_t{result->cycles});
+    run.field("instructions", result->instructions);
+    run.field("measured", result->measured);
+    run.field("ipc", result->ipc);
+    run.field("warmup_end_cycle",
+              std::uint64_t{result->warmupEndCycle});
+    run.field("hit_cycle_cap", result->hitCycleCap);
+    run.field("interrupted", result->interrupted);
+    run.end();
+
+    // Splice the run outcome in as the first key of the top-level
+    // group object; every existing key keeps its place, so consumers
+    // of the name/stats/groups schema are unaffected.
+    const std::string &tree = w.str();
+    return "{\"run\": " + run.str() + ", " + tree.substr(1);
 }
 
 bool
-writeStatsJson(const stats::Group &root, const std::string &path)
+writeStatsJson(const stats::Group &root, const std::string &path,
+               const SimResult *result)
 {
     std::ofstream f(path);
     if (!f) {
         warn("cannot write stats JSON to '%s'", path.c_str());
         return false;
     }
-    f << exportStatsJson(root) << '\n';
+    f << exportStatsJson(root, result) << '\n';
     return true;
 }
 

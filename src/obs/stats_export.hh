@@ -19,6 +19,11 @@
 #include "common/stats.hh"
 #include "obs/json.hh"
 
+namespace s64v
+{
+struct SimResult;
+} // namespace s64v
+
 namespace s64v::obs
 {
 
@@ -56,14 +61,22 @@ class StatsExporter : public stats::Visitor
     std::vector<bool> childrenOpen_;
 };
 
-/** Render @p root (and children) as a standalone JSON document. */
-std::string exportStatsJson(const stats::Group &root);
+/**
+ * Render @p root (and children) as a standalone JSON document. When
+ * @p result is non-null, a "run" object is spliced in as the first
+ * key of the top-level group — cycles, instructions, IPC, and the
+ * hit_cycle_cap / interrupted flags — so a maxCycles-capped or
+ * signal-stopped run is machine-distinguishable from a clean finish.
+ */
+std::string exportStatsJson(const stats::Group &root,
+                            const SimResult *result = nullptr);
 
 /**
- * Write exportStatsJson(@p root) to @p path.
+ * Write exportStatsJson(@p root, @p result) to @p path.
  * @return false (with a warning) if the file cannot be written.
  */
-bool writeStatsJson(const stats::Group &root, const std::string &path);
+bool writeStatsJson(const stats::Group &root, const std::string &path,
+                    const SimResult *result = nullptr);
 
 /** Serialize a distribution as an object under @p key. */
 void writeDistribution(JsonWriter &w, const stats::Distribution &d);

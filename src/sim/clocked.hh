@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The cycle kernel: the one loop that advances a machine. Components
+ * that do work every cycle implement Clocked; observers and checkers
+ * that act periodically register probes with a period. The kernel
+ * owns cycle bookkeeping, the stop conditions (drain, cycle cap,
+ * stop request), and the dispatch order, so System::run() and any
+ * future assembly share a single, well-tested loop instead of each
+ * special-casing its observers with per-cycle modulo checks.
+ */
+
+#ifndef S64V_SIM_CLOCKED_HH
+#define S64V_SIM_CLOCKED_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace s64v
+{
+
+/**
+ * A component advanced once per simulated cycle. Cores are the
+ * canonical implementation; anything that must see every cycle (a
+ * DMA engine, an interconnect scheduler) attaches the same way.
+ */
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+
+    /** Advance one cycle. Only called while !done(). */
+    virtual void tick(Cycle cycle) = 0;
+
+    /**
+     * @return true when this component has no further work. The
+     * kernel stops once every attached component is done.
+     */
+    virtual bool done() const { return false; }
+};
+
+/**
+ * Periodic probe callback. Invoked at its registered cycles, after
+ * every Clocked component has ticked; return false to detach (the
+ * probe is never called again).
+ */
+using ProbeFn = std::function<bool(Cycle)>;
+
+/**
+ * The cycle loop. Attach components and probes, then run(). Probes
+ * fire in registration order, which the kernel guarantees, so
+ * ordering-sensitive observers (a warm-up stats reset before a
+ * sampler reads deltas) stay deterministic.
+ */
+class CycleKernel
+{
+  public:
+    /** Attach a per-cycle component (not owned). */
+    void attach(Clocked *component);
+
+    /**
+     * Register a probe firing at cycle @p first and every @p period
+     * cycles after that. A disabled observer is simply never
+     * registered — the loop pays nothing for it.
+     */
+    void attachProbe(Cycle first, std::uint64_t period, ProbeFn fn);
+
+    /** Why run() returned. */
+    enum class Stop
+    {
+        Drained,     ///< every Clocked component reported done().
+        CycleCap,    ///< maxCycles reached (likely a model deadlock).
+        Interrupted, ///< check::stopRequested() (SIGINT/SIGTERM).
+    };
+
+    struct Outcome
+    {
+        Stop stop = Stop::Drained;
+        Cycle cycle = 0; ///< cycle the loop stopped at.
+    };
+
+    /**
+     * Run until every component drains, a stop is requested, or
+     * @p max_cycles is reached. Probes still fire on the final
+     * cycle before the loop exits.
+     */
+    Outcome run(std::uint64_t max_cycles);
+
+    /** Cycle the loop is at (live while running; crash reports). */
+    Cycle currentCycle() const { return currentCycle_; }
+
+  private:
+    struct ProbeEntry
+    {
+        Cycle next;
+        std::uint64_t period;
+        ProbeFn fn;
+    };
+
+    std::vector<Clocked *> clocked_;
+    std::vector<ProbeEntry> probes_;
+    Cycle currentCycle_ = 0;
+};
+
+} // namespace s64v
+
+#endif // S64V_SIM_CLOCKED_HH

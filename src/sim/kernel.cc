@@ -1,0 +1,56 @@
+#include "sim/clocked.hh"
+
+#include "check/signals.hh"
+#include "common/logging.hh"
+
+namespace s64v
+{
+
+void
+CycleKernel::attach(Clocked *component)
+{
+    if (!component)
+        panic("CycleKernel::attach(nullptr)");
+    clocked_.push_back(component);
+}
+
+void
+CycleKernel::attachProbe(Cycle first, std::uint64_t period, ProbeFn fn)
+{
+    if (period == 0)
+        panic("CycleKernel probe needs a nonzero period");
+    if (!fn)
+        panic("CycleKernel probe needs a callback");
+    probes_.push_back(ProbeEntry{first, period, std::move(fn)});
+}
+
+CycleKernel::Outcome
+CycleKernel::run(std::uint64_t max_cycles)
+{
+    Cycle cycle = 0;
+    for (;;) {
+        currentCycle_ = cycle;
+        bool all_done = true;
+        for (Clocked *c : clocked_) {
+            if (!c->done()) {
+                c->tick(cycle);
+                all_done = false;
+            }
+        }
+        for (ProbeEntry &p : probes_) {
+            if (cycle == p.next)
+                p.next = p.fn(cycle) ? p.next + p.period : kCycleNever;
+        }
+        if (all_done)
+            return {Stop::Drained, cycle};
+        if (check::stopRequested())
+            return {Stop::Interrupted, cycle};
+        ++cycle;
+        if (cycle >= max_cycles) {
+            currentCycle_ = cycle;
+            return {Stop::CycleCap, cycle};
+        }
+    }
+}
+
+} // namespace s64v

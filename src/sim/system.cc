@@ -46,12 +46,15 @@ System::~System()
 }
 
 void
-System::attachTrace(CpuId cpu, InstrTrace trace)
+System::attachTrace(CpuId cpu, std::shared_ptr<const InstrTrace> trace)
 {
     if (cpu >= cores_.size())
         fatal("attachTrace: cpu %u out of range", cpu);
+    if (!trace)
+        fatal("attachTrace: cpu %u given a null trace", cpu);
     traces_[cpu] = std::move(trace);
-    sources_[cpu] = std::make_unique<VectorTraceSource>(traces_[cpu]);
+    sources_[cpu] =
+        std::make_unique<VectorTraceSource>(*traces_[cpu]);
     cores_[cpu]->setTrace(sources_[cpu].get());
 }
 
@@ -89,68 +92,83 @@ System::run()
         });
     }
 
-    Cycle cycle = 0;
-    for (;;) {
-        currentCycle_ = cycle;
-        bool all_done = true;
-        for (auto &core : cores_) {
-            if (!core->done()) {
-                core->tick(cycle);
-                all_done = false;
-            }
-        }
-        if (watchdog &&
-            watchdog->tick(cycle, totalRawCommitted())) {
-            panic("%s", watchdog->diagnosis().c_str());
-        }
-        if (params_.checkLevel == check::CheckLevel::PerCycle)
-            auditor.checkCycle(cycle);
-        if (!warm_done) {
-            bool all_warm = true;
-            for (auto &core : cores_) {
-                if (core->committed() < params_.warmupInstrs) {
-                    all_warm = false;
-                    break;
-                }
-            }
-            if (all_warm) {
-                for (std::size_t i = 0; i < cores_.size(); ++i)
-                    warmup_committed[i] = cores_[i]->committed();
-                root_.resetAll();
-                res.warmupEndCycle = cycle;
-                warm_done = true;
-            }
-        }
-        if (sampler_ && params_.samplePeriod && cycle != 0 &&
-            cycle % params_.samplePeriod == 0) {
-            sampler_->tick(cycle, totalCommitted());
-        }
-        if (heartbeat_ && params_.heartbeatPeriod && cycle != 0 &&
-            cycle % params_.heartbeatPeriod == 0) {
-            heartbeat_->beat(cycle, totalCommitted());
-        }
-        if (all_done)
-            break;
-        if (check::stopRequested()) {
-            warn("stop requested (signal %d); ending the run at cycle "
-                 "%llu", check::stopSignal(),
-                 static_cast<unsigned long long>(cycle));
-            res.interrupted = true;
-            break;
-        }
-        ++cycle;
-        if (cycle >= params_.maxCycles) {
-            warn("simulation hit the %llu-cycle cap; likely a model "
-                 "deadlock",
-                 static_cast<unsigned long long>(params_.maxCycles));
-            res.hitCycleLimit = true;
-            break;
-        }
+    // Assemble the cycle kernel: cores tick every cycle; everything
+    // else is a probe with a period, registered in the order the
+    // checks must run (watchdog and auditor see the machine before
+    // the warm-up reset; the sampler reads deltas after it).
+    kernel_ = std::make_unique<CycleKernel>();
+    hitCycleCap_ = false;
+    for (auto &core : cores_)
+        kernel_->attach(core.get());
+    if (watchdog) {
+        kernel_->attachProbe(0, 1, [&](Cycle cycle) {
+            if (watchdog->tick(cycle, totalRawCommitted()))
+                panic("%s", watchdog->diagnosis().c_str());
+            return true;
+        });
     }
+    if (params_.checkLevel == check::CheckLevel::PerCycle) {
+        kernel_->attachProbe(0, 1, [&](Cycle cycle) {
+            auditor.checkCycle(cycle);
+            return true;
+        });
+    }
+    if (!warm_done) {
+        kernel_->attachProbe(0, 1, [&](Cycle cycle) {
+            for (auto &core : cores_) {
+                if (core->committed() < params_.warmupInstrs)
+                    return true; // not warm yet; probe again.
+            }
+            for (std::size_t i = 0; i < cores_.size(); ++i)
+                warmup_committed[i] = cores_[i]->committed();
+            root_.resetAll();
+            res.warmupEndCycle = cycle;
+            warm_done = true;
+            return false; // measurement window open; detach.
+        });
+    }
+    if (sampler_ && params_.samplePeriod != 0) {
+        kernel_->attachProbe(
+            params_.samplePeriod, params_.samplePeriod,
+            [this](Cycle cycle) {
+                sampler_->tick(cycle, totalCommitted());
+                return true;
+            });
+    }
+    if (heartbeat_ && params_.heartbeatPeriod != 0) {
+        kernel_->attachProbe(
+            params_.heartbeatPeriod, params_.heartbeatPeriod,
+            [this](Cycle cycle) {
+                heartbeat_->beat(cycle, totalCommitted());
+                return true;
+            });
+    }
+
+    const CycleKernel::Outcome out = kernel_->run(params_.maxCycles);
+    const Cycle cycle = out.cycle;
     currentCycle_ = cycle;
+    kernel_.reset();
+
+    switch (out.stop) {
+      case CycleKernel::Stop::Drained:
+        break;
+      case CycleKernel::Stop::Interrupted:
+        warn("stop requested (signal %d); ending the run at cycle "
+             "%llu", check::stopSignal(),
+             static_cast<unsigned long long>(cycle));
+        res.interrupted = true;
+        break;
+      case CycleKernel::Stop::CycleCap:
+        warn("simulation hit the %llu-cycle cap; likely a model "
+             "deadlock",
+             static_cast<unsigned long long>(params_.maxCycles));
+        res.hitCycleCap = true;
+        hitCycleCap_ = true;
+        break;
+    }
 
     if (params_.checkLevel != check::CheckLevel::Off) {
-        if (res.hitCycleLimit || res.interrupted) {
+        if (res.hitCycleCap || res.interrupted) {
             // The machine did not drain; audit only what must hold at
             // any cycle boundary.
             auditor.checkCycle(cycle);

@@ -17,6 +17,7 @@
 #include "common/stats.hh"
 #include "cpu/core.hh"
 #include "mem/hierarchy.hh"
+#include "sim/clocked.hh"
 #include "trace/trace.hh"
 
 namespace s64v
@@ -76,7 +77,13 @@ struct SimResult
     std::uint64_t instructions = 0;///< total committed (all cores).
     std::uint64_t measured = 0;    ///< window instructions.
     double ipc = 0.0;              ///< aggregate window throughput.
-    bool hitCycleLimit = false;
+    /**
+     * The run stopped at SystemParams::maxCycles instead of draining
+     * — almost always a model deadlock. Surfaced in the stats JSON
+     * ("run.hit_cycle_cap") and in crash reports so a capped run is
+     * distinguishable from a clean finish after the fact.
+     */
+    bool hitCycleCap = false;
     /** Run stopped early by SIGINT/SIGTERM (see check/signals.hh). */
     bool interrupted = false;
     Cycle warmupEndCycle = 0;
@@ -91,8 +98,19 @@ class System
            const std::string &name = "sim");
     ~System();
 
-    /** Copy @p trace in as CPU @p cpu's input. */
-    void attachTrace(CpuId cpu, InstrTrace trace);
+    /**
+     * Attach @p trace as CPU @p cpu's input. The trace is shared, not
+     * copied: N sweep points over the same workload reference one
+     * immutable trace (the system keeps it alive for its lifetime).
+     */
+    void attachTrace(CpuId cpu, std::shared_ptr<const InstrTrace> trace);
+
+    /** Convenience overload: wrap an owned trace and attach it. */
+    void attachTrace(CpuId cpu, InstrTrace trace)
+    {
+        attachTrace(cpu, std::make_shared<const InstrTrace>(
+                             std::move(trace)));
+    }
 
     /**
      * Attach an interval sampler ticked every params().samplePeriod
@@ -119,7 +137,13 @@ class System
     const SystemParams &params() const { return params_; }
 
     /** Cycle the run loop is at (crash reports; live while running). */
-    Cycle currentCycle() const { return currentCycle_; }
+    Cycle currentCycle() const
+    {
+        return kernel_ ? kernel_->currentCycle() : currentCycle_;
+    }
+
+    /** True once the run has stopped at the maxCycles cap (live). */
+    bool hitCycleCap() const { return hitCycleCap_; }
 
     /** Full stats dump as text. */
     std::string statsDump() const;
@@ -133,11 +157,13 @@ class System
     stats::Group root_;
     std::unique_ptr<MemSystem> mem_;
     std::vector<std::unique_ptr<Core>> cores_;
-    std::vector<InstrTrace> traces_;
+    std::vector<std::shared_ptr<const InstrTrace>> traces_;
     std::vector<std::unique_ptr<VectorTraceSource>> sources_;
     obs::IntervalSampler *sampler_ = nullptr;
     obs::Heartbeat *heartbeat_ = nullptr;
+    std::unique_ptr<CycleKernel> kernel_; ///< live during run().
     Cycle currentCycle_ = 0;
+    bool hitCycleCap_ = false;
 };
 
 } // namespace s64v

@@ -56,7 +56,7 @@ TEST(Golden, CheckReplayCatchesCycleLimit)
 {
     InstrTrace t = generateTrace(specint95Profile(), 1000);
     SimResult res;
-    res.hitCycleLimit = true;
+    res.hitCycleCap = true;
     res.cores.push_back(CoreResult{1000, 1000, 5000, 0.2});
     EXPECT_NE(checkReplay(t, res), "");
 }

@@ -36,7 +36,7 @@ TEST(Invariants, CleanRunPassesEndOfRunAudit)
     System sys{SystemParams{}};
     sys.attachTrace(0, generateTrace(specint95Profile(), 8000));
     const SimResult res = sys.run(); // runs the audit itself too.
-    EXPECT_FALSE(res.hitCycleLimit);
+    EXPECT_FALSE(res.hitCycleCap);
 
     InvariantAuditor aud(sys);
     aud.checkEndOfRun(sys.currentCycle());
@@ -57,7 +57,7 @@ TEST(Invariants, PerCycleLevelSurvivesACleanRun)
     sys.attachTrace(0, gen.generate(3000, 0));
     sys.attachTrace(1, gen.generate(3000, 1));
     const SimResult res = sys.run();
-    EXPECT_FALSE(res.hitCycleLimit);
+    EXPECT_FALSE(res.hitCycleCap);
 }
 
 TEST(Invariants, DetectsDoubleDirtyOwner)

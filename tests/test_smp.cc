@@ -15,7 +15,7 @@ TEST(Smp, FourWayRunsToCompletion)
     PerfModel m(sparc64vBase(4));
     m.loadWorkload(tpccProfile(), kRunPerCpu);
     const SimResult res = m.run();
-    EXPECT_FALSE(res.hitCycleLimit);
+    EXPECT_FALSE(res.hitCycleCap);
     EXPECT_EQ(res.instructions, 4 * kRunPerCpu);
     ASSERT_EQ(res.cores.size(), 4u);
     for (const CoreResult &cr : res.cores)

@@ -20,7 +20,7 @@ TEST(System, RunsAWorkloadToCompletion)
     sys.attachTrace(0, trace);
     const SimResult res = sys.run();
 
-    EXPECT_FALSE(res.hitCycleLimit);
+    EXPECT_FALSE(res.hitCycleCap);
     EXPECT_EQ(res.instructions, 20000u);
     EXPECT_GT(res.ipc, 0.1);
     EXPECT_LT(res.ipc, 4.0);
@@ -60,7 +60,7 @@ TEST(System, CycleLimitDetectsRunaway)
     System sys(sp);
     sys.attachTrace(0, generateTrace(specint95Profile(), 5000));
     const SimResult res = sys.run();
-    EXPECT_TRUE(res.hitCycleLimit);
+    EXPECT_TRUE(res.hitCycleCap);
 }
 
 TEST(System, StatsDumpContainsComponents)

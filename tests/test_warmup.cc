@@ -106,7 +106,7 @@ TEST(Warmup, SampledTraceReplaysAndReverses)
     sys.attachTrace(0, sample);
     const SimResult res = sys.run();
     EXPECT_EQ(res.instructions, sample.size());
-    EXPECT_FALSE(res.hitCycleLimit);
+    EXPECT_FALSE(res.hitCycleCap);
 }
 
 } // namespace
