@@ -13,6 +13,7 @@ Core::Core(const CoreParams &params, CpuId cpu, MemSystem &mem,
            stats::Group *parent)
     : params_(params), cpu_(cpu), mem_(mem),
       statGroup_("cpu" + std::to_string(cpu), parent),
+      cpiStack_(params.commitWidth, &statGroup_),
       window_(params.windowEntries),
       committed_(statGroup_.scalar("committed",
                                    "instructions committed")),
@@ -186,6 +187,25 @@ Core::stationFor(const TraceRecord &rec)
     return (rseToggle_++ & 1) ? kRsE1 : kRsE0;
 }
 
+obs::CommitSlot
+Core::classifyCommitStall(Cycle cycle) const
+{
+    if (window_.empty())
+        return fetch_->fetchBlockReason(cycle);
+    const WindowEntry &h = window_.head();
+    if (h.missedL2)
+        return obs::CommitSlot::L2Miss;
+    if (h.missedTlb)
+        return obs::CommitSlot::TlbMiss;
+    if (h.missedL1)
+        return obs::CommitSlot::L1DMiss;
+    if (h.rec.cls == InstrClass::Special)
+        return obs::CommitSlot::Serialize;
+    if (window_.full())
+        return obs::CommitSlot::WindowFull;
+    return obs::CommitSlot::RawDep;
+}
+
 void
 Core::commitStage(Cycle cycle)
 {
@@ -194,6 +214,8 @@ Core::commitStage(Cycle cycle)
         // so the deadlock propagates upstream naturally.
         if (!window_.empty())
             ++commitIdleCycles_;
+        cpiStack_.account(obs::CommitSlot::Serialize,
+                          params_.commitWidth);
         return;
     }
     unsigned n = 0;
@@ -237,6 +259,15 @@ Core::commitStage(Cycle cycle)
     }
     if (n == 0 && !window_.empty())
         ++commitIdleCycles_;
+
+    // Commit-slot accounting: every slot of every ticked cycle goes
+    // to exactly one bucket, so totals always sum to commitWidth *
+    // ticked cycles and the committed bucket mirrors committed_.
+    cpiStack_.account(obs::CommitSlot::Committed, n);
+    if (n < params_.commitWidth) {
+        cpiStack_.account(classifyCommitStall(cycle),
+                          params_.commitWidth - n);
+    }
 }
 
 void
@@ -249,6 +280,9 @@ Core::loadCompletionStage(Cycle cycle)
         WindowEntry &e = window_.entry(lc.seq);
         e.doneCycle = lc.completion;
         e.actualReady = lc.completion + forwardDelay();
+        e.missedL1 = !lc.l1Hit;
+        e.missedL2 = !lc.l1Hit && !lc.l2Hit;
+        e.missedTlb = lc.tlbMiss;
         if (lc.l1Hit) {
             e.predReady = e.actualReady;
         } else {

@@ -25,6 +25,7 @@
 #include "cpu/rob.hh"
 #include "cpu/rs.hh"
 #include "mem/hierarchy.hh"
+#include "obs/cpi_stack.hh"
 #include "sim/clocked.hh"
 #include "trace/trace.hh"
 
@@ -76,6 +77,9 @@ class Core : public Clocked
     /** @return true when the trace is fully executed and drained. */
     bool done() const override;
 
+    /** Component class for the simulator self-profiler. */
+    const char *profileClass() const override { return "core"; }
+
     std::uint64_t committed() const { return committed_.value(); }
     Cycle lastCommitCycle() const { return lastCommitCycle_; }
 
@@ -83,6 +87,8 @@ class Core : public Clocked
     BranchPredictor &bpred() { return *bpred_; }
     FetchUnit &fetchUnit() { return *fetch_; }
     LoadStoreQueue &lsq() { return *lsq_; }
+    /** Commit-slot cycle accounting (see obs/cpi_stack.hh). */
+    const obs::CpiStack &cpiStack() const { return cpiStack_; }
     const CoreParams &params() const { return params_; }
     std::uint64_t replays() const { return replays_.value(); }
     std::uint64_t windowFullStalls() const
@@ -140,6 +146,14 @@ class Core : public Clocked
                              Cycle exec_start) const;
     bool sourcesValid(const WindowEntry &e, Cycle exec_start) const;
 
+    /**
+     * The single dominant reason no instruction can retire at
+     * @p cycle, charged to every unused commit slot. Priority within
+     * a blocked head follows the §4.2 differential ladder (L2 miss,
+     * TLB, L1D), then serialization, then structural backpressure.
+     */
+    obs::CommitSlot classifyCommitStall(Cycle cycle) const;
+
     void commitStage(Cycle cycle);
     void loadCompletionStage(Cycle cycle);
     void pendingStoreStage(Cycle cycle);
@@ -162,6 +176,7 @@ class Core : public Clocked
     MemSystem &mem_;
 
     stats::Group statGroup_;
+    obs::CpiStack cpiStack_;
     std::unique_ptr<BranchPredictor> bpred_;
     std::unique_ptr<FetchUnit> fetch_;
     std::unique_ptr<LoadStoreQueue> lsq_;

@@ -41,9 +41,20 @@ FetchUnit::redirect(Cycle resolve_cycle)
     if (!stalledOnBranch_)
         panic("fetch redirect without a pending mispredict");
     stalledOnBranch_ = false;
+    branchRecovery_ = true;
     nextGroupStart_ = std::max(nextGroupStart_,
                                resolve_cycle +
                                    params_.mispredictRedirect);
+}
+
+obs::CommitSlot
+FetchUnit::fetchBlockReason(Cycle cycle) const
+{
+    if (stalledOnBranch_ || branchRecovery_)
+        return obs::CommitSlot::BranchSquash;
+    if (cycle < missBlockedUntil_)
+        return missBlockReason_;
+    return obs::CommitSlot::FetchEmpty;
 }
 
 bool
@@ -110,6 +121,17 @@ FetchUnit::formGroup(Cycle cycle)
     // (priority + validate) are added on top of the cache time.
     const AccessResult res = mem_.fetch(cpu_, line_base, cycle);
     group.availableAt = res.ready + 2;
+    if (!res.l1Hit || res.tlbMiss) {
+        // The stall-attribution window lasts until the group lands.
+        // Priority follows the §4.2 differential ladder: an L2 miss
+        // dominates the TLB walk dominates the L1I refill.
+        missBlockedUntil_ = std::max(missBlockedUntil_,
+                                     group.availableAt);
+        missBlockReason_ = (!res.l1Hit && !res.l2Hit)
+            ? obs::CommitSlot::L2Miss
+            : (res.tlbMiss ? obs::CommitSlot::TlbMiss
+                           : obs::CommitSlot::L1IMiss);
+    }
 
     Cycle next = cycle + 1;
     if (!res.l1Hit) {
@@ -139,6 +161,9 @@ FetchUnit::tick(Cycle cycle)
             queue_.push_back(fi);
         inflight_.pop_front();
     }
+    // Once redirected fetch delivers, the squash is recovered from.
+    if (branchRecovery_ && !queue_.empty())
+        branchRecovery_ = false;
 
     // Start at most one new group per cycle.
     if (stalledOnBranch_ || cycle < nextGroupStart_)

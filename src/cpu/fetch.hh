@@ -18,6 +18,7 @@
 #include "cpu/branch_pred.hh"
 #include "cpu/core_params.hh"
 #include "mem/hierarchy.hh"
+#include "obs/cpi_stack.hh"
 #include "trace/trace.hh"
 
 namespace s64v
@@ -62,6 +63,14 @@ class FetchUnit
     /** @return true while fetch waits on an unresolved mispredict. */
     bool stalledOnBranch() const { return stalledOnBranch_; }
 
+    /**
+     * Why the fetch queue is failing to deliver instructions at
+     * @p cycle, for the commit-slot accounting: a pending mispredict
+     * (stall or post-redirect refill) beats a frontend memory miss
+     * beats plain pipeline fill (FetchEmpty).
+     */
+    obs::CommitSlot fetchBlockReason(Cycle cycle) const;
+
   private:
     struct Group
     {
@@ -82,6 +91,12 @@ class FetchUnit
     std::deque<FetchedInstr> queue_;
     Cycle nextGroupStart_ = 0;
     bool stalledOnBranch_ = false;
+    /** Squash refill: redirect happened, no group landed since. */
+    bool branchRecovery_ = false;
+    /** Frontend memory stall window and its dominant cause. @{ */
+    Cycle missBlockedUntil_ = 0;
+    obs::CommitSlot missBlockReason_ = obs::CommitSlot::FetchEmpty;
+    /** @} */
 
     stats::Group statGroup_;
     stats::Scalar &groups_;

@@ -226,7 +226,8 @@ LoadStoreQueue::tick(Cycle cycle)
                 ? kCycleNever
                 : cycle + mem_.params().l1d.latency + 1;
             completedLoads_.push_back(
-                {e.seq, c.slot, e.completion, res.l1Hit, miss_known});
+                {e.seq, c.slot, e.completion, res.l1Hit, miss_known,
+                 res.l2Hit, res.tlbMiss});
             banks_used |= 1u << bank;
             ++ports_used;
         } else {

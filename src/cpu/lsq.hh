@@ -44,6 +44,8 @@ struct LoadCompletion
     bool l1Hit = true;
     /** Miss-discovery broadcast time (see WindowEntry::missKnownAt). */
     Cycle missKnownAt = kCycleNever;
+    bool l2Hit = true;    ///< meaningful only when !l1Hit.
+    bool tlbMiss = false; ///< translation paid a page walk.
 };
 
 /** The combined load/store queue machinery. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <ostream>
 
 #include "common/logging.hh"
 
@@ -93,6 +94,38 @@ PipeviewRecorder::render() const
         out += '\n';
     }
     return out;
+}
+
+void
+PipeviewRecorder::writeO3PipeView(std::ostream &os, CpuId cpu,
+                                  std::uint64_t ticks_per_cycle) const
+{
+    const std::vector<PipeRecord> recs = snapshot();
+    auto tick = [ticks_per_cycle](Cycle c) {
+        return static_cast<unsigned long long>(c) * ticks_per_cycle;
+    };
+    for (const PipeRecord &r : recs) {
+        char line[160];
+        // Sequence numbers must be unique across cores in one file;
+        // tag the core in the high bits like gem5 tags threads.
+        const unsigned long long seq =
+            (static_cast<unsigned long long>(cpu) << 48) | r.seq;
+        std::snprintf(line, sizeof(line),
+                      "O3PipeView:fetch:%llu:0x%08llx:0:%llu:%s\n",
+                      tick(r.issue),
+                      static_cast<unsigned long long>(r.pc), seq,
+                      className(r.cls));
+        os << line;
+        // The model has no distinct fetch/decode/rename timestamps;
+        // window entry stands in for all three front-end stages.
+        os << "O3PipeView:decode:" << tick(r.issue) << '\n';
+        os << "O3PipeView:rename:" << tick(r.issue) << '\n';
+        os << "O3PipeView:dispatch:" << tick(r.dispatch) << '\n';
+        os << "O3PipeView:issue:" << tick(r.execute) << '\n';
+        os << "O3PipeView:complete:" << tick(r.complete) << '\n';
+        os << "O3PipeView:retire:" << tick(r.commit)
+           << ":store:0\n";
+    }
 }
 
 } // namespace s64v

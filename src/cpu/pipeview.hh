@@ -11,6 +11,7 @@
 #define S64V_CPU_PIPEVIEW_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,18 @@ class PipeviewRecorder
      * i=issue, d=dispatch, x=execute, c=complete, R=retire.
      */
     std::string render() const;
+
+    /**
+     * Write the buffered instructions in gem5's O3PipeView text
+     * format, loadable by the Konata pipeline viewer. Each record
+     * becomes one "O3PipeView:fetch:..." line group; stages map as
+     * fetch/decode/rename = issue, dispatch = dispatch, issue =
+     * execute, complete = complete, retire = commit. Timestamps are
+     * scaled by @p ticks_per_cycle (Konata's default expectation of
+     * 1000 ticks per pipeline cycle).
+     */
+    void writeO3PipeView(std::ostream &os, CpuId cpu,
+                         std::uint64_t ticks_per_cycle = 1000) const;
 
   private:
     std::vector<PipeRecord> buf_;

@@ -70,6 +70,16 @@ struct WindowEntry
 
     bool predictedTaken = false;
     bool mispredicted = false;
+
+    /**
+     * Memory-level classification of a load's data access, recorded
+     * at completion so the commit-slot accounting (obs/cpi_stack.hh)
+     * can attribute a blocked head to the right miss category. @{
+     */
+    bool missedL1 = false;
+    bool missedL2 = false;
+    bool missedTlb = false;
+    /** @} */
 };
 
 /** Circular instruction window addressed by sequence number. */
@@ -107,6 +117,7 @@ class InstrWindow
     const WindowEntry &entry(std::uint64_t seq) const;
 
     WindowEntry &head() { return entry(head_); }
+    const WindowEntry &head() const { return entry(head_); }
 
   private:
     unsigned capacity_;

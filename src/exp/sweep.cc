@@ -8,6 +8,8 @@
 #include "check/crash_report.hh"
 #include "check/signals.hh"
 #include "common/logging.hh"
+#include "exp/self_profile.hh"
+#include "obs/heartbeat.hh"
 #include "obs/run_obs.hh"
 
 namespace s64v::exp
@@ -79,6 +81,8 @@ SweepRunner::runPoint(const SweepPoint &point,
     MachineParams machine = point.machine;
     if (opts_.standardWarmup)
         machine.sys.warmupInstrs = point.instrs / 5;
+    if (opts_.heartbeatPeriod != 0 && machine.sys.heartbeatPeriod == 0)
+        machine.sys.heartbeatPeriod = opts_.heartbeatPeriod;
 
     ScopedThrowOnError isolate;
     try {
@@ -128,10 +132,19 @@ SweepRunner::run(const Sweep &sweep)
     // embedded models skip their own installs.
     check::installCrashReporting(obs::runObsOptions().crashReportPath);
     check::ScopedSignalGuard guard;
+    obs::beginSweepProgress(points.size());
 
     const unsigned threads = effectiveThreads(points.size());
     std::atomic<std::size_t> next{0};
     const MetricFn &metricFn = sweep.metricFn();
+
+    auto pointDone = [&](const PointResult &r) {
+        obs::noteSweepPointDone(r.ok ? r.sim.instructions : 0);
+        if (opts_.progressFn) {
+            const obs::SweepProgress sp = obs::sweepProgress();
+            opts_.progressFn(sp.done, sp.total, sp.kips());
+        }
+    };
 
     auto workerLoop = [&]() {
         for (;;) {
@@ -142,9 +155,11 @@ SweepRunner::run(const Sweep &sweep)
             if (check::stopRequested()) {
                 results[i].label = points[i].label;
                 results[i].error = "interrupted";
+                pointDone(results[i]);
                 continue;
             }
             runPoint(points[i], *traceSets[i], metricFn, results[i]);
+            pointDone(results[i]);
         }
     };
 
@@ -159,7 +174,12 @@ SweepRunner::run(const Sweep &sweep)
             w.join();
     }
 
+    obs::endSweepProgress();
     check::uninstallCrashReporting();
+    // The embedded points merged their per-run self-profiles into the
+    // process aggregate as they finished; one file covers the sweep.
+    if (obs::runObsOptions().selfProfile)
+        exp::writeSelfProfileJson();
     return results;
 }
 

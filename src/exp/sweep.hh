@@ -105,6 +105,21 @@ struct SweepOptions
     bool standardWarmup = true;
     /** Announce per-point completion via inform(). */
     bool verbose = false;
+    /**
+     * Heartbeat period propagated to every point whose machine does
+     * not set one (0 = leave the points alone). Embedded heartbeat
+     * lines carry the live sweep progress suffix (points done/total,
+     * aggregate KIPS; see obs::SweepProgress).
+     */
+    std::uint64_t heartbeatPeriod = 0;
+    /**
+     * Called on the finishing worker's thread after each point
+     * completes (ok, failed, or skipped-by-interrupt), with the
+     * points finished so far, the sweep size, and the aggregate host
+     * speed in KIPS. Must be thread-safe under multi-threaded sweeps.
+     */
+    std::function<void(std::size_t done, std::size_t total,
+                       double agg_kips)> progressFn;
 };
 
 /**

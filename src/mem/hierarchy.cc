@@ -183,6 +183,7 @@ MemSystem::fetch(CpuId cpu, Addr addr, Cycle cycle)
 
     const unsigned tlb_pen = params_.perfectTlb
         ? 0 : pc.itlb->translate(addr, cycle);
+    out.tlbMiss = tlb_pen != 0;
     Cycle t = cycle + tlb_pen;
     addr = physAddr(addr);
 
@@ -224,6 +225,7 @@ MemSystem::data(CpuId cpu, Addr addr, bool is_write, Cycle cycle)
 
     const unsigned tlb_pen = params_.perfectTlb
         ? 0 : pc.dtlb->translate(addr, cycle);
+    out.tlbMiss = tlb_pen != 0;
     Cycle t = cycle + tlb_pen;
     addr = physAddr(addr);
 

@@ -78,6 +78,7 @@ struct AccessResult
     Cycle ready = 0;    ///< cycle the data can be consumed.
     bool l1Hit = true;
     bool l2Hit = true;  ///< meaningful only when !l1Hit.
+    bool tlbMiss = false; ///< translation paid a page-walk penalty.
 };
 
 } // namespace s64v

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "exp/sweep.hh"
+#include "sim/system.hh"
 
 namespace s64v
 {
@@ -78,6 +79,31 @@ computeBreakdown(const MachineParams &base,
                  std::size_t instrs_per_cpu)
 {
     return computeBreakdowns(base, {profile}, instrs_per_cpu)[0];
+}
+
+Breakdown
+breakdownFromCpiStack(const obs::CpiStackCounts &counts)
+{
+    using obs::CommitSlot;
+    Breakdown b;
+    if (counts.total() == 0)
+        return b;
+    b.branch = counts.fraction(CommitSlot::BranchSquash);
+    b.ibsTlb = counts.fraction(CommitSlot::L1IMiss) +
+        counts.fraction(CommitSlot::L1DMiss) +
+        counts.fraction(CommitSlot::TlbMiss);
+    b.sx = counts.fraction(CommitSlot::L2Miss);
+    b.core = std::max(0.0, 1.0 - b.branch - b.ibsTlb - b.sx);
+    return b;
+}
+
+obs::CpiStackCounts
+collectCpiStack(System &sys)
+{
+    obs::CpiStackCounts total;
+    for (CpuId cpu = 0; cpu < sys.params().numCpus; ++cpu)
+        total += sys.core(cpu).cpiStack().counts();
+    return total;
 }
 
 } // namespace s64v

@@ -14,10 +14,13 @@
 #include <vector>
 
 #include "model/params.hh"
+#include "obs/cpi_stack.hh"
 #include "workload/profile.hh"
 
 namespace s64v
 {
+
+class System;
 
 /** Figure 7 stack for one workload (fractions of execution time). */
 struct Breakdown
@@ -52,6 +55,19 @@ std::vector<Breakdown>
 computeBreakdowns(const MachineParams &base,
                   const std::vector<WorkloadProfile> &profiles,
                   std::size_t instrs_per_cpu);
+
+/**
+ * Fold a single-pass commit-slot stack (obs::CpiStack) into the
+ * Fig. 7 categories: branch = branch-squash slots; ibs/tlb = L1I +
+ * L1D + TLB-miss slots; sx = L2-miss slots; core = everything else
+ * (committed work, empty-window fetch, window-full, serialize, RAW
+ * dependencies). One run instead of the four-run differential ladder;
+ * see DESIGN.md for how closely the two agree.
+ */
+Breakdown breakdownFromCpiStack(const obs::CpiStackCounts &counts);
+
+/** Sum every core's commit-slot stack in @p sys. */
+obs::CpiStackCounts collectCpiStack(System &sys);
 
 } // namespace s64v
 

@@ -1,8 +1,11 @@
 #include "model/perf_model.hh"
 
+#include <fstream>
+
 #include "check/crash_report.hh"
 #include "check/signals.hh"
 #include "common/logging.hh"
+#include "exp/self_profile.hh"
 #include "obs/bench_record.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/heartbeat.hh"
@@ -97,6 +100,16 @@ PerfModel::attachObservers()
     const obs::ObsOptions &opts = obs::runObsOptions();
     const SystemParams &sys = system_->params();
 
+    // The self-profiler is per-run state merged into a thread-safe
+    // process aggregate, so unlike the file observers it also runs in
+    // sweep-embedded points (the sweep writes the merged JSON once).
+    selfProfiler_.reset();
+    if (opts.selfProfile) {
+        selfProfiler_ = std::make_unique<exp::SelfProfiler>(
+            opts.selfProfilePeriod);
+        system_->attachProfiler(selfProfiler_.get());
+    }
+
     sampler_.reset();
     if (embedded_) {
         // File-output observers are per-process conveniences; N
@@ -142,6 +155,8 @@ PerfModel::attachObservers()
             mem.l1d(cpu).attachTrace(trace_.get());
             mem.l2(cpu).attachTrace(trace_.get());
         }
+    }
+    if (!opts.traceOutPath.empty() || !opts.pipeviewOutPath.empty()) {
         for (CpuId cpu = 0; cpu < traces_.size(); ++cpu) {
             pipeviews_.push_back(std::make_unique<PipeviewRecorder>(
                 kTracePipeviewCapacity));
@@ -154,6 +169,10 @@ void
 PerfModel::finishObservers(const SimResult &res)
 {
     obs::addBenchInstructions(res.instructions);
+    // Merge before the embedded early-return: sweep points feed the
+    // same process aggregate the sweep runner writes at the end.
+    if (selfProfiler_)
+        exp::mergeSelfProfile(*selfProfiler_);
     if (embedded_)
         return;
     const obs::ObsOptions &opts = obs::runObsOptions();
@@ -163,10 +182,22 @@ PerfModel::finishObservers(const SimResult &res)
                                 *pipeviews_[cpu]);
         trace_->writeFile(opts.traceOutPath);
     }
+    if (!opts.pipeviewOutPath.empty() && !pipeviews_.empty()) {
+        std::ofstream f(opts.pipeviewOutPath);
+        if (!f) {
+            warn("cannot write pipeview trace to '%s'",
+                 opts.pipeviewOutPath.c_str());
+        } else {
+            for (CpuId cpu = 0; cpu < pipeviews_.size(); ++cpu)
+                pipeviews_[cpu]->writeO3PipeView(f, cpu);
+        }
+    }
     if (!opts.statsJsonPath.empty()) {
         obs::writeStatsJson(system_->root(), opts.statsJsonPath,
                             &res);
     }
+    if (selfProfiler_)
+        exp::writeSelfProfileJson();
 }
 
 SimResult

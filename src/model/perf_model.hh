@@ -25,6 +25,11 @@ class Heartbeat;
 class IntervalSampler;
 } // namespace obs
 
+namespace exp
+{
+class SelfProfiler;
+} // namespace exp
+
 /**
  * One configured performance model. A PerfModel owns its traces; each
  * run() builds a fresh System so the same model can be re-run.
@@ -116,6 +121,7 @@ class PerfModel
     std::unique_ptr<obs::Heartbeat> heartbeat_;
     std::unique_ptr<obs::ChromeTraceWriter> trace_;
     std::vector<std::unique_ptr<PipeviewRecorder>> pipeviews_;
+    std::unique_ptr<exp::SelfProfiler> selfProfiler_;
     /** @} */
 };
 

@@ -1,0 +1,91 @@
+#include "obs/cpi_stack.hh"
+
+#include <cstdio>
+
+namespace s64v::obs
+{
+
+const char *
+commitSlotName(CommitSlot slot)
+{
+    switch (slot) {
+      case CommitSlot::Committed: return "committed";
+      case CommitSlot::FetchEmpty: return "fetch_empty";
+      case CommitSlot::BranchSquash: return "branch_squash";
+      case CommitSlot::L1IMiss: return "l1i_miss";
+      case CommitSlot::L1DMiss: return "l1d_miss";
+      case CommitSlot::TlbMiss: return "tlb_miss";
+      case CommitSlot::L2Miss: return "l2_miss";
+      case CommitSlot::WindowFull: return "window_full";
+      case CommitSlot::Serialize: return "serialize";
+      case CommitSlot::RawDep: return "raw_dep";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+CpiStackCounts::total() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : slots)
+        sum += v;
+    return sum;
+}
+
+double
+CpiStackCounts::fraction(CommitSlot slot) const
+{
+    const std::uint64_t sum = total();
+    return sum ? static_cast<double>(
+                     slots[static_cast<unsigned>(slot)]) /
+            static_cast<double>(sum)
+               : 0.0;
+}
+
+CpiStackCounts &
+CpiStackCounts::operator+=(const CpiStackCounts &o)
+{
+    for (unsigned i = 0; i < kNumCommitSlots; ++i)
+        slots[i] += o.slots[i];
+    return *this;
+}
+
+std::string
+CpiStackCounts::toString() const
+{
+    std::string out;
+    for (unsigned i = 0; i < kNumCommitSlots; ++i) {
+        if (slots[i] == 0)
+            continue;
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%s%s %.1f%%",
+                      out.empty() ? "" : "  ",
+                      commitSlotName(static_cast<CommitSlot>(i)),
+                      fraction(static_cast<CommitSlot>(i)) * 100.0);
+        out += buf;
+    }
+    return out.empty() ? "(no slots accounted)" : out;
+}
+
+CpiStack::CpiStack(unsigned commit_width, stats::Group *parent)
+    : commitWidth_(commit_width), group_("cpi", parent)
+{
+    for (unsigned i = 0; i < kNumCommitSlots; ++i) {
+        const CommitSlot slot = static_cast<CommitSlot>(i);
+        slots_[i] = &group_.scalar(
+            std::string("slots_") + commitSlotName(slot),
+            std::string("commit slots attributed to ") +
+                commitSlotName(slot));
+    }
+}
+
+CpiStackCounts
+CpiStack::counts() const
+{
+    CpiStackCounts out;
+    for (unsigned i = 0; i < kNumCommitSlots; ++i)
+        out.slots[i] = slots_[i]->value();
+    return out;
+}
+
+} // namespace s64v::obs

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Single-pass CPI-stack cycle accounting. Every cycle a core ticks,
+ * each of its commitWidth commit slots is attributed to exactly one
+ * category: a committed instruction, or the single dominant reason the
+ * head of the window (or fetch) could not deliver one. Summing the
+ * slot counters therefore reconstructs the Figure 7 execution-time
+ * stack from one run, instead of the four differential simulations of
+ * §4.2 (see model/breakdown.hh for the mapping and the validation
+ * against the differential ladder).
+ */
+
+#ifndef S64V_OBS_CPI_STACK_HH
+#define S64V_OBS_CPI_STACK_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace s64v::obs
+{
+
+/**
+ * Commit-slot categories, in stall-attribution priority order. A
+ * blocked slot is charged to the first category that applies, so every
+ * slot lands in exactly one bucket.
+ */
+enum class CommitSlot : std::uint8_t
+{
+    Committed = 0, ///< slot retired an instruction.
+    FetchEmpty,    ///< window empty, fetch delivering (frontend fill).
+    BranchSquash,  ///< window empty after a mispredict squash/redirect.
+    L1IMiss,       ///< window empty, fetch blocked on an L1I miss.
+    L1DMiss,       ///< head is a load waiting on an L1D miss (L2 hit).
+    TlbMiss,       ///< fetch or head load blocked on a TLB walk.
+    L2Miss,        ///< fetch or head load waiting on an L2 (SX) miss.
+    WindowFull,    ///< head executing with the window backed up.
+    Serialize,     ///< head is a serializing special instruction.
+    RawDep,        ///< head waiting on operands / execution latency.
+};
+
+/** Number of CommitSlot categories. */
+constexpr unsigned kNumCommitSlots = 10;
+
+/** Stable lower-case name of a category ("committed", "l2_miss"). */
+const char *commitSlotName(CommitSlot slot);
+
+/** A plain snapshot of slot counters (aggregation, reporting). */
+struct CpiStackCounts
+{
+    std::array<std::uint64_t, kNumCommitSlots> slots{};
+
+    std::uint64_t total() const;
+    double fraction(CommitSlot slot) const;
+    CpiStackCounts &operator+=(const CpiStackCounts &o);
+
+    /** One-line "name xx.x%" rendering of the nonzero categories. */
+    std::string toString() const;
+};
+
+/**
+ * Per-core commit-slot accumulator. The counters are stats scalars in
+ * a "cpi" group under the core's stat group, so they flow through the
+ * stats-JSON export and the interval sampler for free and are reset
+ * with the warm-up stats reset.
+ */
+class CpiStack
+{
+  public:
+    CpiStack(unsigned commit_width, stats::Group *parent);
+
+    /** Charge @p n slots to @p slot. */
+    void account(CommitSlot slot, std::uint64_t n = 1)
+    {
+        *slots_[static_cast<unsigned>(slot)] += n;
+    }
+
+    std::uint64_t count(CommitSlot slot) const
+    {
+        return slots_[static_cast<unsigned>(slot)]->value();
+    }
+
+    unsigned commitWidth() const { return commitWidth_; }
+
+    /** Snapshot of the live counters. */
+    CpiStackCounts counts() const;
+
+  private:
+    unsigned commitWidth_;
+    stats::Group group_;
+    std::array<stats::Scalar *, kNumCommitSlots> slots_{};
+};
+
+} // namespace s64v::obs
+
+#endif // S64V_OBS_CPI_STACK_HH

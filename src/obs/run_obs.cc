@@ -44,6 +44,8 @@ parseObsArgs(int argc, const char *const *argv)
             opts.statsJsonPath = v;
         else if (const char *v = matchFlag(arg, "trace-out"))
             opts.traceOutPath = v;
+        else if (const char *v = matchFlag(arg, "pipeview-out"))
+            opts.pipeviewOutPath = v;
         else if (const char *v = matchFlag(arg, "sample-out"))
             opts.sampleOutPath = v;
         else if (const char *v = matchFlag(arg, "sample-period"))
@@ -57,6 +59,12 @@ parseObsArgs(int argc, const char *const *argv)
         else if (const char *v = matchFlag(arg, "threads")) {
             opts.threads = static_cast<unsigned>(
                 std::strtoul(v, nullptr, 0));
+        }
+        else if (arg == "--self-profile" || arg == "self-profile")
+            opts.selfProfile = true;
+        else if (const char *v = matchFlag(arg, "self-profile")) {
+            opts.selfProfile = true;
+            opts.selfProfilePeriod = std::strtoull(v, nullptr, 0);
         }
         else if (const char *v = matchFlag(arg, "check")) {
             check::checkLevelFromString(v); // validate eagerly.

@@ -28,6 +28,8 @@ struct ObsOptions
     std::string statsJsonPath;
     /** Chrome trace_events file (empty = off). */
     std::string traceOutPath;
+    /** Konata/O3PipeView pipeline-trace file (empty = off). */
+    std::string pipeviewOutPath;
     /** Interval-sample JSONL stream (empty = off). */
     std::string sampleOutPath;
     /** Cycles between interval samples (0 = default when enabled). */
@@ -45,11 +47,16 @@ struct ObsOptions
      * hardware thread). Read-only while any sweep is running.
      */
     unsigned threads = 0;
+    /** Time the simulator itself (see exp/self_profile.hh). */
+    bool selfProfile = false;
+    /** Self-profiler sampling period in cycles (0 = default). */
+    std::uint64_t selfProfilePeriod = 0;
 
     bool any() const
     {
         return !statsJsonPath.empty() || !traceOutPath.empty() ||
-            !sampleOutPath.empty() || heartbeatPeriod != 0;
+            !pipeviewOutPath.empty() || !sampleOutPath.empty() ||
+            heartbeatPeriod != 0;
     }
 };
 
@@ -58,9 +65,10 @@ ObsOptions &runObsOptions();
 
 /**
  * Parse the observability flags out of @p argv into runObsOptions().
- * Recognizes "--stats-json=", "--trace-out=", "--sample-out=" (also
- * without the leading dashes, ConfigMap style), "sample-period=",
- * "heartbeat=", and the self-check flags "crash-report=",
+ * Recognizes "--stats-json=", "--trace-out=", "--pipeview-out=",
+ * "--sample-out=" (also without the leading dashes, ConfigMap style),
+ * "sample-period=", "heartbeat=", "--self-profile" (optionally
+ * "self-profile=<period>"), and the self-check flags "crash-report=",
  * "watchdog=" (cycles, 0 = off), "check=" (off/end/cycle),
  * "inject-fault=<kind>:<n>" (see check/fault_inject.hh) and
  * "threads=" (sweep worker threads, 0 = hardware concurrency);

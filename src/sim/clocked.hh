@@ -39,6 +39,35 @@ class Clocked
      * kernel stops once every attached component is done.
      */
     virtual bool done() const { return false; }
+
+    /**
+     * Component class the self-profiler aggregates tick time under
+     * ("core", "dma", ...). Instances of one class share a bucket.
+     */
+    virtual const char *profileClass() const { return "clocked"; }
+};
+
+/**
+ * Simulator self-profiling hook (see exp/self_profile.hh for the
+ * standard implementation). When attached to a CycleKernel, cycles
+ * where sampleCycle() returns true have each component tick and the
+ * probe pass wrapped in wall-clock timers — sampled 1-in-N so the
+ * instrumented loop stays within a few percent of the plain one.
+ */
+class TickProfiler
+{
+  public:
+    virtual ~TickProfiler() = default;
+
+    /** @return true when @p cycle's work should be timed. */
+    virtual bool sampleCycle(Cycle cycle) = 0;
+
+    /** One component's tick on a sampled cycle took @p ns. */
+    virtual void recordTick(const Clocked &component,
+                            std::uint64_t ns) = 0;
+
+    /** The whole probe pass on a sampled cycle took @p ns. */
+    virtual void recordProbes(std::uint64_t ns) = 0;
 };
 
 /**
@@ -59,6 +88,16 @@ class CycleKernel
   public:
     /** Attach a per-cycle component (not owned). */
     void attach(Clocked *component);
+
+    /**
+     * Attach a self-profiler timing component ticks and probe passes
+     * on its sampled cycles (not owned; nullptr detaches). Off by
+     * default: the unprofiled loop pays one pointer test per cycle.
+     */
+    void attachProfiler(TickProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
 
     /**
      * Register a probe firing at cycle @p first and every @p period
@@ -101,6 +140,7 @@ class CycleKernel
 
     std::vector<Clocked *> clocked_;
     std::vector<ProbeEntry> probes_;
+    TickProfiler *profiler_ = nullptr;
     Cycle currentCycle_ = 0;
 };
 

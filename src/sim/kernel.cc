@@ -1,10 +1,26 @@
 #include "sim/clocked.hh"
 
+#include <chrono>
+
 #include "check/signals.hh"
 #include "common/logging.hh"
 
 namespace s64v
 {
+
+namespace
+{
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
 
 void
 CycleKernel::attach(Clocked *component)
@@ -31,15 +47,37 @@ CycleKernel::run(std::uint64_t max_cycles)
     for (;;) {
         currentCycle_ = cycle;
         bool all_done = true;
-        for (Clocked *c : clocked_) {
-            if (!c->done()) {
-                c->tick(cycle);
-                all_done = false;
+        const bool timed = profiler_ && profiler_->sampleCycle(cycle);
+        if (timed) {
+            for (Clocked *c : clocked_) {
+                if (!c->done()) {
+                    const std::uint64_t t0 = nowNs();
+                    c->tick(cycle);
+                    profiler_->recordTick(*c, nowNs() - t0);
+                    all_done = false;
+                }
             }
-        }
-        for (ProbeEntry &p : probes_) {
-            if (cycle == p.next)
-                p.next = p.fn(cycle) ? p.next + p.period : kCycleNever;
+            const std::uint64_t p0 = nowNs();
+            for (ProbeEntry &p : probes_) {
+                if (cycle == p.next) {
+                    p.next = p.fn(cycle) ? p.next + p.period
+                                         : kCycleNever;
+                }
+            }
+            profiler_->recordProbes(nowNs() - p0);
+        } else {
+            for (Clocked *c : clocked_) {
+                if (!c->done()) {
+                    c->tick(cycle);
+                    all_done = false;
+                }
+            }
+            for (ProbeEntry &p : probes_) {
+                if (cycle == p.next) {
+                    p.next = p.fn(cycle) ? p.next + p.period
+                                         : kCycleNever;
+                }
+            }
         }
         if (all_done)
             return {Stop::Drained, cycle};

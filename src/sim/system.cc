@@ -98,6 +98,8 @@ System::run()
     // the warm-up reset; the sampler reads deltas after it).
     kernel_ = std::make_unique<CycleKernel>();
     hitCycleCap_ = false;
+    if (profiler_)
+        kernel_->attachProfiler(profiler_);
     for (auto &core : cores_)
         kernel_->attach(core.get());
     if (watchdog) {

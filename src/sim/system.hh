@@ -128,6 +128,15 @@ class System
         heartbeat_ = heartbeat;
     }
 
+    /**
+     * Attach a simulator self-profiler, forwarded to the cycle kernel
+     * run() builds (see TickProfiler). Must outlive the run.
+     */
+    void attachProfiler(TickProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
+
     /** Run to completion (or the cycle cap). */
     SimResult run();
 
@@ -161,6 +170,7 @@ class System
     std::vector<std::unique_ptr<VectorTraceSource>> sources_;
     obs::IntervalSampler *sampler_ = nullptr;
     obs::Heartbeat *heartbeat_ = nullptr;
+    TickProfiler *profiler_ = nullptr;
     std::unique_ptr<CycleKernel> kernel_; ///< live during run().
     Cycle currentCycle_ = 0;
     bool hitCycleCap_ = false;

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Single-pass CPI-stack cycle accounting: slot bookkeeping units, the
+ * every-slot-accounted invariant on real runs, stats-JSON export of
+ * the per-core stack, and cross-validation of the single-pass
+ * categories against the §4.2 differential ladder on every stock
+ * workload profile.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "model/breakdown.hh"
+#include "model/params.hh"
+#include "model/perf_model.hh"
+#include "obs/cpi_stack.hh"
+#include "obs/run_obs.hh"
+#include "sim/system.hh"
+#include "workload/generator.hh"
+#include "workload/workloads.hh"
+
+#include "json_checker.hh"
+
+namespace s64v
+{
+namespace
+{
+
+using obs::CommitSlot;
+using obs::CpiStackCounts;
+using testutil::JsonChecker;
+
+TEST(CpiStackCounts, TotalsAndFractions)
+{
+    CpiStackCounts c;
+    EXPECT_EQ(c.total(), 0u);
+    EXPECT_EQ(c.fraction(CommitSlot::Committed), 0.0);
+
+    c.slots[static_cast<unsigned>(CommitSlot::Committed)] = 30;
+    c.slots[static_cast<unsigned>(CommitSlot::L2Miss)] = 10;
+    EXPECT_EQ(c.total(), 40u);
+    EXPECT_DOUBLE_EQ(c.fraction(CommitSlot::Committed), 0.75);
+    EXPECT_DOUBLE_EQ(c.fraction(CommitSlot::L2Miss), 0.25);
+
+    CpiStackCounts d;
+    d.slots[static_cast<unsigned>(CommitSlot::L2Miss)] = 5;
+    c += d;
+    EXPECT_EQ(c.total(), 45u);
+    EXPECT_EQ(c.slots[static_cast<unsigned>(CommitSlot::L2Miss)], 15u);
+}
+
+TEST(CpiStackCounts, ToStringNamesNonzeroSlots)
+{
+    CpiStackCounts c;
+    EXPECT_NE(c.toString().find("no slots"), std::string::npos);
+    c.slots[static_cast<unsigned>(CommitSlot::BranchSquash)] = 1;
+    c.slots[static_cast<unsigned>(CommitSlot::Committed)] = 3;
+    const std::string s = c.toString();
+    EXPECT_NE(s.find("committed"), std::string::npos);
+    EXPECT_NE(s.find("branch_squash"), std::string::npos);
+    EXPECT_EQ(s.find("l2_miss"), std::string::npos);
+}
+
+TEST(CpiStackCounts, SlotNamesAreDistinct)
+{
+    std::map<std::string, unsigned> seen;
+    for (unsigned i = 0; i < obs::kNumCommitSlots; ++i)
+        ++seen[obs::commitSlotName(static_cast<CommitSlot>(i))];
+    EXPECT_EQ(seen.size(), obs::kNumCommitSlots);
+}
+
+TEST(CpiStack, RegistersScalarsAndAccumulates)
+{
+    stats::Group root("sim");
+    obs::CpiStack stack(4, &root);
+    EXPECT_EQ(stack.commitWidth(), 4u);
+
+    stack.account(CommitSlot::Committed, 3);
+    stack.account(CommitSlot::RawDep);
+    const CpiStackCounts c = stack.counts();
+    EXPECT_EQ(c.total(), 4u);
+    EXPECT_EQ(c.slots[static_cast<unsigned>(CommitSlot::Committed)],
+              3u);
+    EXPECT_EQ(c.slots[static_cast<unsigned>(CommitSlot::RawDep)], 1u);
+
+    // The scalars live in the stats tree, so they flow through every
+    // exporter and reset with the warm-up boundary.
+    std::string dump;
+    root.dump(dump);
+    EXPECT_NE(dump.find("cpi.slots_committed"), std::string::npos);
+    root.resetAll();
+    EXPECT_EQ(stack.counts().total(), 0u);
+}
+
+TEST(CpiStack, EveryCommitSlotAccountedOnRealRun)
+{
+    SystemParams sp;
+    System sys(sp);
+    sys.attachTrace(0, generateTrace(specint95Profile(), 20000));
+    const SimResult res = sys.run();
+    ASSERT_FALSE(res.hitCycleCap);
+
+    const CpiStackCounts c = sys.core(0).cpiStack().counts();
+    const unsigned width = sp.core.commitWidth;
+    // The tentpole invariant: each cycle the core ticked contributed
+    // exactly commitWidth slots, each attributed to one category.
+    EXPECT_GT(c.total(), 0u);
+    EXPECT_EQ(c.total() % width, 0u);
+    // The committed bucket is the committed-instruction count.
+    EXPECT_EQ(c.slots[static_cast<unsigned>(CommitSlot::Committed)],
+              res.instructions);
+    EXPECT_GE(c.total(), res.instructions);
+}
+
+TEST(CpiStack, SmpCoresAccountIndependently)
+{
+    MachineParams m = sparc64vBase(2);
+    PerfModel model(m);
+    model.loadWorkload(tpccProfile(), 8000);
+    const SimResult res = model.run();
+    ASSERT_FALSE(res.hitCycleCap);
+
+    const unsigned width = m.sys.core.commitWidth;
+    std::uint64_t committed_slots = 0;
+    for (CpuId cpu = 0; cpu < 2; ++cpu) {
+        const CpiStackCounts c =
+            model.system().core(cpu).cpiStack().counts();
+        EXPECT_GT(c.total(), 0u);
+        EXPECT_EQ(c.total() % width, 0u) << "cpu " << cpu;
+        committed_slots += c.slots[static_cast<unsigned>(
+            CommitSlot::Committed)];
+    }
+    EXPECT_EQ(committed_slots, res.measured);
+    const CpiStackCounts sum = collectCpiStack(model.system());
+    EXPECT_EQ(sum.total() % width, 0u);
+}
+
+TEST(CpiStack, ExportsThroughStatsJson)
+{
+    const std::string path = ::testing::TempDir() + "cpi_stats.json";
+    obs::runObsOptions() = obs::ObsOptions{};
+    obs::runObsOptions().statsJsonPath = path;
+
+    PerfModel model(sparc64vBase());
+    model.loadWorkload(specint95Profile(), 10000);
+    model.run();
+    obs::runObsOptions() = obs::ObsOptions{};
+
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const std::string json = ss.str();
+    EXPECT_TRUE(JsonChecker(json).valid());
+    // The per-core "cpi" group with one scalar per commit-slot
+    // category is part of the exported stats tree (the root group
+    // carries the machine's name, so match the path suffix).
+    EXPECT_NE(json.find(".cpu0.cpi\""), std::string::npos);
+    for (unsigned i = 0; i < obs::kNumCommitSlots; ++i) {
+        const std::string key = std::string("\"slots_") +
+            obs::commitSlotName(static_cast<CommitSlot>(i)) + "\"";
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CpiStack, FractionsSumToOne)
+{
+    PerfModel model(sparc64vBase());
+    model.loadWorkload(specfp95Profile(), 10000);
+    model.run();
+    const CpiStackCounts c = collectCpiStack(model.system());
+    double sum = 0.0;
+    for (unsigned i = 0; i < obs::kNumCommitSlots; ++i)
+        sum += c.fraction(static_cast<CommitSlot>(i));
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(CpiStack, BreakdownFromCountsMapsCategories)
+{
+    CpiStackCounts c;
+    auto set = [&](CommitSlot s, std::uint64_t v) {
+        c.slots[static_cast<unsigned>(s)] = v;
+    };
+    set(CommitSlot::Committed, 40);
+    set(CommitSlot::FetchEmpty, 5);
+    set(CommitSlot::BranchSquash, 20);
+    set(CommitSlot::L1IMiss, 4);
+    set(CommitSlot::L1DMiss, 6);
+    set(CommitSlot::TlbMiss, 5);
+    set(CommitSlot::L2Miss, 10);
+    set(CommitSlot::WindowFull, 6);
+    set(CommitSlot::Serialize, 2);
+    set(CommitSlot::RawDep, 2);
+    const Breakdown b = breakdownFromCpiStack(c);
+    EXPECT_DOUBLE_EQ(b.branch, 0.20);
+    EXPECT_DOUBLE_EQ(b.ibsTlb, 0.15);
+    EXPECT_DOUBLE_EQ(b.sx, 0.10);
+    EXPECT_DOUBLE_EQ(b.core, 0.55);
+
+    const Breakdown zero = breakdownFromCpiStack(CpiStackCounts{});
+    EXPECT_EQ(zero.core, 0.0);
+    EXPECT_EQ(zero.sx, 0.0);
+}
+
+/**
+ * The acceptance gate: on every stock workload the single-pass stack
+ * must land inside a documented tolerance band of the four-run
+ * differential ladder. The bands absorb the structural differences
+ * between the two methods (see DESIGN.md): the ladder measures
+ * wall-cycle deltas between machines whose *behaviour* diverges
+ * (perfect components change interleavings), while the stack
+ * attributes blame inside one real run — e.g. store L2 misses drain
+ * post-commit through the store queue, so the stack charges less to
+ * "sx" than removing the L2 misses saves.
+ */
+TEST(CpiStack, MatchesDifferentialBreakdownWithinTolerance)
+{
+    constexpr std::size_t kInstrs = 60000;
+    // Per-workload band on the absolute per-category fraction error.
+    const std::map<std::string, double> kTolerance = {
+        {"SPECint95", 0.15},  {"SPECfp95", 0.15},
+        {"SPECint2000", 0.15}, {"SPECfp2000", 0.15},
+        {"TPC-C", 0.20},
+    };
+
+    for (const std::string &name : workloadNames()) {
+        SCOPED_TRACE(name);
+        const WorkloadProfile profile = workloadByName(name);
+        const MachineParams base = sparc64vBase();
+
+        const Breakdown diff =
+            computeBreakdown(base, profile, kInstrs);
+
+        PerfModel model(base);
+        model.loadWorkload(profile, kInstrs);
+        model.run();
+        const Breakdown sp =
+            breakdownFromCpiStack(collectCpiStack(model.system()));
+
+        const double d_core = std::fabs(sp.core - diff.core);
+        const double d_branch = std::fabs(sp.branch - diff.branch);
+        const double d_ibs = std::fabs(sp.ibsTlb - diff.ibsTlb);
+        const double d_sx = std::fabs(sp.sx - diff.sx);
+        std::printf("cpi-stack vs differential [%s]: core %+0.3f "
+                    "branch %+0.3f ibs/tlb %+0.3f sx %+0.3f\n",
+                    name.c_str(), sp.core - diff.core,
+                    sp.branch - diff.branch, sp.ibsTlb - diff.ibsTlb,
+                    sp.sx - diff.sx);
+
+        ASSERT_NE(kTolerance.find(name), kTolerance.end())
+            << "stock workload without a documented tolerance band";
+        const double tol = kTolerance.at(name);
+        EXPECT_LE(d_core, tol);
+        EXPECT_LE(d_branch, tol);
+        EXPECT_LE(d_ibs, tol);
+        EXPECT_LE(d_sx, tol);
+    }
+}
+
+} // namespace
+} // namespace s64v

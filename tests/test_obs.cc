@@ -23,142 +23,14 @@
 #include "obs/sampler.hh"
 #include "obs/stats_export.hh"
 
+#include "json_checker.hh"
+
 namespace s64v
 {
 namespace
 {
 
-/**
- * Minimal recursive-descent JSON validity checker — the repo has no
- * JSON parser dependency, so the tests bring their own.
- */
-class JsonChecker
-{
-  public:
-    explicit JsonChecker(const std::string &text) : s_(text) {}
-
-    bool valid()
-    {
-        skipWs();
-        if (!value())
-            return false;
-        skipWs();
-        return pos_ == s_.size();
-    }
-
-  private:
-    bool value()
-    {
-        if (pos_ >= s_.size())
-            return false;
-        switch (s_[pos_]) {
-          case '{': return object();
-          case '[': return array();
-          case '"': return string();
-          case 't': return literal("true");
-          case 'f': return literal("false");
-          case 'n': return literal("null");
-          default: return number();
-        }
-    }
-
-    bool object()
-    {
-        ++pos_; // '{'
-        skipWs();
-        if (peek() == '}') { ++pos_; return true; }
-        for (;;) {
-            skipWs();
-            if (!string())
-                return false;
-            skipWs();
-            if (peek() != ':')
-                return false;
-            ++pos_;
-            skipWs();
-            if (!value())
-                return false;
-            skipWs();
-            if (peek() == ',') { ++pos_; continue; }
-            if (peek() == '}') { ++pos_; return true; }
-            return false;
-        }
-    }
-
-    bool array()
-    {
-        ++pos_; // '['
-        skipWs();
-        if (peek() == ']') { ++pos_; return true; }
-        for (;;) {
-            skipWs();
-            if (!value())
-                return false;
-            skipWs();
-            if (peek() == ',') { ++pos_; continue; }
-            if (peek() == ']') { ++pos_; return true; }
-            return false;
-        }
-    }
-
-    bool string()
-    {
-        if (peek() != '"')
-            return false;
-        ++pos_;
-        while (pos_ < s_.size()) {
-            const char c = s_[pos_];
-            if (c == '"') { ++pos_; return true; }
-            if (static_cast<unsigned char>(c) < 0x20)
-                return false; // raw control char
-            if (c == '\\') {
-                ++pos_;
-                if (pos_ >= s_.size())
-                    return false;
-                const char e = s_[pos_];
-                if (e == 'u') {
-                    if (pos_ + 4 >= s_.size())
-                        return false;
-                    pos_ += 4;
-                } else if (!strchr("\"\\/bfnrt", e)) {
-                    return false;
-                }
-            }
-            ++pos_;
-        }
-        return false;
-    }
-
-    bool number()
-    {
-        const std::size_t start = pos_;
-        while (pos_ < s_.size() &&
-               (isdigit(static_cast<unsigned char>(s_[pos_])) ||
-                strchr("+-.eE", s_[pos_])))
-            ++pos_;
-        return pos_ > start;
-    }
-
-    bool literal(const char *word)
-    {
-        const std::size_t len = strlen(word);
-        if (s_.compare(pos_, len, word) != 0)
-            return false;
-        pos_ += len;
-        return true;
-    }
-
-    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-    void skipWs()
-    {
-        while (pos_ < s_.size() &&
-               isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    const std::string &s_;
-    std::size_t pos_ = 0;
-};
+using testutil::JsonChecker;
 
 TEST(Json, EscapesSpecialCharacters)
 {
@@ -415,6 +287,26 @@ TEST(RunObs, ParsesObservabilityFlags)
     EXPECT_TRUE(o.any());
     obs::runObsOptions() = obs::ObsOptions{};
     EXPECT_FALSE(obs::runObsOptions().any());
+}
+
+TEST(RunObs, ParsesPipeviewAndSelfProfileFlags)
+{
+    obs::runObsOptions() = obs::ObsOptions{};
+    const char *argv[] = {"prog", "--pipeview-out=pipe.txt",
+                          "--self-profile"};
+    obs::parseObsArgs(3, argv);
+    const obs::ObsOptions &o = obs::runObsOptions();
+    EXPECT_EQ(o.pipeviewOutPath, "pipe.txt");
+    EXPECT_TRUE(o.selfProfile);
+    EXPECT_EQ(o.selfProfilePeriod, 0u); // 0 = library default.
+    EXPECT_TRUE(o.any());
+
+    obs::runObsOptions() = obs::ObsOptions{};
+    const char *argv2[] = {"prog", "self-profile=16"};
+    obs::parseObsArgs(2, argv2);
+    EXPECT_TRUE(obs::runObsOptions().selfProfile);
+    EXPECT_EQ(obs::runObsOptions().selfProfilePeriod, 16u);
+    obs::runObsOptions() = obs::ObsOptions{};
 }
 
 TEST(BenchRecord, WritesJsonRecord)

@@ -1,8 +1,15 @@
 #include "cpu/pipeview.hh"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
+#include "model/params.hh"
+#include "model/perf_model.hh"
+#include "obs/run_obs.hh"
 #include "sim/system.hh"
 #include "workload/generator.hh"
 #include "workload/workloads.hh"
@@ -98,6 +105,78 @@ TEST(Pipeview, CoreFillsMonotoneTimestamps)
         }
     }
     EXPECT_FALSE(pv.render().empty());
+}
+
+TEST(PipeviewO3, WritesKonataCompatibleRecordGroups)
+{
+    PipeviewRecorder pv(4);
+    pv.record(rec(1, 10));
+    pv.record(rec(2, 12));
+    std::ostringstream out;
+    pv.writeO3PipeView(out, /*cpu=*/0);
+
+    std::istringstream in(out.str());
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    // Seven O3PipeView lines per instruction.
+    ASSERT_EQ(lines.size(), 14u);
+    static const char *const kStages[7] = {
+        "O3PipeView:fetch:", "O3PipeView:decode:",
+        "O3PipeView:rename:", "O3PipeView:dispatch:",
+        "O3PipeView:issue:", "O3PipeView:complete:",
+        "O3PipeView:retire:"};
+    for (std::size_t i = 0; i < lines.size(); ++i)
+        EXPECT_EQ(lines[i].rfind(kStages[i % 7], 0), 0u) << lines[i];
+
+    // Timestamps scale by ticks_per_cycle (default 1000); the fetch
+    // line carries pc, sequence number, and a disassembly stand-in.
+    EXPECT_EQ(lines[0], "O3PipeView:fetch:10000:0x00001004:0:1:int");
+    EXPECT_EQ(lines[3], "O3PipeView:dispatch:11000");
+    EXPECT_EQ(lines[4], "O3PipeView:issue:13000");
+    EXPECT_EQ(lines[6], "O3PipeView:retire:14000:store:0");
+    EXPECT_EQ(lines[7], "O3PipeView:fetch:12000:0x00001008:0:2:int");
+}
+
+TEST(PipeviewO3, TagsCpuIntoSequenceNumbers)
+{
+    PipeviewRecorder pv(2);
+    pv.record(rec(1, 10));
+    std::ostringstream a, b;
+    pv.writeO3PipeView(a, 0);
+    pv.writeO3PipeView(b, 1);
+    EXPECT_NE(a.str(), b.str());
+    EXPECT_NE(b.str().find(":0:" +
+                           std::to_string((1ull << 48) | 1) + ":"),
+              std::string::npos);
+}
+
+TEST(PipeviewO3, PerfModelFlagWritesFile)
+{
+    const std::string path = ::testing::TempDir() + "pipeview.txt";
+    obs::runObsOptions() = obs::ObsOptions{};
+    obs::runObsOptions().pipeviewOutPath = path;
+
+    PerfModel model(sparc64vBase());
+    model.loadWorkload(specint95Profile(), 5000);
+    model.run();
+    obs::runObsOptions() = obs::ObsOptions{};
+
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const std::string doc = ss.str();
+    EXPECT_EQ(doc.rfind("O3PipeView:fetch:", 0), 0u);
+    EXPECT_NE(doc.find("O3PipeView:retire:"), std::string::npos);
+    std::istringstream in(doc);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(in, line))
+        ++n;
+    EXPECT_EQ(n % 7, 0u);
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -9,11 +9,17 @@
  * test preset).
  */
 
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
 #include "exp/sweep.hh"
 #include "exp/trace_pool.hh"
 #include "model/perf_model.hh"
+#include "obs/heartbeat.hh"
 #include "workload/workloads.hh"
 
 namespace s64v
@@ -165,6 +171,83 @@ TEST(SweepRunner, EffectiveThreadsClampsToPointCount)
     EXPECT_EQ(runner.effectiveThreads(3), 3u);
     EXPECT_EQ(runner.effectiveThreads(100), 64u);
     EXPECT_EQ(runner.effectiveThreads(0), 1u);
+}
+
+TEST(SweepRunner, ProgressCallbackSeesEveryPoint)
+{
+    std::mutex mutex;
+    std::vector<std::size_t> done_values;
+    std::size_t total_seen = 0;
+    std::atomic<unsigned> calls{0};
+
+    exp::SweepOptions opts;
+    opts.threads = 2;
+    opts.progressFn = [&](std::size_t done, std::size_t total,
+                          double agg_kips) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done_values.push_back(done);
+        total_seen = total;
+        EXPECT_GE(agg_kips, 0.0);
+        ++calls;
+    };
+    const auto results = exp::SweepRunner(opts).run(smallSweep());
+    ASSERT_EQ(results.size(), 4u);
+
+    EXPECT_EQ(calls.load(), 4u);
+    EXPECT_EQ(total_seen, 4u);
+    // done is cumulative; the final callback reports the full sweep.
+    std::sort(done_values.begin(), done_values.end());
+    EXPECT_EQ(done_values, (std::vector<std::size_t>{1, 2, 3, 4}));
+}
+
+TEST(SweepRunner, ProgressBoardTracksLiveSweep)
+{
+    // Outside a sweep the board is inactive.
+    EXPECT_FALSE(obs::sweepProgress().active);
+
+    obs::SweepProgress snap;
+    exp::SweepOptions opts;
+    opts.threads = 1;
+    opts.progressFn = [&](std::size_t, std::size_t, double) {
+        snap = obs::sweepProgress();
+    };
+    exp::Sweep sweep;
+    sweep.add("a", sparc64vBase(), specint95Profile(), 6000);
+    sweep.add("b", sparc64vBase(), specint95Profile(), 6000);
+    const auto results = exp::SweepRunner(opts).run(sweep);
+    ASSERT_TRUE(results[1].ok);
+
+    // The mid-sweep snapshot: active, counting points and committed
+    // instructions, with wall time advancing.
+    EXPECT_TRUE(snap.active);
+    EXPECT_EQ(snap.done, 2u);
+    EXPECT_EQ(snap.total, 2u);
+    EXPECT_EQ(snap.instrs,
+              results[0].sim.instructions +
+                  results[1].sim.instructions);
+    EXPECT_GE(snap.seconds, 0.0);
+    // run() closes the board on the way out.
+    EXPECT_FALSE(obs::sweepProgress().active);
+}
+
+TEST(SweepRunner, HeartbeatPropagatesAndCarriesSweepSuffix)
+{
+    std::string sink;
+    setLogSink(&sink);
+    exp::SweepOptions opts;
+    opts.threads = 1;
+    opts.heartbeatPeriod = 500; // cycles: several beats per point.
+    exp::Sweep sweep;
+    sweep.add("hb", sparc64vBase(), specint95Profile(), 8000);
+    const auto results = exp::SweepRunner(opts).run(sweep);
+    setLogSink(nullptr);
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+
+    // The embedded point inherited the heartbeat period, and its
+    // lines carry the live sweep-progress suffix.
+    EXPECT_NE(sink.find("heartbeat:"), std::string::npos) << sink;
+    EXPECT_NE(sink.find("sweep 0/1 pts"), std::string::npos) << sink;
+    EXPECT_NE(sink.find("KIPS agg"), std::string::npos) << sink;
 }
 
 TEST(TracePool, SynthesizesEachDistinctWorkloadOnce)
