@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "common/file_util.hh"
 #include "common/logging.hh"
 
 namespace s64v
@@ -92,12 +93,9 @@ Table::maybeWriteCsv(const std::string &name) const
     if (!dir || !*dir)
         return;
     const std::string path = std::string(dir) + "/" + name + ".csv";
-    std::ofstream f(path);
-    if (!f) {
-        warn("cannot write CSV to '%s'", path.c_str());
-        return;
-    }
-    f << renderCsv();
+    std::string err;
+    if (!atomicWriteFile(path, renderCsv(), &err))
+        warn("cannot write CSV to '%s': %s", path.c_str(), err.c_str());
 }
 
 std::string

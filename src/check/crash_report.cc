@@ -1,8 +1,9 @@
 #include "check/crash_report.hh"
 
-#include <fstream>
 #include <mutex>
 
+#include "check/fault_inject.hh"
+#include "common/file_util.hh"
 #include "common/logging.hh"
 #include "obs/json.hh"
 #include "obs/run_obs.hh"
@@ -22,6 +23,8 @@ namespace
  * instead of whichever system another thread registered last.
  */
 thread_local System *crashSystem_ = nullptr;
+thread_local std::string crashPointLabel_;
+thread_local std::size_t crashPointIndex_ = 0;
 } // namespace
 
 void
@@ -34,6 +37,20 @@ System *
 crashSystem()
 {
     return crashSystem_;
+}
+
+void
+setCrashPoint(const std::string &label, std::size_t index)
+{
+    crashPointLabel_ = label;
+    crashPointIndex_ = index;
+}
+
+void
+clearCrashPoint()
+{
+    crashPointLabel_.clear();
+    crashPointIndex_ = 0;
 }
 
 namespace
@@ -137,6 +154,19 @@ buildCrashReportJson(System &sys, const char *kind,
     w.field("max_cycles", sys.params().maxCycles);
     w.field("hit_cycle_cap", sys.hitCycleCap());
     w.field("num_cpus", std::uint64_t{sys.params().numCpus});
+    const FaultPlan &fault = activeFaultPlan();
+    if (fault.kind != FaultKind::None) {
+        w.beginObject("injected_fault");
+        w.field("kind", faultKindName(fault.kind));
+        w.field("at", fault.at);
+        w.end();
+    }
+    if (!crashPointLabel_.empty()) {
+        w.beginObject("sweep_point");
+        w.field("label", crashPointLabel_);
+        w.field("index", std::uint64_t{crashPointIndex_});
+        w.end();
+    }
     w.beginArray("cores");
     for (CpuId c = 0; c < sys.params().numCpus; ++c)
         writeCoreState(w, sys.core(c), c);
@@ -149,15 +179,10 @@ buildCrashReportJson(System &sys, const char *kind,
 bool
 writeCrashReport(const std::string &path, const std::string &json)
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) {
-        warn("cannot write crash report to '%s'", path.c_str());
-        return false;
-    }
-    out << json << '\n';
-    out.close();
-    if (!out) {
-        warn("short write on crash report '%s'", path.c_str());
+    std::string err;
+    if (!atomicWriteFile(path, json + '\n', &err)) {
+        warn("cannot write crash report to '%s': %s", path.c_str(),
+             err.c_str());
         return false;
     }
     warn("crash report written to %s", path.c_str());

@@ -34,6 +34,16 @@ void setCrashSystem(System *sys);
 System *crashSystem();
 
 /**
+ * Tag this thread's crash reports with the sweep point it is running
+ * (per-thread, like the registered system): a report from a 100-point
+ * parallel sweep then names the exact configuration that died instead
+ * of leaving the reader to guess from core state. An empty label
+ * clears the tag; SweepRunner sets and clears it around each point.
+ */
+void setCrashPoint(const std::string &label, std::size_t index);
+void clearCrashPoint();
+
+/**
  * Render @p sys's state plus the error that killed it as a JSON
  * document (see DESIGN.md "Robustness & self-checks" for the schema).
  */

@@ -15,6 +15,30 @@ activeFaultPlan()
     return plan;
 }
 
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None: return "none";
+      case FaultKind::CommitStall: return "stall";
+      case FaultKind::LostGrant: return "lost-grant";
+      case FaultKind::LostInvalidate: return "lost-inval";
+      case FaultKind::TraceCorrupt: return "trace-corrupt";
+      case FaultKind::KillPoint: return "kill-point";
+      case FaultKind::CorruptCheckpoint: return "corrupt-ckpt";
+      case FaultKind::TruncateJournal: return "truncate-journal";
+    }
+    return "unknown";
+}
+
+void
+armFaultExitCode()
+{
+    setFatalExitCode(activeFaultPlan().kind != FaultKind::None
+                         ? kInjectedFaultExitCode
+                         : 0);
+}
+
 void
 FaultPlan::parse(const std::string &spec)
 {
@@ -32,9 +56,16 @@ FaultPlan::parse(const std::string &spec)
         kind = FaultKind::LostInvalidate;
     else if (name == "trace-corrupt")
         kind = FaultKind::TraceCorrupt;
+    else if (name == "kill-point")
+        kind = FaultKind::KillPoint;
+    else if (name == "corrupt-ckpt")
+        kind = FaultKind::CorruptCheckpoint;
+    else if (name == "truncate-journal")
+        kind = FaultKind::TruncateJournal;
     else
         fatal("--inject-fault: unknown fault kind '%s' (expected "
-              "stall, lost-grant, lost-inval, or trace-corrupt)",
+              "stall, lost-grant, lost-inval, trace-corrupt, "
+              "kill-point, corrupt-ckpt, or truncate-journal)",
               name.c_str());
 
     const std::string num = spec.substr(colon + 1);
@@ -46,6 +77,8 @@ FaultPlan::parse(const std::string &spec)
         fatal("--inject-fault: bad count '%s' in '%s'", num.c_str(),
               spec.c_str());
     at = v;
+    if (this == &activeFaultPlan())
+        armFaultExitCode();
 }
 
 } // namespace s64v::check

@@ -18,6 +18,22 @@
  *   trace-corrupt:<rec>  writeTraceFile() bit-flips record <rec>
  *                        (readTraceFile() must reject the file via
  *                        fatal(), never crash).
+ *   kill-point:<cycle>   the process dies abruptly (std::_Exit, no
+ *                        atexit, no flushes) at that cycle of a run —
+ *                        the model of a host OOM-kill or power cut
+ *                        (the journal/resume machinery must recover).
+ *   corrupt-ckpt:<off>   SnapshotWriter::writeFile() flips one bit of
+ *                        the checkpoint image (the reader must reject
+ *                        it via fatal(), never crash or restore
+ *                        garbage).
+ *   truncate-journal:<n> the n-th journal append (0-based) writes
+ *                        only half its line and drops the rest — a
+ *                        crash mid-append (resume must skip the torn
+ *                        line and re-run that point).
+ *
+ * While any fault plan is armed, fatal() exits with
+ * kInjectedFaultExitCode instead of 1, so harnesses watching a child
+ * can tell an injected death from a genuine user error.
  */
 
 #ifndef S64V_CHECK_FAULT_INJECT_HH
@@ -37,7 +53,20 @@ enum class FaultKind : std::uint8_t
     LostGrant,     ///< bus grants stop at cycle `at`.
     LostInvalidate,///< invalidation broadcast number `at` is dropped.
     TraceCorrupt,  ///< trace record `at` is bit-flipped on write.
+    KillPoint,     ///< abrupt process death at cycle `at` of a run.
+    CorruptCheckpoint, ///< one bit of a written checkpoint flipped.
+    TruncateJournal,   ///< journal append `at` torn mid-line.
 };
+
+/**
+ * Exit status used for process deaths caused by an injected fault:
+ * the kill-point fault exits with it directly, and fatal() adopts it
+ * while a plan is armed (see FaultPlan::parse / armFaultExitCode).
+ */
+constexpr int kInjectedFaultExitCode = 86;
+
+/** Human-readable fault name ("stall", "kill-point", ...). */
+const char *faultKindName(FaultKind kind);
 
 /** One configured fault (or none). */
 struct FaultPlan
@@ -55,6 +84,14 @@ struct FaultPlan
 
     void clear() { kind = FaultKind::None; at = 0; }
 };
+
+/**
+ * Install kInjectedFaultExitCode as fatal()'s exit status iff the
+ * active plan is armed (restore the default otherwise). parse() calls
+ * this; tests that poke activeFaultPlan() directly may call it
+ * themselves.
+ */
+void armFaultExitCode();
 
 /** The process-wide plan consulted by the instrumented components. */
 FaultPlan &activeFaultPlan();

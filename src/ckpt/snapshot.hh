@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Versioned binary snapshot container for checkpoint/restore. A
+ * snapshot is a sequence of named sections, each carrying an opaque
+ * little-endian payload and an FNV-1a 64 checksum; the file header
+ * records a magic, the container format version, and the producing
+ * model version string. Components write themselves with the typed
+ * put* API and read themselves back in the same order; the reader
+ * validates the header, every section checksum, and every bounds
+ * check up front or on access, and reports any corruption through
+ * fatal() with a clean diagnostic — a damaged checkpoint must never
+ * crash or silently restore garbage.
+ *
+ * Compatibility policy: the format version is bumped on any layout
+ * change and old versions are rejected (a checkpoint is a cache of a
+ * deterministic run, never an archival format); the model version
+ * string must match the restoring build exactly, because a restored
+ * machine only makes sense bit-for-bit.
+ */
+
+#ifndef S64V_CKPT_SNAPSHOT_HH
+#define S64V_CKPT_SNAPSHOT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s64v::ckpt
+{
+
+/** FNV-1a 64-bit, the per-section checksum function. */
+std::uint64_t fnv1a(const void *data, std::size_t len,
+                    std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/** Container format version; bumped on any layout change. */
+constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/**
+ * Builds a snapshot: beginSection()/put*()/.../writeFile(). Sections
+ * are self-contained; the orchestrator opens one per component (e.g.
+ * "cpu0", "mem", "stats") so a checksum failure names the damaged
+ * unit.
+ */
+class SnapshotWriter
+{
+  public:
+    void beginSection(const std::string &name);
+
+    void putU8(std::uint8_t v) { putRaw(&v, 1); }
+    void putU16(std::uint16_t v);
+    void putU32(std::uint32_t v);
+    void putU64(std::uint64_t v);
+    void putI64(std::int64_t v)
+    {
+        putU64(static_cast<std::uint64_t>(v));
+    }
+    void putBool(bool v) { putU8(v ? 1 : 0); }
+    /** Doubles are stored as their IEEE-754 bit pattern: exact. */
+    void putDouble(double v);
+    void putString(const std::string &s);
+    void putBytes(const void *data, std::size_t len);
+    void putU64Vec(const std::vector<std::uint64_t> &v);
+
+    /** Serialize header + all sections into one image. */
+    std::vector<std::uint8_t> finish(
+        const std::string &model_version) const;
+
+    /**
+     * finish() + atomic write to @p path. Honours the
+     * corrupt-checkpoint fault-injection mode (a deliberate bit flip
+     * in one section payload, exercising the reader's checksum path).
+     * Fails via fatal() on I/O errors.
+     */
+    void writeFile(const std::string &path,
+                   const std::string &model_version) const;
+
+  private:
+    struct Section
+    {
+        std::string name;
+        std::vector<std::uint8_t> data;
+    };
+
+    void putRaw(const void *data, std::size_t len);
+
+    std::vector<Section> sections_;
+};
+
+/**
+ * Parses and validates a snapshot image, then hands sections back for
+ * typed reads. Every malformed condition — bad magic, unknown format
+ * version, short file, checksum mismatch, missing section, read past
+ * a section end, trailing unread bytes — goes through fatal() with a
+ * diagnostic naming the file and section.
+ */
+class SnapshotReader
+{
+  public:
+    /** mmap-free whole-file load + full validation. */
+    static SnapshotReader fromFile(const std::string &path);
+
+    /** Validate an in-memory image; @p origin names it in errors. */
+    static SnapshotReader fromBytes(std::vector<std::uint8_t> bytes,
+                                    std::string origin);
+
+    const std::string &modelVersion() const { return modelVersion_; }
+
+    bool hasSection(const std::string &name) const;
+
+    /** Position the cursor at @p name's payload; fatal if missing. */
+    void openSection(const std::string &name);
+
+    /** Assert the open section was consumed exactly. */
+    void closeSection();
+
+    std::uint8_t getU8();
+    std::uint16_t getU16();
+    std::uint32_t getU32();
+    std::uint64_t getU64();
+    std::int64_t getI64()
+    {
+        return static_cast<std::int64_t>(getU64());
+    }
+    bool getBool() { return getU8() != 0; }
+    double getDouble();
+    std::string getString();
+    void getBytes(void *out, std::size_t len);
+    std::vector<std::uint64_t> getU64Vec();
+
+    /**
+     * Restore-side validation helper: fatal (naming the open section)
+     * unless @p cond holds. Components use it to reject snapshots
+     * whose recorded shapes disagree with the configured machine.
+     */
+    void require(bool cond, const char *what);
+
+    /** The section-scoped corruption diagnostic (never returns). */
+    [[noreturn]] void corrupt(const std::string &what) const;
+
+  private:
+    struct Section
+    {
+        std::string name;
+        std::size_t offset = 0; ///< payload start in bytes_.
+        std::size_t size = 0;
+    };
+
+    SnapshotReader() = default;
+    void parse();
+    void getRaw(void *out, std::size_t len);
+
+    std::vector<std::uint8_t> bytes_;
+    std::string origin_;
+    std::string modelVersion_;
+    std::vector<Section> sections_;
+    const Section *open_ = nullptr;
+    std::size_t cursor_ = 0; ///< absolute offset into bytes_.
+};
+
+} // namespace s64v::ckpt
+
+#endif // S64V_CKPT_SNAPSHOT_HH

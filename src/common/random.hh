@@ -8,6 +8,8 @@
 #ifndef S64V_COMMON_RANDOM_HH
 #define S64V_COMMON_RANDOM_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -53,6 +55,23 @@ class Rng
 
     /** Split off an independent child generator. */
     Rng fork();
+
+    /**
+     * Raw generator state, for checkpoint/restore. All model
+     * randomness is consumed before the timed run begins (trace
+     * synthesis), but serializable generators keep the door open for
+     * in-run stochastic components (sampling policies, error
+     * processes with live draws).
+     */
+    std::array<std::uint64_t, 4> state() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+    void setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (std::size_t i = 0; i < 4; ++i)
+            s_[i] = s[i];
+    }
 
   private:
     std::uint64_t s_[4];

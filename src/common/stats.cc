@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "ckpt/snapshot.hh"
 #include "common/logging.hh"
 
 namespace s64v::stats
@@ -267,6 +268,108 @@ Group::visit(Visitor &v) const
     for (const Group *child : children_)
         child->visit(v);
     v.endGroup(*this);
+}
+
+void
+Distribution::saveState(ckpt::SnapshotWriter &w) const
+{
+    w.putU64(count_);
+    w.putDouble(sum_);
+    w.putDouble(sumSq_);
+    w.putDouble(min_);
+    w.putDouble(max_);
+}
+
+void
+Distribution::restoreState(ckpt::SnapshotReader &r)
+{
+    count_ = r.getU64();
+    sum_ = r.getDouble();
+    sumSq_ = r.getDouble();
+    min_ = r.getDouble();
+    max_ = r.getDouble();
+}
+
+void
+Histogram::saveState(ckpt::SnapshotWriter &w) const
+{
+    dist_.saveState(w);
+    w.putU64(counts_.size());
+    for (std::uint64_t c : counts_)
+        w.putU64(c);
+    w.putU64(underflow_);
+    w.putU64(overflow_);
+}
+
+void
+Histogram::restoreState(ckpt::SnapshotReader &r)
+{
+    dist_.restoreState(r);
+    const std::uint64_t buckets = r.getU64();
+    r.require(buckets == counts_.size(),
+              "histogram bucket count differs");
+    for (auto &c : counts_)
+        c = r.getU64();
+    underflow_ = r.getU64();
+    overflow_ = r.getU64();
+}
+
+void
+Group::saveState(ckpt::SnapshotWriter &w) const
+{
+    // Local names tag every stat so a restore into a differently
+    // configured machine fails loudly instead of shifting counters.
+    w.putU32(static_cast<std::uint32_t>(scalars_.size()));
+    for (const auto &[name, entry] : scalars_) {
+        w.putString(name);
+        w.putU64(entry.counter.value());
+    }
+    w.putU32(static_cast<std::uint32_t>(distributions_.size()));
+    for (const auto &[name, d] : distributions_) {
+        w.putString(name);
+        d.dist.saveState(w);
+    }
+    w.putU32(static_cast<std::uint32_t>(histograms_.size()));
+    for (const auto &[name, h] : histograms_) {
+        w.putString(name);
+        h.hist.saveState(w);
+    }
+    w.putU32(static_cast<std::uint32_t>(children_.size()));
+    for (const Group *child : children_) {
+        w.putString(child->localName());
+        child->saveState(w);
+    }
+}
+
+void
+Group::restoreState(ckpt::SnapshotReader &r)
+{
+    r.require(r.getU32() == scalars_.size(),
+              "stat group scalar count differs");
+    for (auto &[name, entry] : scalars_) {
+        r.require(r.getString() == name, "stat scalar name differs");
+        entry.counter.set(r.getU64());
+    }
+    r.require(r.getU32() == distributions_.size(),
+              "stat group distribution count differs");
+    for (auto &[name, d] : distributions_) {
+        r.require(r.getString() == name,
+                  "stat distribution name differs");
+        d.dist.restoreState(r);
+    }
+    r.require(r.getU32() == histograms_.size(),
+              "stat group histogram count differs");
+    for (auto &[name, h] : histograms_) {
+        r.require(r.getString() == name, "stat histogram name differs");
+        h.hist.restoreState(r);
+    }
+    r.require(r.getU32() == children_.size(),
+              "stat group child count differs");
+    for (Group *child : children_) {
+        r.require(r.getString() == child->localName(),
+                  "stat group child name differs");
+        child->restoreState(r);
+    }
 }
 
 } // namespace s64v::stats

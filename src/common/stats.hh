@@ -16,6 +16,12 @@
 #include <string>
 #include <vector>
 
+namespace s64v::ckpt
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace s64v::ckpt
+
 namespace s64v::stats
 {
 
@@ -29,6 +35,8 @@ class Scalar
     Scalar &operator+=(std::uint64_t n) { value_ += n; return *this; }
 
     std::uint64_t value() const { return value_; }
+    /** Overwrite the count (checkpoint restore only). */
+    void set(std::uint64_t v) { value_ = v; }
     void reset() { value_ = 0; }
 
   private:
@@ -56,6 +64,10 @@ class Distribution
     double stddev() const;
 
     void reset();
+
+    /** Serialize the running moments (checkpoint/restore). */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     std::uint64_t count_ = 0;
@@ -95,6 +107,10 @@ class Histogram
     std::uint64_t overflow() const { return overflow_; }
 
     void reset();
+
+    /** Serialize samples; the bucket layout must already match. */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     Distribution dist_;
@@ -209,6 +225,16 @@ class Group
 
     /** Walk this group and all children with @p v. */
     void visit(Visitor &v) const;
+
+    /**
+     * Serialize every scalar/distribution/histogram in this group and
+     * all children, tagged with local names for validation. Formulas
+     * are derived and carry no state. Restore requires the identical
+     * registration tree (same machine configuration) and rejects a
+     * mismatched snapshot through the reader's diagnostics.
+     */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     struct Entry

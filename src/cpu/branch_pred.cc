@@ -1,5 +1,6 @@
 #include "cpu/branch_pred.hh"
 
+#include "ckpt/snapshot.hh"
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 
@@ -112,6 +113,34 @@ BranchPredictor::mispredictRatio() const
 {
     const std::uint64_t r = resolved_.value();
     return r ? static_cast<double>(mispredicts_.value()) / r : 0.0;
+}
+
+
+void
+BranchPredictor::saveState(ckpt::SnapshotWriter &w) const
+{
+    w.putU64(lruTick_);
+    w.putU64(entries_.size());
+    for (const Entry &e : entries_) {
+        w.putU64(e.tag);
+        w.putU8(e.counter);
+        w.putBool(e.valid);
+        w.putU64(e.lru);
+    }
+}
+
+void
+BranchPredictor::restoreState(ckpt::SnapshotReader &r)
+{
+    lruTick_ = r.getU64();
+    r.require(r.getU64() == entries_.size(),
+              "BHT geometry differs (sets*ways)");
+    for (Entry &e : entries_) {
+        e.tag = r.getU64();
+        e.counter = r.getU8();
+        e.valid = r.getBool();
+        e.lru = r.getU64();
+    }
 }
 
 } // namespace s64v

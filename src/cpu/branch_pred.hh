@@ -18,6 +18,8 @@
 namespace s64v
 {
 
+namespace ckpt { class SnapshotWriter; class SnapshotReader; }
+
 /** Tagged BHT with per-entry 2-bit counters and LRU replacement. */
 class BranchPredictor
 {
@@ -46,6 +48,10 @@ class BranchPredictor
     double mispredictRatio() const;
 
     const BranchPredParams &params() const { return params_; }
+
+    /** Serialize mutable state (checkpoint/restore). */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     struct Entry

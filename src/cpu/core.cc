@@ -1,5 +1,6 @@
 #include "cpu/core.hh"
 
+#include "ckpt/snapshot.hh"
 #include <algorithm>
 #include <string>
 
@@ -624,6 +625,72 @@ Core::recentCommits() const
             out.push_back(rc);
     }
     return out;
+}
+
+
+void
+Core::saveState(ckpt::SnapshotWriter &w) const
+{
+    bpred_->saveState(w);
+    fetch_->saveState(w);
+    lsq_->saveState(w);
+    rename_->saveState(w);
+    window_.saveState(w);
+    for (const auto &rs : rs_) {
+        if (rs)
+            rs->saveState(w);
+    }
+    w.putU32(static_cast<std::uint32_t>(units_.size()));
+    for (const ExecUnit &u : units_)
+        u.saveState(w);
+    for (std::uint64_t p : lastProducer_)
+        w.putU64(p);
+    w.putU64Vec(pendingStores_);
+    w.putU32(rseToggle_);
+    w.putU32(rsfToggle_);
+    w.putU64(lastCommitCycle_);
+    w.putU64(rawIssued_);
+    w.putU64(rawCommitted_);
+    w.putU32(recentNext_);
+    for (const RecentCommit &rc : recent_) {
+        w.putU64(rc.seq);
+        w.putU64(rc.pc);
+        w.putU64(rc.cycle);
+    }
+}
+
+void
+Core::restoreState(ckpt::SnapshotReader &r)
+{
+    bpred_->restoreState(r);
+    fetch_->restoreState(r);
+    lsq_->restoreState(r);
+    rename_->restoreState(r);
+    window_.restoreState(r);
+    for (auto &rs : rs_) {
+        if (rs)
+            rs->restoreState(r);
+    }
+    r.require(r.getU32() == units_.size(),
+              "execution-unit count differs");
+    for (ExecUnit &u : units_)
+        u.restoreState(r);
+    for (std::uint64_t &p : lastProducer_)
+        p = r.getU64();
+    pendingStores_ = r.getU64Vec();
+    rseToggle_ = r.getU32();
+    rsfToggle_ = r.getU32();
+    lastCommitCycle_ = r.getU64();
+    rawIssued_ = r.getU64();
+    rawCommitted_ = r.getU64();
+    recentNext_ = r.getU32();
+    r.require(recentNext_ < kRecentCommits,
+              "recent-commit cursor out of range");
+    for (RecentCommit &rc : recent_) {
+        rc.seq = r.getU64();
+        rc.pc = r.getU64();
+        rc.cycle = r.getU64();
+    }
 }
 
 } // namespace s64v

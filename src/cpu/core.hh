@@ -132,6 +132,16 @@ class Core : public Clocked
      */
     void injectCommitStall(Cycle cycle) { commitStallAt_ = cycle; }
 
+    /**
+     * Serialize the complete microarchitectural state of this core:
+     * window, stations, execute pipelines, LSQ, fetch pipeline, BHT,
+     * rename pools, scoreboard and commit bookkeeping. Stats travel
+     * with the stats tree; the injected-fault configuration is
+     * re-armed by construction, not restored.
+     */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
+
   private:
     /**
      * Predicted consumer-usable cycle of @p prod_seq's result as the

@@ -18,6 +18,8 @@
 namespace s64v
 {
 
+namespace ckpt { class SnapshotWriter; class SnapshotReader; }
+
 /** A dispatched operation travelling toward its execute stage. */
 struct PendingExec
 {
@@ -72,6 +74,10 @@ class ExecUnit
 
     Cycle busyUntil() const { return busyUntil_; }
     bool idle() const { return pending_.empty(); }
+
+    /** Serialize mutable state (checkpoint/restore). */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     std::string name_;

@@ -1,5 +1,6 @@
 #include "cpu/fetch.hh"
 
+#include "ckpt/snapshot.hh"
 #include <algorithm>
 
 #include "common/bitutil.hh"
@@ -174,6 +175,75 @@ FetchUnit::tick(Cycle cycle)
     if (buffered + params_.fetchBytes / 4 > params_.fetchQueueEntries)
         return;
     formGroup(cycle);
+}
+
+
+namespace
+{
+
+void
+saveFetched(ckpt::SnapshotWriter &w, const FetchedInstr &f)
+{
+    w.putBytes(&f.rec, sizeof(f.rec));
+    w.putBool(f.predictedTaken);
+    w.putBool(f.mispredicted);
+}
+
+FetchedInstr
+restoreFetched(ckpt::SnapshotReader &r)
+{
+    FetchedInstr f;
+    r.getBytes(&f.rec, sizeof(f.rec));
+    f.predictedTaken = r.getBool();
+    f.mispredicted = r.getBool();
+    return f;
+}
+
+} // namespace
+
+void
+FetchUnit::saveState(ckpt::SnapshotWriter &w) const
+{
+    w.putU64(inflight_.size());
+    for (const Group &g : inflight_) {
+        w.putU64(g.availableAt);
+        w.putU64(g.instrs.size());
+        for (const FetchedInstr &f : g.instrs)
+            saveFetched(w, f);
+    }
+    w.putU64(queue_.size());
+    for (const FetchedInstr &f : queue_)
+        saveFetched(w, f);
+    w.putU64(nextGroupStart_);
+    w.putBool(stalledOnBranch_);
+    w.putBool(branchRecovery_);
+    w.putU64(missBlockedUntil_);
+    w.putU8(static_cast<std::uint8_t>(missBlockReason_));
+}
+
+void
+FetchUnit::restoreState(ckpt::SnapshotReader &r)
+{
+    inflight_.clear();
+    const std::uint64_t groups = r.getU64();
+    for (std::uint64_t i = 0; i < groups; ++i) {
+        Group g;
+        g.availableAt = r.getU64();
+        const std::uint64_t n = r.getU64();
+        g.instrs.reserve(n);
+        for (std::uint64_t j = 0; j < n; ++j)
+            g.instrs.push_back(restoreFetched(r));
+        inflight_.push_back(std::move(g));
+    }
+    queue_.clear();
+    const std::uint64_t qn = r.getU64();
+    for (std::uint64_t i = 0; i < qn; ++i)
+        queue_.push_back(restoreFetched(r));
+    nextGroupStart_ = r.getU64();
+    stalledOnBranch_ = r.getBool();
+    branchRecovery_ = r.getBool();
+    missBlockedUntil_ = r.getU64();
+    missBlockReason_ = static_cast<obs::CommitSlot>(r.getU8());
 }
 
 } // namespace s64v

@@ -24,6 +24,8 @@
 namespace s64v
 {
 
+namespace ckpt { class SnapshotWriter; class SnapshotReader; }
+
 /** A fetched instruction waiting for decode. */
 struct FetchedInstr
 {
@@ -70,6 +72,10 @@ class FetchUnit
      * beats plain pipeline fill (FetchEmpty).
      */
     obs::CommitSlot fetchBlockReason(Cycle cycle) const;
+
+    /** Serialize mutable state (checkpoint/restore). */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     struct Group

@@ -1,5 +1,6 @@
 #include "cpu/lsq.hh"
 
+#include "ckpt/snapshot.hh"
 #include <algorithm>
 
 #include "common/logging.hh"
@@ -285,6 +286,86 @@ LoadStoreQueue::sqSize() const
     return static_cast<std::size_t>(
         std::count_if(stores_.begin(), stores_.end(),
                       [](const LsqEntry &e) { return e.valid; }));
+}
+
+
+namespace
+{
+
+void
+saveLsqEntries(ckpt::SnapshotWriter &w,
+               const std::vector<LsqEntry> &v)
+{
+    w.putU64(v.size());
+    for (const LsqEntry &e : v) {
+        w.putU64(e.seq);
+        w.putU64(e.addr);
+        w.putU8(static_cast<std::uint8_t>(
+            (e.valid ? 1 : 0) | (e.isStore ? 2 : 0) |
+            (e.addrKnown ? 4 : 0) | (e.committed ? 8 : 0) |
+            (e.issued ? 16 : 0)));
+        w.putU64(e.addrReady);
+        w.putU64(e.completion);
+    }
+}
+
+void
+restoreLsqEntries(ckpt::SnapshotReader &r, std::vector<LsqEntry> &v,
+                  const char *what)
+{
+    r.require(r.getU64() == v.size(), what);
+    for (LsqEntry &e : v) {
+        e.seq = r.getU64();
+        e.addr = r.getU64();
+        const std::uint8_t flags = r.getU8();
+        e.valid = (flags & 1) != 0;
+        e.isStore = (flags & 2) != 0;
+        e.addrKnown = (flags & 4) != 0;
+        e.committed = (flags & 8) != 0;
+        e.issued = (flags & 16) != 0;
+        e.addrReady = r.getU64();
+        e.completion = r.getU64();
+    }
+}
+
+} // namespace
+
+void
+LoadStoreQueue::saveState(ckpt::SnapshotWriter &w) const
+{
+    saveLsqEntries(w, loads_);
+    saveLsqEntries(w, stores_);
+    w.putU64(completedLoads_.size());
+    for (const LoadCompletion &c : completedLoads_) {
+        w.putU64(c.seq);
+        w.putU64(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(c.slot)));
+        w.putU64(c.completion);
+        w.putBool(c.l1Hit);
+        w.putU64(c.missKnownAt);
+        w.putBool(c.l2Hit);
+        w.putBool(c.tlbMiss);
+    }
+}
+
+void
+LoadStoreQueue::restoreState(ckpt::SnapshotReader &r)
+{
+    restoreLsqEntries(r, loads_, "load-queue capacity differs");
+    restoreLsqEntries(r, stores_, "store-queue capacity differs");
+    completedLoads_.clear();
+    const std::uint64_t n = r.getU64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        LoadCompletion c;
+        c.seq = r.getU64();
+        c.slot = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(r.getU64()));
+        c.completion = r.getU64();
+        c.l1Hit = r.getBool();
+        c.missKnownAt = r.getU64();
+        c.l2Hit = r.getBool();
+        c.tlbMiss = r.getBool();
+    }
 }
 
 } // namespace s64v

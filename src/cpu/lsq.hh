@@ -21,6 +21,8 @@
 namespace s64v
 {
 
+namespace ckpt { class SnapshotWriter; class SnapshotReader; }
+
 /** One load- or store-queue slot. */
 struct LsqEntry
 {
@@ -107,6 +109,10 @@ class LoadStoreQueue
     {
         return storeForwards_.value();
     }
+
+    /** Serialize mutable state (checkpoint/restore). */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     unsigned bankOf(Addr addr) const;

@@ -1,5 +1,6 @@
 #include "cpu/rename.hh"
 
+#include "ckpt/snapshot.hh"
 #include "common/logging.hh"
 
 namespace s64v
@@ -50,6 +51,23 @@ RenameUnit::release(bool had_int, bool had_fp)
             panic("fp rename pool underflow");
         --fpUsed_;
     }
+}
+
+
+void
+RenameUnit::saveState(ckpt::SnapshotWriter &w) const
+{
+    w.putU32(intUsed_);
+    w.putU32(fpUsed_);
+}
+
+void
+RenameUnit::restoreState(ckpt::SnapshotReader &r)
+{
+    intUsed_ = r.getU32();
+    fpUsed_ = r.getU32();
+    r.require(intUsed_ <= intRegs_ && fpUsed_ <= fpRegs_,
+              "rename pool occupancy exceeds configured size");
 }
 
 } // namespace s64v

@@ -13,6 +13,8 @@
 namespace s64v
 {
 
+namespace ckpt { class SnapshotWriter; class SnapshotReader; }
+
 /** Counting allocator for the integer and FP renaming-register pools. */
 class RenameUnit
 {
@@ -35,6 +37,10 @@ class RenameUnit
 
     /** Count an issue stall caused by pool exhaustion. */
     void noteStall() { ++renameStalls_; }
+
+    /** Serialize mutable state (checkpoint/restore). */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     unsigned intRegs_;

@@ -18,6 +18,8 @@
 namespace s64v
 {
 
+namespace ckpt { class SnapshotWriter; class SnapshotReader; }
+
 /** Lifecycle of a window entry. */
 enum class InstrState : std::uint8_t
 {
@@ -118,6 +120,10 @@ class InstrWindow
 
     WindowEntry &head() { return entry(head_); }
     const WindowEntry &head() const { return entry(head_); }
+
+    /** Serialize mutable state (checkpoint/restore). */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     unsigned capacity_;

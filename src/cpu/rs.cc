@@ -1,5 +1,6 @@
 #include "cpu/rs.hh"
 
+#include "ckpt/snapshot.hh"
 #include <algorithm>
 
 #include "common/logging.hh"
@@ -61,6 +62,21 @@ ReservationStation::select(
             ++picked;
         }
     }
+}
+
+
+void
+ReservationStation::saveState(ckpt::SnapshotWriter &w) const
+{
+    w.putU64Vec(seqs_);
+}
+
+void
+ReservationStation::restoreState(ckpt::SnapshotReader &r)
+{
+    seqs_ = r.getU64Vec();
+    r.require(seqs_.size() <= entries_,
+              "reservation-station occupancy exceeds capacity");
 }
 
 } // namespace s64v

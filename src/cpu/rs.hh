@@ -20,6 +20,8 @@
 namespace s64v
 {
 
+namespace ckpt { class SnapshotWriter; class SnapshotReader; }
+
 /**
  * A single reservation station holding window sequence numbers.
  * Entries keep their slot from issue until their execution is
@@ -77,6 +79,10 @@ class ReservationStation
     {
         return occupancy_;
     }
+
+    /** Serialize mutable state (checkpoint/restore). */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     unsigned entries_;

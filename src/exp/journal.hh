@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Write-ahead run journal for sweeps: one JSONL line per finished
+ * point attempt, appended and fsynced before the in-memory result is
+ * merged, so a killed sweep loses at most the points that were still
+ * running. Each entry is keyed on the point's position plus hashes of
+ * its machine configuration, its workload, and the producing model
+ * version; --resume replays a journal against the *current* sweep and
+ * only honours entries whose keys still match, so an edited sweep or
+ * a rebuilt model silently re-runs instead of mixing stale results.
+ *
+ * Doubles (IPC, metrics) are stored as their IEEE-754 bit patterns so
+ * a resumed sweep's merged results are bit-identical to an
+ * uninterrupted run's, not merely close.
+ */
+
+#ifndef S64V_EXP_JOURNAL_HH
+#define S64V_EXP_JOURNAL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/file_util.hh"
+#include "sim/system.hh"
+
+namespace s64v::exp
+{
+
+/** One journal record: the durable outcome of one point attempt. */
+struct JournalEntry
+{
+    std::uint64_t index = 0;    ///< point position within the sweep.
+    std::string label;
+    std::uint64_t configHash = 0;   ///< effective-machine fingerprint.
+    std::uint64_t workloadHash = 0; ///< profile + instrs fingerprint.
+    std::string modelVersion;       ///< producing model version.
+    std::string status;     ///< "ok", "failed", or "quarantined".
+    std::uint32_t attempts = 1; ///< total attempts including this one.
+    std::string error;          ///< diagnostic when not "ok".
+    SimResult sim;              ///< meaningful when status == "ok".
+    std::map<std::string, double> metrics;
+};
+
+/** Render @p e as one JSONL line (no trailing newline). */
+std::string encodeJournalEntry(const JournalEntry &e);
+
+/**
+ * Parse one journal line. @return false on any malformation (torn
+ * tail, corrupt interior, wrong schema version) — the caller skips
+ * the line; a journal is advisory, never trusted blindly.
+ */
+bool decodeJournalEntry(std::string_view line, JournalEntry &out);
+
+/** Append-side handle. Each append is fsynced as one line. */
+class RunJournal
+{
+  public:
+    /**
+     * Open @p path for appending (created if absent; an existing
+     * journal grows, which is what --resume wants). @return success.
+     */
+    bool open(const std::string &path, std::string *err = nullptr);
+
+    bool isOpen() const { return file_.isOpen(); }
+    const std::string &path() const { return file_.path(); }
+
+    /**
+     * Append one entry. Honours the truncate-journal fault plan: the
+     * configured append writes only half its line and the journal
+     * goes dead, modelling a crash mid-append. I/O failures warn and
+     * continue — losing durability must not kill the sweep itself.
+     */
+    void append(const JournalEntry &e);
+
+    /**
+     * Load every well-formed entry of @p path, in file order. A
+     * missing file is an empty journal; a torn final line is the
+     * normal crash signature and is skipped silently; a corrupt
+     * interior line is skipped with a warning naming the line number.
+     */
+    static std::vector<JournalEntry> load(const std::string &path);
+
+  private:
+    AppendFile file_;
+    std::uint64_t appends_ = 0; ///< truncate-journal fault ordinal.
+    bool dead_ = false;         ///< torn by the injected fault.
+};
+
+} // namespace s64v::exp
+
+#endif // S64V_EXP_JOURNAL_HH

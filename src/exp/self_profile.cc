@@ -4,6 +4,7 @@
 #include <fstream>
 #include <mutex>
 
+#include "common/file_util.hh"
 #include "common/logging.hh"
 #include "obs/bench_record.hh"
 #include "obs/json.hh"
@@ -162,12 +163,12 @@ writeSelfProfileJson(const std::string &path)
         out = std::string(dir && *dir ? dir : ".") +
             "/BENCH_selfprofile.json";
     }
-    std::ofstream f(out);
-    if (!f) {
-        warn("cannot write self-profile to '%s'", out.c_str());
+    std::string err;
+    if (!atomicWriteFile(out, renderSelfProfileJson() + '\n', &err)) {
+        warn("cannot write self-profile to '%s': %s", out.c_str(),
+             err.c_str());
         return false;
     }
-    f << renderSelfProfileJson() << '\n';
     return true;
 }
 

@@ -1,14 +1,21 @@
 #include "exp/sweep.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <exception>
+#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "check/crash_report.hh"
 #include "check/signals.hh"
+#include "ckpt/snapshot.hh"
 #include "common/logging.hh"
+#include "exp/journal.hh"
 #include "exp/self_profile.hh"
+#include "model/fingerprint.hh"
 #include "obs/heartbeat.hh"
 #include "obs/run_obs.hh"
 
@@ -71,19 +78,41 @@ class ScopedThrowOnError
 };
 } // namespace
 
-void
-SweepRunner::runPoint(const SweepPoint &point,
-                      const TracePool::TraceSet &traces,
-                      const MetricFn &metricFn, PointResult &out) const
+MachineParams
+SweepRunner::effectiveMachine(const SweepPoint &point,
+                              std::size_t index) const
 {
-    out.label = point.label;
-
     MachineParams machine = point.machine;
     if (opts_.standardWarmup)
         machine.sys.warmupInstrs = point.instrs / 5;
     if (opts_.heartbeatPeriod != 0 && machine.sys.heartbeatPeriod == 0)
         machine.sys.heartbeatPeriod = opts_.heartbeatPeriod;
+    if (opts_.watchdogEscalate) {
+        machine.sys.watchdogEscalate = true;
+        if (machine.sys.emergencyCheckpointPath.empty()) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "point%zu.emergency.ckpt",
+                          index);
+            machine.sys.emergencyCheckpointPath =
+                opts_.journalPath.empty()
+                    ? std::string(buf)
+                    : opts_.journalPath + "." + buf;
+        }
+    }
+    return machine;
+}
 
+void
+SweepRunner::runPoint(const SweepPoint &point, std::size_t index,
+                      const TracePool::TraceSet &traces,
+                      const MetricFn &metricFn, PointResult &out) const
+{
+    out = PointResult{};
+    out.label = point.label;
+
+    const MachineParams machine = effectiveMachine(point, index);
+
+    check::setCrashPoint(point.label, index);
     ScopedThrowOnError isolate;
     try {
         PerfModel model(machine);
@@ -100,6 +129,7 @@ SweepRunner::runPoint(const SweepPoint &point,
         warn("sweep point '%s' failed: %s", point.label.c_str(),
              e.what());
     }
+    check::clearCrashPoint();
 
     if (opts_.verbose && out.ok) {
         inform("sweep point '%s' done: ipc=%.4f cycles=%llu",
@@ -115,6 +145,21 @@ SweepRunner::run(const Sweep &sweep)
     std::vector<PointResult> results(points.size());
     if (points.empty())
         return results;
+
+    // Flag-level defaults, mirroring the --threads pattern: a harness
+    // that sets nothing programmatically inherits --journal/--resume/
+    // --max-attempts/--watchdog-escalate from the command line.
+    {
+        const obs::ObsOptions &oo = obs::runObsOptions();
+        if (opts_.journalPath.empty())
+            opts_.journalPath = oo.journalPath;
+        if (oo.resume)
+            opts_.resume = true;
+        if (oo.maxAttempts != 0)
+            opts_.maxAttempts = oo.maxAttempts;
+        if (oo.watchdogEscalate)
+            opts_.watchdogEscalate = true;
+    }
 
     // All trace synthesis happens here, serially, before any worker
     // starts: N points over one workload share a single immutable
@@ -138,11 +183,152 @@ SweepRunner::run(const Sweep &sweep)
     std::atomic<std::size_t> next{0};
     const MetricFn &metricFn = sweep.metricFn();
 
-    auto pointDone = [&](const PointResult &r) {
-        obs::noteSweepPointDone(r.ok ? r.sim.instructions : 0);
+    // --- Durability: point keys, journal replay, write-ahead log ---
+    const bool journalled = !opts_.journalPath.empty();
+    std::vector<std::uint64_t> configHash(points.size(), 0);
+    std::vector<std::uint64_t> workloadHash(points.size(), 0);
+    if (journalled) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            configHash[i] =
+                fingerprintMachine(effectiveMachine(points[i], i));
+            const std::uint64_t key[2] = {
+                fingerprintWorkload(points[i].profile),
+                points[i].instrs};
+            workloadHash[i] = ckpt::fnv1a(key, sizeof key);
+        }
+    }
+
+    std::vector<std::uint8_t> prefilled(points.size(), 0);
+    std::vector<std::uint8_t> quarantined(points.size(), 0);
+    std::vector<std::uint32_t> priorAttempts(points.size(), 0);
+    std::vector<std::string> lastError(points.size());
+    if (journalled && opts_.resume) {
+        std::size_t stale = 0;
+        for (const JournalEntry &e :
+             RunJournal::load(opts_.journalPath)) {
+            const std::size_t i = e.index;
+            if (i >= points.size() || e.label != points[i].label ||
+                e.configHash != configHash[i] ||
+                e.workloadHash != workloadHash[i] ||
+                e.modelVersion != modelVersionString()) {
+                ++stale;
+                continue;
+            }
+            priorAttempts[i] = std::max(priorAttempts[i], e.attempts);
+            if (e.status == "ok") {
+                results[i].label = e.label;
+                results[i].sim = e.sim;
+                results[i].metrics = e.metrics;
+                results[i].ok = true;
+                prefilled[i] = 1;
+            } else {
+                lastError[i] = e.error;
+                if (e.status == "quarantined" ||
+                    e.attempts >= opts_.maxAttempts)
+                    quarantined[i] = 1;
+            }
+        }
+        if (stale != 0) {
+            warn("journal '%s': ignored %zu entries whose point/"
+                 "config/workload/model keys no longer match",
+                 opts_.journalPath.c_str(), stale);
+        }
+        std::size_t done = 0;
+        for (const std::uint8_t p : prefilled)
+            done += p;
+        inform("resume: %zu of %zu points already complete in '%s'",
+               done, points.size(), opts_.journalPath.c_str());
+    }
+
+    RunJournal journal;
+    std::mutex journalMutex;
+    if (journalled) {
+        std::string err;
+        if (!journal.open(opts_.journalPath, &err)) {
+            warn("cannot open run journal '%s': %s; sweep continues "
+                 "without durability",
+                 opts_.journalPath.c_str(), err.c_str());
+        }
+    }
+
+    auto makeEntry = [&](std::size_t i, std::uint32_t attempts,
+                         const PointResult &r, const char *status) {
+        JournalEntry e;
+        e.index = i;
+        e.label = points[i].label;
+        e.configHash = configHash[i];
+        e.workloadHash = workloadHash[i];
+        e.modelVersion = modelVersionString();
+        e.status = status;
+        e.attempts = attempts;
+        e.error = r.error;
+        e.sim = r.sim;
+        e.metrics = r.metrics;
+        return e;
+    };
+
+    auto journalAppend = [&](const JournalEntry &e) {
+        if (!journal.isOpen())
+            return;
+        std::lock_guard<std::mutex> lock(journalMutex);
+        journal.append(e);
+    };
+
+    auto pointDone = [&](const PointResult &r, bool executed) {
+        obs::noteSweepPointDone(
+            executed && r.ok ? r.sim.instructions : 0);
         if (opts_.progressFn) {
             const obs::SweepProgress sp = obs::sweepProgress();
             opts_.progressFn(sp.done, sp.total, sp.kips());
+        }
+    };
+
+    // A journalled point gets up to maxAttempts tries with capped
+    // exponential backoff; the outcome of every attempt is durable
+    // before the next one starts.
+    auto runJournalled = [&](std::size_t i) {
+        std::uint32_t attempt = priorAttempts[i];
+        for (;;) {
+            ++attempt;
+            runPoint(points[i], i, *traceSets[i], metricFn,
+                     results[i]);
+            if (results[i].ok) {
+                // A stop request cuts a running point at the next
+                // cycle boundary: its partial result is reported but
+                // must never become durable — resume re-runs the
+                // point in full instead of merging a truncated run.
+                if (results[i].sim.interrupted)
+                    return;
+                journalAppend(makeEntry(i, attempt, results[i],
+                                        "ok"));
+                return;
+            }
+            if (attempt >= opts_.maxAttempts) {
+                journalAppend(makeEntry(i, attempt, results[i],
+                                        "quarantined"));
+                results[i].error = "quarantined after " +
+                    std::to_string(attempt) + " attempts: " +
+                    results[i].error;
+                warn("sweep point '%s' quarantined after %u attempts",
+                     points[i].label.c_str(), attempt);
+                return;
+            }
+            journalAppend(makeEntry(i, attempt, results[i],
+                                    "failed"));
+            if (check::stopRequested())
+                return;
+            const unsigned shift =
+                attempt > 1 ? (attempt - 1 < 20 ? attempt - 1 : 20)
+                            : 0;
+            std::uint64_t delay = opts_.backoffBaseMs << shift;
+            if (delay > opts_.backoffCapMs)
+                delay = opts_.backoffCapMs;
+            warn("sweep point '%s' failed (attempt %u of %u); "
+                 "retrying in %llu ms",
+                 points[i].label.c_str(), attempt, opts_.maxAttempts,
+                 static_cast<unsigned long long>(delay));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
         }
     };
 
@@ -152,14 +338,31 @@ SweepRunner::run(const Sweep &sweep)
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= points.size())
                 break;
+            if (prefilled[i]) {
+                pointDone(results[i], /*executed=*/false);
+                continue;
+            }
+            if (quarantined[i]) {
+                results[i].label = points[i].label;
+                results[i].error = "quarantined after " +
+                    std::to_string(priorAttempts[i]) + " attempts: " +
+                    lastError[i];
+                pointDone(results[i], false);
+                continue;
+            }
             if (check::stopRequested()) {
                 results[i].label = points[i].label;
                 results[i].error = "interrupted";
-                pointDone(results[i]);
+                pointDone(results[i], false);
                 continue;
             }
-            runPoint(points[i], *traceSets[i], metricFn, results[i]);
-            pointDone(results[i]);
+            if (journalled) {
+                runJournalled(i);
+            } else {
+                runPoint(points[i], i, *traceSets[i], metricFn,
+                         results[i]);
+            }
+            pointDone(results[i], true);
         }
     };
 

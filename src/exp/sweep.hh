@@ -120,6 +120,40 @@ struct SweepOptions
      */
     std::function<void(std::size_t done, std::size_t total,
                        double agg_kips)> progressFn;
+    /**
+     * Write-ahead run journal (empty = none): every finished attempt
+     * is appended to this JSONL file and fsynced before its result is
+     * merged, so a killed sweep can resume. Arming a journal also
+     * arms per-point retry (see maxAttempts).
+     */
+    std::string journalPath;
+    /**
+     * Replay the journal at journalPath before dispatching: points
+     * with a matching "ok" entry are prefilled from it (bit-identical
+     * merge, doubles round-trip exactly) and not re-run; previously
+     * failed points retry with their attempt count carried over;
+     * quarantined points come back as failed without running. Entries
+     * whose config/workload/model-version keys no longer match the
+     * sweep are ignored with a warning.
+     */
+    bool resume = false;
+    /**
+     * Total attempts a journalled point gets before it is recorded as
+     * quarantined and never retried again. Ignored without a journal
+     * (an unjournalled sweep runs every point exactly once).
+     */
+    unsigned maxAttempts = 3;
+    /** Retry delay: backoffBaseMs * 2^(attempt-1), capped. @{ */
+    std::uint64_t backoffBaseMs = 100;
+    std::uint64_t backoffCapMs = 2000;
+    /** @} */
+    /**
+     * Watchdog escalation: a hung point writes an emergency
+     * checkpoint (next to the journal, or "emergency.point<i>.ckpt"
+     * without one) before the watchdog kill, so the wedged machine
+     * state survives for offline dissection.
+     */
+    bool watchdogEscalate = false;
 };
 
 /**
@@ -150,7 +184,13 @@ class SweepRunner
     static unsigned resolveThreads(unsigned requested);
 
   private:
-    void runPoint(const SweepPoint &point,
+    /** The machine a point actually runs (warmup/heartbeat/escalation
+     *  conventions applied); also what the journal's config hash
+     *  covers. */
+    MachineParams effectiveMachine(const SweepPoint &point,
+                                   std::size_t index) const;
+
+    void runPoint(const SweepPoint &point, std::size_t index,
                   const TracePool::TraceSet &traces,
                   const MetricFn &metricFn, PointResult &out) const;
 

@@ -1,5 +1,6 @@
 #include "mem/bus.hh"
 
+#include "ckpt/snapshot.hh"
 #include <algorithm>
 
 #include "common/logging.hh"
@@ -76,6 +77,21 @@ Bus::command(Cycle cycle)
 {
     return occupy(&addrBusyUntil_, cycle, params_.requestLatency,
                   addrTid_);
+}
+
+
+void
+Bus::saveState(ckpt::SnapshotWriter &w) const
+{
+    w.putU64(addrBusyUntil_);
+    w.putU64(dataBusyUntil_);
+}
+
+void
+Bus::restoreState(ckpt::SnapshotReader &r)
+{
+    addrBusyUntil_ = r.getU64();
+    dataBusyUntil_ = r.getU64();
 }
 
 } // namespace s64v

@@ -17,6 +17,7 @@ namespace s64v
 {
 
 namespace obs { class ChromeTraceWriter; }
+namespace ckpt { class SnapshotWriter; class SnapshotReader; }
 
 /** Shared system bus with occupancy accounting. */
 class Bus
@@ -69,6 +70,10 @@ class Bus
      * address phases on separate tracks). Pass nullptr to detach.
      */
     void attachTrace(obs::ChromeTraceWriter *writer);
+
+    /** Serialize arbitration state (checkpoint/restore). */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     Cycle occupy(Cycle *busy_until, Cycle cycle, Cycle duration,

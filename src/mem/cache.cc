@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "ckpt/snapshot.hh"
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 #include "obs/chrome_trace.hh"
@@ -369,6 +370,81 @@ TimedCache::demandMissRatio() const
 {
     const std::uint64_t a = demandAccesses_.value();
     return a ? static_cast<double>(demandMisses_.value()) / a : 0.0;
+}
+
+void
+CacheArray::saveState(ckpt::SnapshotWriter &w) const
+{
+    w.putU64(lruTick_);
+    w.putU64(lines_.size());
+    for (const Line &l : lines_) {
+        w.putU64(l.tag);
+        w.putU8(static_cast<std::uint8_t>((l.valid ? 1 : 0) |
+                                          (l.dirty ? 2 : 0) |
+                                          (l.prefetched ? 4 : 0)));
+        w.putU64(l.lru);
+    }
+}
+
+void
+CacheArray::restoreState(ckpt::SnapshotReader &r)
+{
+    lruTick_ = r.getU64();
+    r.require(r.getU64() == lines_.size(),
+              "cache geometry differs (sets*ways)");
+    for (Line &l : lines_) {
+        l.tag = r.getU64();
+        const std::uint8_t flags = r.getU8();
+        l.valid = (flags & 1) != 0;
+        l.dirty = (flags & 2) != 0;
+        l.prefetched = (flags & 4) != 0;
+        l.lru = r.getU64();
+    }
+}
+
+namespace
+{
+
+void
+saveAddrCycleMap(ckpt::SnapshotWriter &w,
+                 const std::map<Addr, Cycle> &m)
+{
+    w.putU64(m.size());
+    for (const auto &[addr, cycle] : m) {
+        w.putU64(addr);
+        w.putU64(cycle);
+    }
+}
+
+void
+restoreAddrCycleMap(ckpt::SnapshotReader &r, std::map<Addr, Cycle> &m)
+{
+    m.clear();
+    const std::uint64_t n = r.getU64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr addr = r.getU64();
+        m[addr] = r.getU64();
+    }
+}
+
+} // namespace
+
+void
+TimedCache::saveState(ckpt::SnapshotWriter &w) const
+{
+    array_.saveState(w);
+    saveAddrCycleMap(w, inflight_);
+    saveAddrCycleMap(w, missStart_);
+    w.putU64(errors_.ordinal());
+}
+
+void
+TimedCache::restoreState(ckpt::SnapshotReader &r)
+{
+    array_.restoreState(r);
+    restoreAddrCycleMap(r, inflight_);
+    restoreAddrCycleMap(r, missStart_);
+    errors_.setOrdinal(r.getU64());
 }
 
 } // namespace s64v

@@ -21,6 +21,7 @@ namespace s64v
 {
 
 namespace obs { class ChromeTraceWriter; }
+namespace ckpt { class SnapshotWriter; class SnapshotReader; }
 
 /** Outcome of inserting a line: what (if anything) was evicted. */
 struct Eviction
@@ -82,6 +83,10 @@ class CacheArray
      */
     void forEachValidLine(
         const std::function<void(Addr, bool)> &fn) const;
+
+    /** Serialize tags/LRU (checkpoint/restore). */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     struct Line
@@ -217,6 +222,13 @@ class TimedCache
     double missRatio() const;
     double demandMissRatio() const;
     /** @} */
+
+    /**
+     * Serialize tags + MSHRs + error-process position (stats travel
+     * separately with the whole tree; see stats::Group::saveState).
+     */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     void expireMshrs(Cycle cycle);

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "ckpt/snapshot.hh"
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 
@@ -303,6 +304,39 @@ MemSystem::l2MissRatio() const
             pc->l2->prefetchIssuedCount();
     }
     return acc ? static_cast<double>(miss) / acc : 0.0;
+}
+
+
+void
+MemSystem::saveState(ckpt::SnapshotWriter &w) const
+{
+    w.putU32(static_cast<std::uint32_t>(cpus_.size()));
+    for (const auto &cpu : cpus_) {
+        cpu->l1i->saveState(w);
+        cpu->l1d->saveState(w);
+        cpu->l2->saveState(w);
+        cpu->itlb->saveState(w);
+        cpu->dtlb->saveState(w);
+        cpu->prefetcher->saveState(w);
+    }
+    bus_->saveState(w);
+    memCtrl_->saveState(w);
+}
+
+void
+MemSystem::restoreState(ckpt::SnapshotReader &r)
+{
+    r.require(r.getU32() == cpus_.size(), "CPU count differs");
+    for (auto &cpu : cpus_) {
+        cpu->l1i->restoreState(r);
+        cpu->l1d->restoreState(r);
+        cpu->l2->restoreState(r);
+        cpu->itlb->restoreState(r);
+        cpu->dtlb->restoreState(r);
+        cpu->prefetcher->restoreState(r);
+    }
+    bus_->restoreState(r);
+    memCtrl_->restoreState(r);
 }
 
 } // namespace s64v

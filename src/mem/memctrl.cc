@@ -1,5 +1,6 @@
 #include "mem/memctrl.hh"
 
+#include "ckpt/snapshot.hh"
 #include <algorithm>
 
 #include "common/logging.hh"
@@ -43,6 +44,24 @@ MemCtrl::write(Cycle cycle)
 {
     ++writes_;
     return allocate(cycle) + params_.occupancy;
+}
+
+
+void
+MemCtrl::saveState(ckpt::SnapshotWriter &w) const
+{
+    w.putU64(channelBusy_.size());
+    for (Cycle c : channelBusy_)
+        w.putU64(c);
+}
+
+void
+MemCtrl::restoreState(ckpt::SnapshotReader &r)
+{
+    r.require(r.getU64() == channelBusy_.size(),
+              "memory-controller channel count differs");
+    for (Cycle &c : channelBusy_)
+        c = r.getU64();
 }
 
 } // namespace s64v

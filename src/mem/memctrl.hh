@@ -17,6 +17,8 @@
 namespace s64v
 {
 
+namespace ckpt { class SnapshotWriter; class SnapshotReader; }
+
 /** Timed memory controller. */
 class MemCtrl
 {
@@ -35,6 +37,10 @@ class MemCtrl
     std::uint64_t reads() const { return reads_.value(); }
     std::uint64_t writes() const { return writes_.value(); }
     std::uint64_t queueCycles() const { return queueCycles_.value(); }
+
+    /** Serialize channel occupancy (checkpoint/restore). */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     Cycle allocate(Cycle cycle);

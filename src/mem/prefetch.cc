@@ -1,5 +1,6 @@
 #include "mem/prefetch.hh"
 
+#include "ckpt/snapshot.hh"
 #include "mem/memtypes.hh"
 
 namespace s64v
@@ -91,6 +92,50 @@ StreamPrefetcher::observe(Addr addr, std::vector<Addr> &out)
     victim->nextLine = line + 1;
     victim->confidence = 1;
     victim->lru = ++lruTick_;
+}
+
+
+void
+StreamPrefetcher::saveTable(ckpt::SnapshotWriter &w,
+                            const std::vector<Stream> &t) const
+{
+    w.putU64(t.size());
+    for (const Stream &s : t) {
+        w.putU64(s.nextLine);
+        w.putU32(s.confidence);
+        w.putU64(s.lru);
+        w.putBool(s.valid);
+    }
+}
+
+void
+StreamPrefetcher::restoreTable(ckpt::SnapshotReader &r,
+                               std::vector<Stream> &t)
+{
+    r.require(r.getU64() == t.size(),
+              "prefetcher table size differs");
+    for (Stream &s : t) {
+        s.nextLine = r.getU64();
+        s.confidence = r.getU32();
+        s.lru = r.getU64();
+        s.valid = r.getBool();
+    }
+}
+
+void
+StreamPrefetcher::saveState(ckpt::SnapshotWriter &w) const
+{
+    w.putU64(lruTick_);
+    saveTable(w, streams_);
+    saveTable(w, candidates_);
+}
+
+void
+StreamPrefetcher::restoreState(ckpt::SnapshotReader &r)
+{
+    lruTick_ = r.getU64();
+    restoreTable(r, streams_);
+    restoreTable(r, candidates_);
 }
 
 } // namespace s64v

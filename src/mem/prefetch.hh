@@ -17,6 +17,8 @@
 namespace s64v
 {
 
+namespace ckpt { class SnapshotWriter; class SnapshotReader; }
+
 /** Stream-prefetcher configuration. */
 struct PrefetchParams
 {
@@ -48,6 +50,10 @@ class StreamPrefetcher
     bool enabled() const { return params_.enabled; }
     std::uint64_t trainings() const { return trainings_.value(); }
 
+    /** Serialize stream/candidate tables (checkpoint/restore). */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
+
   private:
     struct Stream
     {
@@ -56,6 +62,11 @@ class StreamPrefetcher
         std::uint64_t lru = 0;
         bool valid = false;
     };
+
+    void saveTable(ckpt::SnapshotWriter &w,
+                   const std::vector<Stream> &t) const;
+    void restoreTable(ckpt::SnapshotReader &r,
+                      std::vector<Stream> &t);
 
     PrefetchParams params_;
     std::vector<Stream> streams_;

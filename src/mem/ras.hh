@@ -61,6 +61,13 @@ class ErrorProcess
 
     bool enabled() const { return threshold_ != 0; }
 
+    /**
+     * The process is a pure hash over the access ordinal, so the
+     * ordinal is its entire replayable state.
+     */
+    std::uint64_t ordinal() const { return ordinal_; }
+    void setOrdinal(std::uint64_t o) { ordinal_ = o; }
+
   private:
     RasParams params_;
     std::uint64_t threshold_ = 0; ///< compare against 20-bit hash.

@@ -1,5 +1,6 @@
 #include "mem/tlb.hh"
 
+#include "ckpt/snapshot.hh"
 #include "common/bitutil.hh"
 #include "common/logging.hh"
 
@@ -69,6 +70,32 @@ Tlb::flush()
 {
     for (Entry &e : entries_)
         e.valid = false;
+}
+
+
+void
+Tlb::saveState(ckpt::SnapshotWriter &w) const
+{
+    w.putU64(lruTick_);
+    w.putU64(entries_.size());
+    for (const Entry &e : entries_) {
+        w.putU64(e.vpn);
+        w.putBool(e.valid);
+        w.putU64(e.lru);
+    }
+}
+
+void
+Tlb::restoreState(ckpt::SnapshotReader &r)
+{
+    lruTick_ = r.getU64();
+    r.require(r.getU64() == entries_.size(),
+              "TLB geometry differs (sets*ways)");
+    for (Entry &e : entries_) {
+        e.vpn = r.getU64();
+        e.valid = r.getBool();
+        e.lru = r.getU64();
+    }
 }
 
 } // namespace s64v

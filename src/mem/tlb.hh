@@ -17,6 +17,8 @@
 namespace s64v
 {
 
+namespace ckpt { class SnapshotWriter; class SnapshotReader; }
+
 /** Timed TLB with true-LRU sets. */
 class Tlb
 {
@@ -35,6 +37,10 @@ class Tlb
     double missRatio() const;
 
     void flush();
+
+    /** Serialize entries/LRU (checkpoint/restore). */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     struct Entry

@@ -4,6 +4,7 @@
 
 #include "check/crash_report.hh"
 #include "check/signals.hh"
+#include "ckpt/checkpoint.hh"
 #include "common/logging.hh"
 #include "exp/self_profile.hh"
 #include "obs/bench_record.hh"
@@ -86,10 +87,19 @@ PerfModel::prepare()
         sys.checkLevel =
             check::checkLevelFromString(opts.checkLevel.c_str());
     }
+    if (!embedded_ && opts.checkpointAt != 0 &&
+        !opts.checkpointOut.empty() &&
+        sys.checkpoint.atCycle == 0) {
+        sys.checkpoint.atCycle = opts.checkpointAt;
+        sys.checkpoint.path = opts.checkpointOut;
+        sys.checkpoint.stopAfter = opts.checkpointStop;
+    }
 
     system_ = std::make_unique<System>(sys, params_.name);
     for (CpuId cpu = 0; cpu < traces_.size(); ++cpu)
         system_->attachTrace(cpu, traces_[cpu]);
+    if (!embedded_ && !opts.restorePath.empty())
+        ckpt::restoreSystemCheckpoint(*system_, opts.restorePath);
     attachObservers();
     return *system_;
 }

@@ -8,6 +8,7 @@
 #include <map>
 #include <mutex>
 
+#include "common/file_util.hh"
 #include "common/logging.hh"
 #include "obs/json.hh"
 
@@ -99,12 +100,12 @@ writeBenchRecord(const std::string &name, double wall_seconds)
     }
     w.end();
 
-    std::ofstream f(path);
-    if (!f) {
-        warn("cannot write bench record to '%s'", path.c_str());
+    std::string err;
+    if (!atomicWriteFile(path, w.str() + '\n', &err)) {
+        warn("cannot write bench record to '%s': %s", path.c_str(),
+             err.c_str());
         return false;
     }
-    f << w.str() << '\n';
     return true;
 }
 

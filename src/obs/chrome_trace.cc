@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/file_util.hh"
 #include "common/logging.hh"
 #include "isa/instr.hh"
 #include "obs/json.hh"
@@ -180,12 +181,12 @@ ChromeTraceWriter::render() const
 bool
 ChromeTraceWriter::writeFile(const std::string &path) const
 {
-    std::ofstream f(path);
-    if (!f) {
-        warn("cannot write Chrome trace to '%s'", path.c_str());
+    std::string err;
+    if (!atomicWriteFile(path, render() + '\n', &err)) {
+        warn("cannot write Chrome trace to '%s': %s", path.c_str(),
+             err.c_str());
         return false;
     }
-    f << render() << '\n';
     return true;
 }
 

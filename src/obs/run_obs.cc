@@ -66,6 +66,29 @@ parseObsArgs(int argc, const char *const *argv)
             opts.selfProfile = true;
             opts.selfProfilePeriod = std::strtoull(v, nullptr, 0);
         }
+        else if (const char *v = matchFlag(arg, "checkpoint-at"))
+            opts.checkpointAt = std::strtoull(v, nullptr, 0);
+        else if (const char *v = matchFlag(arg, "checkpoint-out"))
+            opts.checkpointOut = v;
+        else if (arg == "--checkpoint-stop" || arg == "checkpoint-stop")
+            opts.checkpointStop = true;
+        else if (const char *v = matchFlag(arg, "restore"))
+            opts.restorePath = v;
+        else if (const char *v = matchFlag(arg, "journal"))
+            opts.journalPath = v;
+        else if (arg == "--resume" || arg == "resume")
+            opts.resume = true;
+        else if (const char *v = matchFlag(arg, "resume")) {
+            opts.resume = true;
+            opts.journalPath = v;
+        }
+        else if (const char *v = matchFlag(arg, "max-attempts")) {
+            opts.maxAttempts = static_cast<unsigned>(
+                std::strtoul(v, nullptr, 0));
+        }
+        else if (arg == "--watchdog-escalate" ||
+                 arg == "watchdog-escalate")
+            opts.watchdogEscalate = true;
         else if (const char *v = matchFlag(arg, "check")) {
             check::checkLevelFromString(v); // validate eagerly.
             opts.checkLevel = v;

@@ -52,6 +52,20 @@ struct ObsOptions
     /** Self-profiler sampling period in cycles (0 = default). */
     std::uint64_t selfProfilePeriod = 0;
 
+    /** Checkpoint controls for non-embedded runs. @{ */
+    std::uint64_t checkpointAt = 0; ///< trigger cycle (0 = off).
+    std::string checkpointOut;      ///< snapshot path.
+    bool checkpointStop = false;    ///< stop right after writing.
+    std::string restorePath;        ///< restore this snapshot first.
+    /** @} */
+
+    /** Sweep durability defaults (see exp::SweepOptions). @{ */
+    std::string journalPath;     ///< write-ahead run journal.
+    bool resume = false;         ///< replay the journal first.
+    unsigned maxAttempts = 0;    ///< 0 = SweepOptions default.
+    bool watchdogEscalate = false; ///< emergency-checkpoint hung points.
+    /** @} */
+
     bool any() const
     {
         return !statsJsonPath.empty() || !traceOutPath.empty() ||
@@ -72,7 +86,11 @@ ObsOptions &runObsOptions();
  * "watchdog=" (cycles, 0 = off), "check=" (off/end/cycle),
  * "inject-fault=<kind>:<n>" (see check/fault_inject.hh) and
  * "threads=" (sweep worker threads, 0 = hardware concurrency);
- * everything else is left for the caller.
+ * the durability flags "checkpoint-at=<cycle>",
+ * "checkpoint-out=<path>", "--checkpoint-stop", "restore=<path>",
+ * "journal=<path>", "--resume" / "resume=<journal>",
+ * "max-attempts=<n>", and "--watchdog-escalate"; everything else is
+ * left for the caller.
  */
 void parseObsArgs(int argc, const char *const *argv);
 

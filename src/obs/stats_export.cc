@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "common/file_util.hh"
 #include "common/logging.hh"
 #include "sim/system.hh"
 
@@ -153,12 +154,13 @@ bool
 writeStatsJson(const stats::Group &root, const std::string &path,
                const SimResult *result)
 {
-    std::ofstream f(path);
-    if (!f) {
-        warn("cannot write stats JSON to '%s'", path.c_str());
+    std::string err;
+    if (!atomicWriteFile(path, exportStatsJson(root, result) + '\n',
+                         &err)) {
+        warn("cannot write stats JSON to '%s': %s", path.c_str(),
+             err.c_str());
         return false;
     }
-    f << exportStatsJson(root, result) << '\n';
     return true;
 }
 

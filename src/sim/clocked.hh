@@ -112,6 +112,7 @@ class CycleKernel
         Drained,     ///< every Clocked component reported done().
         CycleCap,    ///< maxCycles reached (likely a model deadlock).
         Interrupted, ///< check::stopRequested() (SIGINT/SIGTERM).
+        Requested,   ///< a probe called requestStop() (checkpoint).
     };
 
     struct Outcome
@@ -123,9 +124,18 @@ class CycleKernel
     /**
      * Run until every component drains, a stop is requested, or
      * @p max_cycles is reached. Probes still fire on the final
-     * cycle before the loop exits.
+     * cycle before the loop exits. @p start_cycle is the first cycle
+     * simulated — nonzero when resuming from a checkpoint (probe
+     * `first` cycles must already be phase-aligned by the caller).
      */
-    Outcome run(std::uint64_t max_cycles);
+    Outcome run(std::uint64_t max_cycles, Cycle start_cycle = 0);
+
+    /**
+     * Ask the loop to stop after the current cycle's probes finish.
+     * Callable only from inside a probe or tick; used by the
+     * checkpoint probe's --checkpoint-stop mode.
+     */
+    void requestStop() { stopRequested_ = true; }
 
     /** Cycle the loop is at (live while running; crash reports). */
     Cycle currentCycle() const { return currentCycle_; }
@@ -142,6 +152,7 @@ class CycleKernel
     std::vector<ProbeEntry> probes_;
     TickProfiler *profiler_ = nullptr;
     Cycle currentCycle_ = 0;
+    bool stopRequested_ = false;
 };
 
 } // namespace s64v

@@ -41,9 +41,10 @@ CycleKernel::attachProbe(Cycle first, std::uint64_t period, ProbeFn fn)
 }
 
 CycleKernel::Outcome
-CycleKernel::run(std::uint64_t max_cycles)
+CycleKernel::run(std::uint64_t max_cycles, Cycle start_cycle)
 {
-    Cycle cycle = 0;
+    stopRequested_ = false;
+    Cycle cycle = start_cycle;
     for (;;) {
         currentCycle_ = cycle;
         bool all_done = true;
@@ -81,6 +82,8 @@ CycleKernel::run(std::uint64_t max_cycles)
         }
         if (all_done)
             return {Stop::Drained, cycle};
+        if (stopRequested_)
+            return {Stop::Requested, cycle};
         if (check::stopRequested())
             return {Stop::Interrupted, cycle};
         ++cycle;

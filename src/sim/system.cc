@@ -1,16 +1,38 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "check/crash_report.hh"
 #include "check/fault_inject.hh"
 #include "check/signals.hh"
+#include "ckpt/checkpoint.hh"
 #include "common/logging.hh"
 #include "obs/heartbeat.hh"
 #include "obs/sampler.hh"
 
 namespace s64v
 {
+
+namespace
+{
+
+/**
+ * First firing cycle of a period-@p period probe in a run starting at
+ * @p start: the smallest positive multiple of the period that is not
+ * in the past, so a resumed run's samples land on the same absolute
+ * cycles as the uninterrupted run's.
+ */
+Cycle
+phaseStart(std::uint64_t period, Cycle start)
+{
+    if (start == 0)
+        return period;
+    const Cycle aligned = ((start + period - 1) / period) * period;
+    return std::max<Cycle>(aligned, period);
+}
+
+} // namespace
 
 System::System(const SystemParams &params, const std::string &name)
     : params_(params), root_(name)
@@ -67,8 +89,11 @@ System::run()
     }
 
     SimResult res;
-    std::vector<std::uint64_t> warmup_committed(cores_.size(), 0);
-    bool warm_done = params_.warmupInstrs == 0;
+    const Cycle start = cont_.nextCycle;
+    if (cont_.warmupCommitted.size() != cores_.size())
+        cont_.warmupCommitted.assign(cores_.size(), 0);
+    bool warm_done = cont_.warmDone || params_.warmupInstrs == 0;
+    res.warmupEndCycle = cont_.warmupEndCycle;
 
     // Self-check machinery: crash reports read live state through the
     // registration; the watchdog distinguishes long-latency stalls
@@ -103,56 +128,110 @@ System::run()
     for (auto &core : cores_)
         kernel_->attach(core.get());
     if (watchdog) {
-        kernel_->attachProbe(0, 1, [&](Cycle cycle) {
-            if (watchdog->tick(cycle, totalRawCommitted()))
+        kernel_->attachProbe(start, 1, [&](Cycle cycle) {
+            if (watchdog->tick(cycle, totalRawCommitted())) {
+                if (params_.watchdogEscalate &&
+                    !params_.emergencyCheckpointPath.empty()) {
+                    warn("watchdog fired; writing emergency "
+                         "checkpoint to '%s'",
+                         params_.emergencyCheckpointPath.c_str());
+                    const bool prev = throwOnErrorEnabled();
+                    setThrowOnError(true);
+                    try {
+                        cont_.nextCycle = cycle + 1;
+                        ckpt::writeSystemCheckpoint(
+                            *this, params_.emergencyCheckpointPath);
+                    } catch (const std::exception &e) {
+                        warn("emergency checkpoint failed: %s",
+                             e.what());
+                    }
+                    setThrowOnError(prev);
+                }
                 panic("%s", watchdog->diagnosis().c_str());
+            }
             return true;
         });
     }
     if (params_.checkLevel == check::CheckLevel::PerCycle) {
-        kernel_->attachProbe(0, 1, [&](Cycle cycle) {
+        kernel_->attachProbe(start, 1, [&](Cycle cycle) {
             auditor.checkCycle(cycle);
             return true;
         });
     }
     if (!warm_done) {
-        kernel_->attachProbe(0, 1, [&](Cycle cycle) {
+        kernel_->attachProbe(start, 1, [&](Cycle cycle) {
             for (auto &core : cores_) {
                 if (core->committed() < params_.warmupInstrs)
                     return true; // not warm yet; probe again.
             }
             for (std::size_t i = 0; i < cores_.size(); ++i)
-                warmup_committed[i] = cores_[i]->committed();
+                cont_.warmupCommitted[i] = cores_[i]->committed();
             root_.resetAll();
             res.warmupEndCycle = cycle;
+            cont_.warmDone = true;
+            cont_.warmupEndCycle = cycle;
             warm_done = true;
             return false; // measurement window open; detach.
         });
     }
     if (sampler_ && params_.samplePeriod != 0) {
         kernel_->attachProbe(
-            params_.samplePeriod, params_.samplePeriod,
-            [this](Cycle cycle) {
+            phaseStart(params_.samplePeriod, start),
+            params_.samplePeriod, [this](Cycle cycle) {
                 sampler_->tick(cycle, totalCommitted());
                 return true;
             });
     }
     if (heartbeat_ && params_.heartbeatPeriod != 0) {
         kernel_->attachProbe(
-            params_.heartbeatPeriod, params_.heartbeatPeriod,
-            [this](Cycle cycle) {
+            phaseStart(params_.heartbeatPeriod, start),
+            params_.heartbeatPeriod, [this](Cycle cycle) {
                 heartbeat_->beat(cycle, totalCommitted());
                 return true;
             });
     }
+    // Injected process death (--inject-fault=kill-point:<cycle>):
+    // vanish without flushing anything, the way an OOM kill would.
+    // Registered before the checkpoint probe so a checkpoint at the
+    // same cycle never gets written first.
+    const check::FaultPlan &fault = check::activeFaultPlan();
+    if (fault.active(check::FaultKind::KillPoint) &&
+        fault.at >= start) {
+        kernel_->attachProbe(fault.at, 1, [](Cycle) -> bool {
+            std::_Exit(check::kInjectedFaultExitCode);
+        });
+    }
+    // Checkpoint probe goes last: every other probe of the trigger
+    // cycle (warm-up reset, sampler) has fired by the time the
+    // snapshot is cut, so the restored run replays none of them.
+    if (params_.checkpoint.atCycle != 0 &&
+        !params_.checkpoint.path.empty() &&
+        params_.checkpoint.atCycle >= start) {
+        kernel_->attachProbe(
+            params_.checkpoint.atCycle, 1, [&](Cycle cycle) {
+                cont_.nextCycle = cycle + 1;
+                ckpt::writeSystemCheckpoint(*this,
+                                            params_.checkpoint.path);
+                inform("checkpoint written to '%s' at cycle %llu",
+                       params_.checkpoint.path.c_str(),
+                       static_cast<unsigned long long>(cycle));
+                if (params_.checkpoint.stopAfter)
+                    kernel_->requestStop();
+                return false;
+            });
+    }
 
-    const CycleKernel::Outcome out = kernel_->run(params_.maxCycles);
+    const CycleKernel::Outcome out =
+        kernel_->run(params_.maxCycles, start);
     const Cycle cycle = out.cycle;
     currentCycle_ = cycle;
     kernel_.reset();
 
     switch (out.stop) {
       case CycleKernel::Stop::Drained:
+        break;
+      case CycleKernel::Stop::Requested:
+        res.stoppedAtCheckpoint = true;
         break;
       case CycleKernel::Stop::Interrupted:
         warn("stop requested (signal %d); ending the run at cycle "
@@ -170,7 +249,8 @@ System::run()
     }
 
     if (params_.checkLevel != check::CheckLevel::Off) {
-        if (res.hitCycleCap || res.interrupted) {
+        if (res.hitCycleCap || res.interrupted ||
+            res.stoppedAtCheckpoint) {
             // The machine did not drain; audit only what must hold at
             // any cycle boundary.
             auditor.checkCycle(cycle);
@@ -192,7 +272,7 @@ System::run()
         Core &core = *cores_[i];
         CoreResult cr;
         cr.measured = core.committed(); // stat: reset at warm-up end.
-        cr.committed = warmup_committed[i] + cr.measured;
+        cr.committed = cont_.warmupCommitted[i] + cr.measured;
         cr.lastCommitCycle = core.lastCommitCycle();
         const Cycle window = cr.lastCommitCycle > res.warmupEndCycle
             ? cr.lastCommitCycle - res.warmupEndCycle

@@ -29,6 +29,19 @@ class IntervalSampler;
 class Heartbeat;
 } // namespace obs
 
+/**
+ * Checkpoint trigger configured on a run. Inactive unless both a
+ * cycle and a path are set; the snapshot is written after every tick
+ * and probe of @ref atCycle has run, so a restored run continues at
+ * atCycle + 1 bit-identically.
+ */
+struct CheckpointParams
+{
+    Cycle atCycle = 0;      ///< write after this cycle (0 = off).
+    std::string path;       ///< snapshot output file.
+    bool stopAfter = false; ///< end the run right after writing.
+};
+
 /** Whole-machine configuration. */
 struct SystemParams
 {
@@ -59,6 +72,15 @@ struct SystemParams
     std::uint64_t watchdogCycles = check::kDefaultWatchdogCycles;
     /** Self-check depth; see check::InvariantAuditor. */
     check::CheckLevel checkLevel = check::CheckLevel::EndOfRun;
+    /** Mid-run snapshot trigger (see CheckpointParams). */
+    CheckpointParams checkpoint;
+    /**
+     * Watchdog escalation: before the deadlock panic, write an
+     * emergency checkpoint to emergencyCheckpointPath so the hung
+     * machine state survives the kill and can be dissected offline.
+     */
+    bool watchdogEscalate = false;
+    std::string emergencyCheckpointPath;
 };
 
 /** Per-core outcome of a simulation. */
@@ -86,8 +108,25 @@ struct SimResult
     bool hitCycleCap = false;
     /** Run stopped early by SIGINT/SIGTERM (see check/signals.hh). */
     bool interrupted = false;
+    /** Run ended at a --checkpoint-stop point (not an error). */
+    bool stoppedAtCheckpoint = false;
     Cycle warmupEndCycle = 0;
     std::vector<CoreResult> cores;
+};
+
+/**
+ * Run position carried across a checkpoint: the first cycle the next
+ * run() simulates plus the warm-up bookkeeping that would otherwise
+ * live in run()-local variables. Serialized as the snapshot's "run"
+ * section; a fresh System starts from the zero state.
+ */
+struct RunContinuation
+{
+    Cycle nextCycle = 0;     ///< first cycle the next run() simulates.
+    bool warmDone = false;   ///< warm-up stats reset already happened.
+    Cycle warmupEndCycle = 0;
+    /** Per-core commits absorbed by the warm-up reset. */
+    std::vector<std::uint64_t> warmupCommitted;
 };
 
 /** A runnable machine instance. */
@@ -145,6 +184,22 @@ class System
     stats::Group &root() { return root_; }
     const SystemParams &params() const { return params_; }
 
+    /** Trace cursor / shared-trace access (checkpoint subsystem). @{ */
+    VectorTraceSource *traceSource(CpuId cpu)
+    {
+        return sources_[cpu].get();
+    }
+    const InstrTrace *trace(CpuId cpu) const
+    {
+        return traces_[cpu].get();
+    }
+    /** @} */
+
+    /** Run position carried across checkpoint/restore. @{ */
+    const RunContinuation &continuation() const { return cont_; }
+    void setContinuation(const RunContinuation &cont) { cont_ = cont; }
+    /** @} */
+
     /** Cycle the run loop is at (crash reports; live while running). */
     Cycle currentCycle() const
     {
@@ -174,6 +229,7 @@ class System
     std::unique_ptr<CycleKernel> kernel_; ///< live during run().
     Cycle currentCycle_ = 0;
     bool hitCycleCap_ = false;
+    RunContinuation cont_;
 };
 
 } // namespace s64v

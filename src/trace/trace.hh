@@ -91,6 +91,13 @@ class VectorTraceSource : public TraceSource
     std::size_t consumed() const override { return pos_; }
     void rewind() override { pos_ = 0; }
 
+    /**
+     * Reposition to absolute record index @p pos (checkpoint
+     * restore). @p pos == size() is valid: an exhausted source.
+     */
+    void seek(std::size_t pos) { pos_ = pos; }
+    std::size_t size() const { return trace_->size(); }
+
   private:
     const InstrTrace *trace_;
     std::size_t pos_ = 0;

@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Crash-recoverable sweep tests: a journalled sweep must record every
+ * finished point durably, resume from its journal re-running only the
+ * unfinished points with a bit-identical merged result, retry
+ * transient failures with backoff and quarantine persistent ones, and
+ * survive the injected kill-point fault — an abrupt std::_Exit
+ * mid-run, modelling an OOM-kill — with the distinct exit code 86 and
+ * a clean resume afterwards. Also covers per-point watchdog
+ * escalation (an emergency checkpoint next to the journal) and the
+ * fault/sweep-point context satellites of the crash report.
+ */
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/crash_report.hh"
+#include "check/fault_inject.hh"
+#include "check/signals.hh"
+#include "ckpt/snapshot.hh"
+#include "common/logging.hh"
+#include "exp/journal.hh"
+#include "exp/sweep.hh"
+#include "model/fingerprint.hh"
+#include "model/perf_model.hh"
+#include "workload/workloads.hh"
+
+namespace s64v
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+void
+expectSameSim(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.measured, b.measured);
+    EXPECT_EQ(a.ipc, b.ipc); // bit-identical, not approximately.
+    EXPECT_EQ(a.warmupEndCycle, b.warmupEndCycle);
+    EXPECT_EQ(a.hitCycleCap, b.hitCycleCap);
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (std::size_t c = 0; c < a.cores.size(); ++c) {
+        EXPECT_EQ(a.cores[c].committed, b.cores[c].committed);
+        EXPECT_EQ(a.cores[c].ipc, b.cores[c].ipc);
+    }
+}
+
+exp::Sweep
+threePointSweep()
+{
+    exp::Sweep sweep;
+    sweep.add("int/a", sparc64vBase(), specint95Profile(), 8000);
+    sweep.add("tpcc/b", sparc64vBase(), tpccProfile(), 8000);
+    sweep.add("int/c", withIssueWidth(sparc64vBase(), 2),
+              specint95Profile(), 8000);
+    return sweep;
+}
+
+TEST(ResumeSweep, JournalRecordsEveryFinishedPoint)
+{
+    const std::string jpath = tempPath("record.journal");
+    std::remove(jpath.c_str());
+
+    exp::SweepOptions opts;
+    opts.threads = 1;
+    opts.journalPath = jpath;
+    const exp::Sweep sweep = threePointSweep();
+    const auto results = exp::SweepRunner(opts).run(sweep);
+    ASSERT_EQ(results.size(), 3u);
+    for (const exp::PointResult &r : results)
+        ASSERT_TRUE(r.ok) << r.error;
+
+    const auto entries = exp::RunJournal::load(jpath);
+    ASSERT_EQ(entries.size(), 3u);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        EXPECT_EQ(entries[i].index, i);
+        EXPECT_EQ(entries[i].label, sweep.points()[i].label);
+        EXPECT_EQ(entries[i].status, "ok");
+        EXPECT_EQ(entries[i].attempts, 1u);
+        EXPECT_EQ(entries[i].modelVersion, modelVersionString());
+        EXPECT_NE(entries[i].configHash, 0u);
+        EXPECT_NE(entries[i].workloadHash, 0u);
+        expectSameSim(entries[i].sim, results[i].sim);
+    }
+    // Distinct machines / workloads get distinct keys.
+    EXPECT_NE(entries[0].configHash, entries[2].configHash);
+    EXPECT_NE(entries[0].workloadHash, entries[1].workloadHash);
+    std::remove(jpath.c_str());
+}
+
+TEST(ResumeSweep, ResumeOfACompleteJournalRunsNothing)
+{
+    const std::string jpath = tempPath("complete.journal");
+    std::remove(jpath.c_str());
+
+    std::atomic<int> executed{0};
+    auto countingSweep = [&]() {
+        exp::Sweep sweep = threePointSweep();
+        sweep.setMetricFn([&](PerfModel &, const SimResult &res,
+                              std::map<std::string, double> &m) {
+            ++executed;
+            m["ipc_copy"] = res.ipc;
+        });
+        return sweep;
+    };
+
+    exp::SweepOptions opts;
+    opts.threads = 1;
+    opts.journalPath = jpath;
+    const auto first = exp::SweepRunner(opts).run(countingSweep());
+    ASSERT_EQ(executed.load(), 3);
+
+    std::string sink;
+    setLogSink(&sink);
+    opts.resume = true;
+    const auto resumed = exp::SweepRunner(opts).run(countingSweep());
+    setLogSink(nullptr);
+    EXPECT_NE(sink.find("3 of 3 points already complete"),
+              std::string::npos)
+        << sink;
+
+    // Nothing re-ran, and the journal round-trip is bit-identical —
+    // the SimResults and the captured metrics alike.
+    EXPECT_EQ(executed.load(), 3);
+    ASSERT_EQ(resumed.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        ASSERT_TRUE(resumed[i].ok) << resumed[i].error;
+        EXPECT_EQ(resumed[i].label, first[i].label);
+        expectSameSim(first[i].sim, resumed[i].sim);
+        EXPECT_EQ(first[i].metrics.at("ipc_copy"),
+                  resumed[i].metrics.at("ipc_copy"));
+    }
+    std::remove(jpath.c_str());
+}
+
+TEST(ResumeSweep, InterruptedParallelSweepJournalsOnceAndResumes)
+{
+    const std::string jpath = tempPath("interrupt.journal");
+    std::remove(jpath.c_str());
+
+    // Point 1 runs ~5x longer than point 0, so with two workers the
+    // stop request raised at point 0's completion deterministically
+    // lands while point 1 is still running and point 2 undispatched.
+    auto makeSweep = []() {
+        exp::Sweep sweep;
+        sweep.add("short", sparc64vBase(), specint95Profile(), 6000);
+        sweep.add("long", sparc64vBase(), tpccProfile(), 30000);
+        sweep.add("tail", sparc64vBase(), specint95Profile(), 6000);
+        return sweep;
+    };
+    exp::SweepOptions base;
+    base.threads = 2;
+    const auto reference = exp::SweepRunner(base).run(makeSweep());
+    for (const exp::PointResult &r : reference)
+        ASSERT_TRUE(r.ok) << r.error;
+
+    // A stop request lands after the first completion — the model of
+    // SIGINT/SIGTERM mid-sweep (the signal handler calls exactly
+    // this). The finished point is journalled exactly once; the
+    // running point stops at the next cycle boundary and its PARTIAL
+    // result must not become durable; the undispatched point comes
+    // back "interrupted". Resume re-runs exactly those two.
+    check::clearStopRequest();
+    std::string sink;
+    setLogSink(&sink);
+    exp::SweepOptions opts = base;
+    opts.journalPath = jpath;
+    opts.progressFn = [](std::size_t done, std::size_t, double) {
+        if (done == 1)
+            check::requestStop();
+    };
+    const auto killed = exp::SweepRunner(opts).run(makeSweep());
+    check::clearStopRequest();
+    setLogSink(nullptr);
+
+    ASSERT_EQ(killed.size(), 3u);
+    EXPECT_TRUE(killed[0].ok) << killed[0].error;
+    EXPECT_FALSE(killed[0].sim.interrupted);
+    EXPECT_TRUE(killed[1].ok) << killed[1].error;
+    EXPECT_TRUE(killed[1].sim.interrupted)
+        << "the running point should have been cut short";
+    EXPECT_FALSE(killed[2].ok);
+    EXPECT_EQ(killed[2].error, "interrupted");
+
+    auto entries = exp::RunJournal::load(jpath);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].index, 0u);
+    EXPECT_EQ(entries[0].status, "ok");
+
+    // Resume: only the cut-short and undispatched points run; the
+    // merged sweep is bit-identical to one never interrupted.
+    std::atomic<int> executed{0};
+    exp::Sweep sweep = makeSweep();
+    sweep.setMetricFn([&](PerfModel &, const SimResult &,
+                          std::map<std::string, double> &) {
+        ++executed;
+    });
+    exp::SweepOptions ropts = base;
+    ropts.journalPath = jpath;
+    ropts.resume = true;
+    const auto resumed = exp::SweepRunner(ropts).run(sweep);
+    EXPECT_EQ(executed.load(), 2);
+    ASSERT_EQ(resumed.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        ASSERT_TRUE(resumed[i].ok) << resumed[i].error;
+        expectSameSim(reference[i].sim, resumed[i].sim);
+    }
+    entries = exp::RunJournal::load(jpath);
+    EXPECT_EQ(entries.size(), 3u);
+    std::remove(jpath.c_str());
+}
+
+TEST(ResumeSweep, TransientFailureRetriesWithBackoffAndRecovers)
+{
+    const std::string jpath = tempPath("retry.journal");
+    std::remove(jpath.c_str());
+
+    // The point itself is healthy; its metric probe dies on the first
+    // attempt only — a stand-in for any transient per-point failure.
+    std::atomic<int> attempts{0};
+    exp::Sweep sweep;
+    sweep.add("flaky", sparc64vBase(), tpccProfile(), 6000);
+    sweep.setMetricFn([&](PerfModel &, const SimResult &,
+                          std::map<std::string, double> &) {
+        if (attempts.fetch_add(1) == 0)
+            throw std::runtime_error("flaky metric probe");
+    });
+
+    exp::SweepOptions opts;
+    opts.threads = 1;
+    opts.journalPath = jpath;
+    opts.maxAttempts = 3;
+    opts.backoffBaseMs = 1;
+    std::string sink;
+    setLogSink(&sink);
+    const auto results = exp::SweepRunner(opts).run(sweep);
+    setLogSink(nullptr);
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_EQ(attempts.load(), 2);
+    EXPECT_NE(sink.find("retrying in 1 ms"), std::string::npos)
+        << sink;
+
+    // Both attempts are durable, in order, with the count carried.
+    const auto entries = exp::RunJournal::load(jpath);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].status, "failed");
+    EXPECT_EQ(entries[0].attempts, 1u);
+    EXPECT_NE(entries[0].error.find("flaky metric probe"),
+              std::string::npos);
+    EXPECT_EQ(entries[1].status, "ok");
+    EXPECT_EQ(entries[1].attempts, 2u);
+    std::remove(jpath.c_str());
+}
+
+TEST(ResumeSweep, PersistentFailureIsQuarantinedAndStaysQuarantined)
+{
+    const std::string jpath = tempPath("quarantine.journal");
+    std::remove(jpath.c_str());
+
+    exp::Sweep sweep;
+    sweep.add("ok", sparc64vBase(), tpccProfile(), 6000);
+    MachineParams sick = sparc64vBase();
+    sick.sys.watchdogCycles = 2; // deadlocks on every attempt.
+    sweep.add("sick", sick, tpccProfile(), 6000);
+
+    exp::SweepOptions opts;
+    opts.threads = 1;
+    opts.journalPath = jpath;
+    opts.maxAttempts = 2;
+    opts.backoffBaseMs = 1;
+    std::string sink;
+    setLogSink(&sink);
+    const auto results = exp::SweepRunner(opts).run(sweep);
+    setLogSink(nullptr);
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("quarantined after 2 attempts"),
+              std::string::npos)
+        << results[1].error;
+
+    auto entries = exp::RunJournal::load(jpath);
+    ASSERT_EQ(entries.size(), 3u); // ok + failed + quarantined.
+    EXPECT_EQ(entries[1].status, "failed");
+    EXPECT_EQ(entries[2].status, "quarantined");
+    EXPECT_EQ(entries[2].attempts, 2u);
+
+    // Resume must NOT burn more attempts on a quarantined point: it
+    // comes straight back as failed, and the journal does not grow.
+    setLogSink(&sink);
+    opts.resume = true;
+    const auto resumed = exp::SweepRunner(opts).run(sweep);
+    setLogSink(nullptr);
+    ASSERT_EQ(resumed.size(), 2u);
+    EXPECT_TRUE(resumed[0].ok);
+    EXPECT_FALSE(resumed[1].ok);
+    EXPECT_NE(resumed[1].error.find("quarantined after 2 attempts"),
+              std::string::npos)
+        << resumed[1].error;
+    EXPECT_EQ(exp::RunJournal::load(jpath).size(), 3u);
+    std::remove(jpath.c_str());
+}
+
+TEST(ResumeSweep, StaleJournalEntriesAreIgnoredWithAWarning)
+{
+    const std::string jpath = tempPath("stale.journal");
+    std::remove(jpath.c_str());
+
+    exp::SweepOptions opts;
+    opts.threads = 1;
+    opts.journalPath = jpath;
+    {
+        exp::Sweep sweep;
+        sweep.add("pt", sparc64vBase(), tpccProfile(), 6000);
+        ASSERT_TRUE(exp::SweepRunner(opts).run(sweep)[0].ok);
+    }
+
+    // Same label, same workload — but the machine changed, so the
+    // recorded result no longer describes this sweep. Resume must
+    // re-run it rather than mix stale numbers in.
+    std::atomic<int> executed{0};
+    exp::Sweep changed;
+    changed.add("pt", withIssueWidth(sparc64vBase(), 2), tpccProfile(),
+                6000);
+    changed.setMetricFn([&](PerfModel &, const SimResult &,
+                            std::map<std::string, double> &) {
+        ++executed;
+    });
+    std::string sink;
+    setLogSink(&sink);
+    opts.resume = true;
+    const auto results = exp::SweepRunner(opts).run(changed);
+    setLogSink(nullptr);
+
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_EQ(executed.load(), 1);
+    EXPECT_NE(sink.find("no longer match"), std::string::npos) << sink;
+    std::remove(jpath.c_str());
+}
+
+TEST(ResumeSweep, KillPointDiesWithCode86AndResumeCompletesTheRest)
+{
+    const std::string jpath = tempPath("kill.journal");
+    std::remove(jpath.c_str());
+
+    // standardWarmup off keeps SimResult.cycles in absolute kernel
+    // cycles, so a kill cycle can be aimed into the second point.
+    exp::SweepOptions opts;
+    opts.threads = 1;
+    opts.standardWarmup = false;
+    auto makeSweep = []() {
+        exp::Sweep sweep;
+        sweep.add("short", sparc64vBase(), specint95Profile(), 3000);
+        sweep.add("long", sparc64vBase(), specint95Profile(), 20000);
+        return sweep;
+    };
+    const auto baseline = exp::SweepRunner(opts).run(makeSweep());
+    ASSERT_TRUE(baseline[0].ok && baseline[1].ok);
+    const Cycle at =
+        baseline[0].sim.cycles + baseline[1].sim.cycles / 2;
+    ASSERT_LT(at, baseline[1].sim.cycles)
+        << "kill cycle must land inside the long point";
+
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        // Child: the sweep that gets OOM-killed. std::_Exit in the
+        // kill-point probe means no flushes and no atexit — the only
+        // durable state is what the journal already fsynced.
+        static std::string childSink;
+        setLogSink(&childSink);
+        check::activeFaultPlan().parse(
+            "kill-point:" + std::to_string(at));
+        exp::SweepOptions copts = opts;
+        copts.journalPath = jpath;
+        exp::SweepRunner(copts).run(makeSweep());
+        std::_Exit(0); // unreachable: the fault fires first.
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), check::kInjectedFaultExitCode);
+
+    // The short point survived the crash; the long one did not.
+    auto entries = exp::RunJournal::load(jpath);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].index, 0u);
+    EXPECT_EQ(entries[0].status, "ok");
+
+    // Resume re-runs only the long point; the merged sweep is
+    // bit-identical to the never-killed baseline.
+    std::atomic<int> executed{0};
+    exp::Sweep sweep = makeSweep();
+    sweep.setMetricFn([&](PerfModel &, const SimResult &,
+                          std::map<std::string, double> &) {
+        ++executed;
+    });
+    exp::SweepOptions ropts = opts;
+    ropts.journalPath = jpath;
+    ropts.resume = true;
+    const auto resumed = exp::SweepRunner(ropts).run(sweep);
+    EXPECT_EQ(executed.load(), 1);
+    ASSERT_EQ(resumed.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        ASSERT_TRUE(resumed[i].ok) << resumed[i].error;
+        expectSameSim(baseline[i].sim, resumed[i].sim);
+    }
+    EXPECT_EQ(exp::RunJournal::load(jpath).size(), 2u);
+    std::remove(jpath.c_str());
+}
+
+TEST(ResumeSweep, WatchdogEscalationLeavesEmergencyCheckpoint)
+{
+    const std::string jpath = tempPath("escalate.journal");
+    const std::string ckpt = jpath + ".point1.emergency.ckpt";
+    std::remove(jpath.c_str());
+    std::remove(ckpt.c_str());
+
+    exp::Sweep sweep;
+    sweep.add("ok", sparc64vBase(), tpccProfile(), 6000);
+    MachineParams sick = sparc64vBase();
+    sick.sys.watchdogCycles = 2;
+    sweep.add("sick", sick, tpccProfile(), 6000);
+
+    exp::SweepOptions opts;
+    opts.threads = 1;
+    opts.journalPath = jpath;
+    opts.maxAttempts = 1;
+    opts.watchdogEscalate = true;
+    std::string sink;
+    setLogSink(&sink);
+    const auto results = exp::SweepRunner(opts).run(sweep);
+    setLogSink(nullptr);
+
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_FALSE(results[1].ok);
+    // The wedged machine's state survived its kill, as a readable
+    // snapshot named after the sweep point.
+    ckpt::SnapshotReader r = ckpt::SnapshotReader::fromFile(ckpt);
+    EXPECT_EQ(r.modelVersion(), modelVersionString());
+    EXPECT_TRUE(r.hasSection("run"));
+    EXPECT_TRUE(r.hasSection("cpu0"));
+    std::remove(jpath.c_str());
+    std::remove(ckpt.c_str());
+}
+
+TEST(ResumeSweep, CrashReportNamesInjectedFaultAndSweepPoint)
+{
+    check::activeFaultPlan().parse("stall:5000");
+    check::setCrashPoint("tpcc/4w", 3);
+    System sys(sparc64vBase().sys);
+    const std::string json =
+        check::buildCrashReportJson(sys, "panic", "boom");
+    check::clearCrashPoint();
+    check::activeFaultPlan().clear();
+    check::armFaultExitCode();
+
+    EXPECT_NE(json.find("\"injected_fault\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"kind\":\"stall\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"at\":5000"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"sweep_point\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"label\":\"tpcc/4w\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"index\":3"), std::string::npos) << json;
+
+    // Without a plan or a point, neither block appears.
+    const std::string bare =
+        check::buildCrashReportJson(sys, "panic", "boom");
+    EXPECT_EQ(bare.find("injected_fault"), std::string::npos);
+    EXPECT_EQ(bare.find("sweep_point"), std::string::npos);
+}
+
+} // namespace
+} // namespace s64v
