@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Chaos campaign harness — "validate your build" from the command
+ * line:
+ *
+ *   bench/chaos_campaign --seed=7 --points=200
+ *   bench/chaos_campaign --minutes=5
+ *   bench/chaos_campaign --invariants=ckpt-replay,storm
+ *   bench/chaos_campaign --seed=7 --replay=42 --invariants=cache-mono
+ *
+ * Seeded-random valid configurations and mutated workloads are run
+ * through the model and checked against the metamorphic invariants
+ * (src/chaos/invariants.hh) plus fault-injection storms; violations
+ * are auto-shrunk to minimal reproducers and triaged into
+ * chaos_report.json, each with the replay command line printed above.
+ * Exit status: 0 when the campaign is clean, 2 when any invariant was
+ * violated (so CI can gate on it), 1 on a usage error.
+ *
+ * --seed= is the process-wide observability seed, so one number keys
+ * the fuzzer, every synthesized trace, and the fault storms.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chaos/campaign.hh"
+#include "chaos/invariants.hh"
+#include "common/logging.hh"
+#include "obs/bench_record.hh"
+#include "obs/run_obs.hh"
+
+using namespace s64v;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --seed=N          campaign seed (default 1)\n"
+        "  --points=N        points to run (default 50; 0 = only\n"
+        "                    bounded by --minutes)\n"
+        "  --minutes=M       wall-clock budget (fractional ok)\n"
+        "  --invariants=a,b  subset of invariants (default all)\n"
+        "  --report=PATH     report file (default chaos_report.json)\n"
+        "  --replay=I        re-run point I only (from a report's\n"
+        "                    replay command)\n"
+        "  --no-shrink       report raw points without minimizing\n"
+        "  --verbose         per-point progress\n"
+        "  --list-invariants print the invariant catalogue and exit\n",
+        argv0);
+}
+
+bool
+parseArg(const char *arg, const char *name, const char **value)
+{
+    const std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0)
+        return false;
+    *value = arg + n;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    obs::parseObsArgs(argc, argv);
+
+    chaos::CampaignOptions opts;
+    if (obs::globalSeedSet())
+        opts.seed = obs::runObsOptions().seed;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *v = nullptr;
+        if (parseArg(arg, "--points=", &v)) {
+            opts.points =
+                static_cast<std::size_t>(std::strtoull(v, nullptr, 0));
+        } else if (parseArg(arg, "--minutes=", &v)) {
+            opts.minutes = std::strtod(v, nullptr);
+        } else if (parseArg(arg, "--invariants=", &v)) {
+            opts.invariants = v;
+        } else if (parseArg(arg, "--report=", &v)) {
+            opts.reportPath = v;
+        } else if (parseArg(arg, "--replay=", &v)) {
+            opts.replay = true;
+            opts.replayIndex =
+                static_cast<std::size_t>(std::strtoull(v, nullptr, 0));
+        } else if (std::strcmp(arg, "--no-shrink") == 0) {
+            opts.shrink = false;
+        } else if (std::strcmp(arg, "--verbose") == 0) {
+            opts.verbose = true;
+        } else if (std::strcmp(arg, "--list-invariants") == 0) {
+            for (const chaos::Invariant &inv :
+                 chaos::invariantCatalog())
+                std::printf("%-16s %s\n", inv.name.c_str(),
+                            inv.description.c_str());
+            return 0;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage(argv[0]);
+            return 0;
+        }
+        // Everything else was either consumed by parseObsArgs
+        // (--seed=, --threads=, ...) or is ignored, matching the
+        // other bench harnesses.
+    }
+
+    // selectInvariants fatal()s on unknown names before any work.
+    (void)chaos::selectInvariants(opts.invariants);
+
+    std::printf("chaos campaign: seed %llu, %s\n",
+                static_cast<unsigned long long>(opts.seed),
+                opts.replay
+                    ? ("replaying point " +
+                       std::to_string(opts.replayIndex))
+                          .c_str()
+                    : (std::to_string(opts.points) + " point(s)" +
+                       (opts.minutes > 0.0
+                            ? ", " + std::to_string(opts.minutes) +
+                                " minute cap"
+                            : std::string()))
+                          .c_str());
+
+    const chaos::CampaignSummary summary =
+        chaos::runChaosCampaign(opts);
+
+    obs::setBenchMetric("points",
+                        static_cast<double>(summary.pointsRun));
+    obs::setBenchMetric("checks",
+                        static_cast<double>(summary.checksRun));
+    obs::setBenchMetric("violations",
+                        static_cast<double>(summary.violations));
+    obs::setBenchMetric("distinct_failures",
+                        static_cast<double>(summary.failures.size()));
+
+    if (summary.failures.empty()) {
+        std::printf("campaign clean: %zu point(s), %zu check(s)\n",
+                    summary.pointsRun, summary.checksRun);
+        return 0;
+    }
+    std::printf("campaign found %zu distinct failure(s) (%zu "
+                "violation(s)):\n",
+                summary.failures.size(), summary.violations);
+    chaos::ChaosTriage replayHelper(opts.seed);
+    for (const chaos::ChaosFailure &f : summary.failures) {
+        std::printf("  [%s] %s\n    x%zu, first at point %zu; "
+                    "shrunk: %s\n    replay: %s\n",
+                    f.invariant.c_str(), f.detail.c_str(),
+                    f.occurrences, f.firstPoint,
+                    f.shrunk.label().c_str(),
+                    replayHelper.replayCommand(f).c_str());
+    }
+    if (!opts.reportPath.empty())
+        std::printf("report written to %s\n", opts.reportPath.c_str());
+    return 2;
+}

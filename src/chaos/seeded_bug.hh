@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The deliberately seeded defect used to prove the chaos campaign can
+ * actually catch bugs. A chaos engine that has never found anything
+ * is indistinguishable from one that cannot find anything; this
+ * module arms a small, deterministic stats-only defect (TimedCache
+ * double-counts misses in caches of 8 MB and larger — see
+ * mem/cache.cc) that breaks the cache-monotonicity metamorphic
+ * invariant without perturbing timing, so the campaign must detect it
+ * and the shrinker must reduce it to a minimal reproducer.
+ *
+ * Three ways to arm it, strongest first:
+ *   1. setSeededBug(true/false) — explicit programmatic override,
+ *      used by the in-process mutation test in the default suite.
+ *   2. Building with -DS64V_CHAOS_SEEDED_BUG (CMake option
+ *      S64V_CHAOS_SEEDED_BUG=ON) — the "broken build" the seeded
+ *      campaign preset runs against.
+ *   3. The S64V_CHAOS_SEEDED_BUG environment variable (any value).
+ */
+
+#ifndef S64V_CHAOS_SEEDED_BUG_HH
+#define S64V_CHAOS_SEEDED_BUG_HH
+
+namespace s64v::chaos
+{
+
+/** Whether the seeded defect is live (see file comment). */
+bool seededBugArmed();
+
+/** Arm/disarm explicitly, overriding build flag and environment. */
+void setSeededBug(bool armed);
+
+/** Drop the setSeededBug() override; build flag/environment rule. */
+void clearSeededBugOverride();
+
+} // namespace s64v::chaos
+
+#endif // S64V_CHAOS_SEEDED_BUG_HH

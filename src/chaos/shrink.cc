@@ -1,0 +1,72 @@
+#include "chaos/shrink.hh"
+
+namespace s64v::chaos
+{
+
+namespace
+{
+
+/** Smallest trace the length-shrink phase will try. */
+constexpr std::size_t kMinInstrs = 512;
+
+} // namespace
+
+ShrinkResult
+shrinkPoint(const ChaosPoint &p, const Invariant &inv,
+            std::size_t check_budget)
+{
+    ShrinkResult out;
+    out.point = p;
+
+    auto check = [&](const ChaosPoint &candidate)
+        -> std::optional<Violation> {
+        if (out.checksRun >= check_budget)
+            return std::nullopt; // budget spent: treat as passing.
+        ++out.checksRun;
+        return inv.check(candidate);
+    };
+
+    const std::optional<Violation> original = check(p);
+    if (!original)
+        return out; // not reproducible; report the point untouched.
+    out.reproduced = true;
+    out.violation = *original;
+
+    // Phase 1: greedy delta-mask minimization to a fixpoint. Each
+    // pass tries to drop one active delta; a drop that keeps the
+    // point failing is kept and restarts the scan, so interacting
+    // deltas still minimize (classic ddmin on singletons).
+    bool progressed = true;
+    while (progressed && out.checksRun < check_budget) {
+        progressed = false;
+        for (std::size_t i = 0; i < out.point.active.size(); ++i) {
+            if (!out.point.active[i])
+                continue;
+            ChaosPoint candidate = out.point;
+            candidate.active[i] = 0;
+            if (const std::optional<Violation> v = check(candidate)) {
+                out.point = candidate;
+                out.violation = *v;
+                progressed = true;
+                break;
+            }
+            if (out.checksRun >= check_budget)
+                break;
+        }
+    }
+
+    // Phase 2: halve the trace while the failure persists.
+    while (out.point.instrs / 2 >= kMinInstrs &&
+           out.checksRun < check_budget) {
+        ChaosPoint candidate = out.point;
+        candidate.instrs /= 2;
+        const std::optional<Violation> v = check(candidate);
+        if (!v)
+            break;
+        out.point = candidate;
+        out.violation = *v;
+    }
+    return out;
+}
+
+} // namespace s64v::chaos

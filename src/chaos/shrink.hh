@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Auto-shrinking for chaos findings. A fuzzed point that violates an
+ * invariant usually carries more baggage than the bug needs — extra
+ * configuration deltas and a longer trace than the failure requires.
+ * The shrinker minimizes while keeping the point *failing*:
+ *
+ *   1. re-check the point as-is (an unreproducible violation is
+ *      reported as such, not shrunk);
+ *   2. greedily deactivate configuration deltas one at a time, to a
+ *      fixpoint — classic delta debugging over the `active` mask, so
+ *      the result names only the deltas that matter;
+ *   3. repeatedly halve the trace length (floor 512 instructions)
+ *      while the failure persists.
+ *
+ * Determinism does the heavy lifting: ChaosPoint::point(i) is a pure
+ * function of (campaign seed, index), and shrinking only clears mask
+ * bits / shortens `instrs`, so the minimized reproducer replays from
+ * the numbers in the report. Every candidate costs one invariant
+ * check (two to a few model runs); `checkBudget` caps the total.
+ */
+
+#ifndef S64V_CHAOS_SHRINK_HH
+#define S64V_CHAOS_SHRINK_HH
+
+#include <cstddef>
+
+#include "chaos/invariants.hh"
+
+namespace s64v::chaos
+{
+
+/** Outcome of shrinking one failing point. */
+struct ShrinkResult
+{
+    /** The minimized point (== the input when nothing shrank). */
+    ChaosPoint point;
+    /** False when the original point no longer fails (flaky). */
+    bool reproduced = false;
+    /** The minimized point's violation (valid when reproduced). */
+    Violation violation;
+    /** Invariant checks spent, including the initial reproduce. */
+    std::size_t checksRun = 0;
+};
+
+/**
+ * Minimize @p p against @p inv (see file comment). @p check_budget
+ * caps the invariant checks spent; shrinking stops early (keeping the
+ * smallest failing point so far) when it runs out.
+ */
+ShrinkResult shrinkPoint(const ChaosPoint &p, const Invariant &inv,
+                         std::size_t check_budget = 48);
+
+} // namespace s64v::chaos
+
+#endif // S64V_CHAOS_SHRINK_HH

@@ -1,0 +1,460 @@
+#include "chaos/storm.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <thread>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "check/fault_inject.hh"
+#include "ckpt/checkpoint.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "exp/sweep.hh"
+#include "model/perf_model.hh"
+#include "obs/run_obs.hh"
+#include "sim/system.hh"
+#include "trace/trace_io.hh"
+#include "workload/generator.hh"
+
+namespace s64v::chaos
+{
+
+namespace
+{
+
+/** Seed-stream discriminator for storm case selection. */
+constexpr std::uint64_t kStormStream = 0x73746f726dull; // "storm"
+
+/**
+ * Child protocol: a detection path that should have fired but did not
+ * (corrupt data accepted, resumed sweep broken) exits with this.
+ * Outside the contract's {0, 86, SIGABRT}, so the parent can never
+ * mistake it for a legitimate outcome.
+ */
+constexpr int kUndetectedExit = 99;
+
+/** Per-case deadline before the child is declared hung and killed. */
+constexpr int kCaseTimeoutMs = 30'000;
+
+/** Tight watchdog for the stall scenarios, so storms stay fast. */
+constexpr std::uint64_t kStormWatchdogCycles = 1500;
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, format);
+    std::vsnprintf(buf, sizeof buf, format, ap);
+    va_end(ap);
+    return buf;
+}
+
+std::string
+tmpName(const ChaosPoint &p, const char *what)
+{
+    return fmt("chaos_storm.%d.%zu.%s.tmp",
+               static_cast<int>(::getpid()), p.index, what);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return ::access(path.c_str(), F_OK) == 0;
+}
+
+/** Scenario file names for one storm case (created by the child,
+ *  removed by the parent). */
+struct CasePaths
+{
+    std::string crash;   ///< crash-report JSON.
+    std::string scratch; ///< trace / checkpoint / journal file.
+};
+
+// --- child side ---------------------------------------------------
+
+/**
+ * Common child setup: silence advisory output, let panic()/fatal()
+ * really terminate, keep only the process-wide seed from the parent's
+ * observability options (so the child's traces match the campaign's
+ * seed policy), and arm the fault plan + its exit code.
+ */
+void
+setupChild(const CasePaths &paths, check::FaultKind kind,
+           std::uint64_t at)
+{
+    setLogLevel(LogLevel::Silent);
+    setThrowOnError(false);
+    obs::ObsOptions fresh;
+    fresh.seed = obs::runObsOptions().seed;
+    fresh.crashReportPath = paths.crash;
+    obs::runObsOptions() = fresh;
+    check::activeFaultPlan().kind = kind;
+    check::activeFaultPlan().at = at;
+    check::armFaultExitCode();
+}
+
+/** Full-system run of the point's own machine (stall / lost-grant /
+ *  kill-point scenarios). */
+[[noreturn]] void
+childRunPoint(const ChaosPoint &p, bool tight_watchdog)
+{
+    if (tight_watchdog)
+        obs::runObsOptions().watchdogCycles = kStormWatchdogCycles;
+    PerfModel model(p.machine());
+    model.loadWorkload(p.profile(), p.instrs);
+    model.run();
+    std::_Exit(0);
+}
+
+/** 2-CPU TPC-C run with the end-of-run coherence audit on, so a
+ *  dropped invalidation is observable. End-of-run, not per-cycle:
+ *  the per-cycle audit scans every cache line every cycle and slows
+ *  the run ~1000x, which reads as a hang to the case deadline; the
+ *  stale-sharer state a lost broadcast leaves behind survives to the
+ *  final audit anyway (unless natural eviction repairs it, in which
+ *  case a clean exit is a correct outcome). */
+[[noreturn]] void
+childRunCoherent(const ChaosPoint &p)
+{
+    obs::runObsOptions().watchdogCycles = kStormWatchdogCycles;
+    obs::runObsOptions().checkLevel = "end";
+    ChaosPoint q = p;
+    q.workload = "tpcc";
+    q.numCpus = 2;
+    PerfModel model(q.machine());
+    model.loadWorkload(q.profile(), q.instrs);
+    model.run();
+    std::_Exit(0);
+}
+
+/** Write a trace (record `at` bit-flipped by the armed fault) and
+ *  read it back: the loader must reject it via fatal(). */
+[[noreturn]] void
+childTraceRoundTrip(const ChaosPoint &p, const CasePaths &paths,
+                    std::uint64_t at)
+{
+    WorkloadProfile prof = p.profile();
+    prof.seed = obs::effectiveWorkloadSeed(prof.seed);
+    TraceGenerator gen(prof, 1);
+    const std::size_t n = std::min<std::size_t>(p.instrs, 600);
+    const InstrTrace trace = gen.generate(n, 0);
+    writeTraceFile(paths.scratch, trace);
+    (void)readTraceFile(paths.scratch); // must fatal() if corrupted.
+    // Still alive: fine when the fault missed the file, silent
+    // corruption when it did not.
+    std::_Exit(at < trace.size() ? kUndetectedExit : 0);
+}
+
+/** Write a checkpoint (bit-flipped by the armed fault) and restore
+ *  it: the reader must reject it via fatal(). */
+[[noreturn]] void
+childCheckpointRoundTrip(const ChaosPoint &p, const CasePaths &paths)
+{
+    const MachineParams m = p.machine();
+    WorkloadProfile prof = p.profile();
+    prof.seed = obs::effectiveWorkloadSeed(prof.seed);
+    TraceGenerator gen(prof, p.numCpus);
+    std::vector<std::shared_ptr<const InstrTrace>> traces;
+    for (CpuId cpu = 0; cpu < p.numCpus; ++cpu) {
+        traces.push_back(std::make_shared<const InstrTrace>(
+            gen.generate(p.instrs, cpu)));
+    }
+    {
+        SystemParams cp = m.sys;
+        cp.warmupInstrs = p.instrs / 5;
+        cp.checkpoint.atCycle = 200;
+        cp.checkpoint.path = paths.scratch;
+        cp.checkpoint.stopAfter = true;
+        System sys(cp, m.name);
+        for (CpuId cpu = 0; cpu < p.numCpus; ++cpu)
+            sys.attachTrace(cpu, traces[cpu]);
+        sys.run();
+    }
+    System fresh(m.sys, m.name);
+    for (CpuId cpu = 0; cpu < p.numCpus; ++cpu)
+        fresh.attachTrace(cpu, traces[cpu]);
+    // Rejects via fatal() (exit 86) on the flipped bit; if the run
+    // above ended before cycle 200 the file is missing, which is also
+    // a clean fatal().
+    ckpt::restoreSystemCheckpoint(fresh, paths.scratch);
+    std::_Exit(kUndetectedExit); // corrupt snapshot accepted.
+}
+
+/** Journalled two-point sweep whose append `at` is torn mid-line,
+ *  then a resume that must recover every point. */
+[[noreturn]] void
+childJournalTearResume(const ChaosPoint &p, const CasePaths &paths)
+{
+    const MachineParams m = p.machine();
+    const WorkloadProfile prof = p.profile();
+    auto build = [&]() {
+        exp::Sweep sweep;
+        sweep.add("storm/a", m, prof, 800);
+        sweep.add("storm/b", withSmallL1(m), prof, 800);
+        return sweep;
+    };
+
+    exp::SweepOptions opts;
+    opts.threads = 1;
+    opts.maxAttempts = 1;
+    opts.journalPath = paths.scratch;
+    const exp::Sweep first = build();
+    (void)exp::SweepRunner(opts).run(first); // tears append `at`.
+
+    // The "crash" happened above; the recovering process has no fault
+    // armed.
+    check::activeFaultPlan().clear();
+    check::armFaultExitCode();
+    opts.resume = true;
+    const exp::Sweep second = build();
+    const std::vector<exp::PointResult> res =
+        exp::SweepRunner(opts).run(second);
+    for (const exp::PointResult &r : res) {
+        if (!r.ok)
+            std::_Exit(kUndetectedExit); // resume lost a point.
+    }
+    std::_Exit(0);
+}
+
+[[noreturn]] void
+runStormChild(const ChaosPoint &p, check::FaultKind kind,
+              std::uint64_t at, const CasePaths &paths)
+{
+    setupChild(paths, kind, at);
+    switch (kind) {
+      case check::FaultKind::CommitStall:
+      case check::FaultKind::LostGrant:
+        childRunPoint(p, /*tight_watchdog=*/true);
+      case check::FaultKind::KillPoint:
+        childRunPoint(p, /*tight_watchdog=*/false);
+      case check::FaultKind::LostInvalidate:
+        childRunCoherent(p);
+      case check::FaultKind::TraceCorrupt:
+        childTraceRoundTrip(p, paths, at);
+      case check::FaultKind::CorruptCheckpoint:
+        childCheckpointRoundTrip(p, paths);
+      case check::FaultKind::TruncateJournal:
+        childJournalTearResume(p, paths);
+      case check::FaultKind::None:
+        break;
+    }
+    std::_Exit(0);
+}
+
+// --- parent side --------------------------------------------------
+
+struct ChildOutcome
+{
+    bool hung = false;
+    int status = 0; ///< raw waitpid status (valid when !hung).
+};
+
+/** Reap @p pid, SIGKILLing it after the case deadline. */
+ChildOutcome
+awaitChild(pid_t pid)
+{
+    using clock = std::chrono::steady_clock;
+    const auto deadline =
+        clock::now() + std::chrono::milliseconds(kCaseTimeoutMs);
+    ChildOutcome out;
+    for (;;) {
+        const pid_t got = ::waitpid(pid, &out.status, WNOHANG);
+        if (got == pid)
+            return out;
+        if (got < 0) { // should not happen; treat as a hang.
+            out.hung = true;
+            return out;
+        }
+        if (clock::now() >= deadline) {
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, &out.status, 0);
+            out.hung = true;
+            return out;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+std::string
+describeOutcome(const ChildOutcome &o)
+{
+    if (o.hung)
+        return fmt("hang (killed after %d ms)", kCaseTimeoutMs);
+    if (WIFEXITED(o.status))
+        return fmt("exit status %d", WEXITSTATUS(o.status));
+    if (WIFSIGNALED(o.status))
+        return fmt("signal %d", WTERMSIG(o.status));
+    return "unknown wait status";
+}
+
+bool exitedWith(const ChildOutcome &o, int code)
+{
+    return !o.hung && WIFEXITED(o.status) &&
+        WEXITSTATUS(o.status) == code;
+}
+
+bool abortedBySignal(const ChildOutcome &o)
+{
+    return !o.hung && WIFSIGNALED(o.status) &&
+        WTERMSIG(o.status) == SIGABRT;
+}
+
+/**
+ * Check one reaped case against the per-kind contract; nullopt when
+ * the outcome is allowed.
+ */
+std::optional<Violation>
+classifyCase(check::FaultKind kind, std::uint64_t at,
+             const ChildOutcome &o, const CasePaths &paths)
+{
+    const std::string name = check::faultKindName(kind);
+    auto violation = [&](const char *mode, const std::string &why) {
+        return Violation{
+            "storm", "storm:" + name + ":" + mode,
+            fmt("fault %s:%llu -> %s (%s)", name.c_str(),
+                static_cast<unsigned long long>(at),
+                describeOutcome(o).c_str(), why.c_str())};
+    };
+
+    if (o.hung)
+        return violation("hang", "the contract forbids hangs");
+    if (exitedWith(o, kUndetectedExit))
+        return violation("undetected",
+                         "corruption accepted / recovery lost data");
+
+    switch (kind) {
+      case check::FaultKind::CommitStall:
+      case check::FaultKind::LostGrant:
+      case check::FaultKind::LostInvalidate:
+        // Watchdog / coherence audit panic, or a clean run when the
+        // fault position lies beyond the run.
+        if (abortedBySignal(o)) {
+            if (!fileExists(paths.crash)) {
+                return violation("no-crash-report",
+                                 "abort left no crash report");
+            }
+            return std::nullopt;
+        }
+        if (exitedWith(o, 0))
+            return std::nullopt;
+        return violation("bad-exit", "expected SIGABRT or exit 0");
+
+      case check::FaultKind::TraceCorrupt:
+      case check::FaultKind::KillPoint:
+        if (exitedWith(o, check::kInjectedFaultExitCode) ||
+            exitedWith(o, 0))
+            return std::nullopt;
+        return violation(
+            "bad-exit",
+            fmt("expected exit %d or 0",
+                check::kInjectedFaultExitCode));
+
+      case check::FaultKind::CorruptCheckpoint:
+        if (exitedWith(o, check::kInjectedFaultExitCode))
+            return std::nullopt;
+        return violation(
+            "bad-exit",
+            fmt("expected exit %d (restore must reject)",
+                check::kInjectedFaultExitCode));
+
+      case check::FaultKind::TruncateJournal:
+        if (exitedWith(o, 0))
+            return std::nullopt;
+        return violation("bad-exit",
+                         "expected a clean resumed sweep (exit 0)");
+
+      case check::FaultKind::None:
+        break;
+    }
+    return violation("bad-exit", "unexpected fault kind");
+}
+
+/** Seeded fault position, scaled to where each kind can fire. */
+std::uint64_t
+rollFaultPosition(check::FaultKind kind, Rng &rng)
+{
+    switch (kind) {
+      case check::FaultKind::CommitStall:
+      case check::FaultKind::LostGrant:
+      case check::FaultKind::KillPoint:
+        return rng.below(6000); // cycle; sometimes beyond the run.
+      case check::FaultKind::LostInvalidate:
+        return rng.below(64); // broadcast index.
+      case check::FaultKind::TraceCorrupt:
+        return rng.below(700); // record index (trace has <= 600).
+      case check::FaultKind::CorruptCheckpoint:
+        return rng.next(); // byte offset, reduced mod image size.
+      case check::FaultKind::TruncateJournal:
+        return rng.below(2); // append ordinal of a 2-point sweep.
+      case check::FaultKind::None:
+        break;
+    }
+    return 0;
+}
+
+} // namespace
+
+std::optional<Violation>
+runFaultStorm(const ChaosPoint &p)
+{
+    static const check::FaultKind kKinds[] = {
+        check::FaultKind::CommitStall,
+        check::FaultKind::LostGrant,
+        check::FaultKind::LostInvalidate,
+        check::FaultKind::TraceCorrupt,
+        check::FaultKind::KillPoint,
+        check::FaultKind::CorruptCheckpoint,
+        check::FaultKind::TruncateJournal,
+    };
+
+    Rng rng(mixSeeds(p.pointSeed, kStormStream));
+    // Uniform draw of kStormCasesPerPoint distinct kinds (partial
+    // Fisher-Yates).
+    std::vector<check::FaultKind> kinds(std::begin(kKinds),
+                                        std::end(kKinds));
+    for (std::size_t i = 0;
+         i < kStormCasesPerPoint && i < kinds.size(); ++i) {
+        const std::size_t j = i + static_cast<std::size_t>(
+                                      rng.below(kinds.size() - i));
+        std::swap(kinds[i], kinds[j]);
+    }
+
+    for (std::size_t c = 0;
+         c < kStormCasesPerPoint && c < kinds.size(); ++c) {
+        const check::FaultKind kind = kinds[c];
+        const std::uint64_t at = rollFaultPosition(kind, rng);
+        CasePaths paths;
+        paths.crash = tmpName(p, "crash");
+        paths.scratch = tmpName(p, "scratch");
+        std::remove(paths.crash.c_str());
+        std::remove(paths.scratch.c_str());
+
+        std::fflush(nullptr); // no duplicated stdio after fork.
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            warn("storm: fork failed; skipping case %s",
+                 check::faultKindName(kind));
+            continue;
+        }
+        if (pid == 0)
+            runStormChild(p, kind, at, paths); // never returns.
+
+        const ChildOutcome outcome = awaitChild(pid);
+        std::optional<Violation> v =
+            classifyCase(kind, at, outcome, paths);
+        std::remove(paths.crash.c_str());
+        std::remove(paths.scratch.c_str());
+        if (v)
+            return v;
+    }
+    return std::nullopt;
+}
+
+} // namespace s64v::chaos

@@ -1,0 +1,109 @@
+#include "chaos/triage.hh"
+
+#include "common/file_util.hh"
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace s64v::chaos
+{
+
+bool
+ChaosTriage::record(const Violation &violation,
+                    const ShrinkResult &shrink)
+{
+    ++violations_;
+    for (ChaosFailure &f : failures_) {
+        if (f.invariant == violation.invariant &&
+            f.signature == violation.signature) {
+            ++f.occurrences;
+            return false;
+        }
+    }
+    ChaosFailure f;
+    f.invariant = violation.invariant;
+    f.signature = violation.signature;
+    // Prefer the minimized point's diagnosis: it names the smallest
+    // configuration that still fails. Fall back to the original when
+    // the shrinker could not reproduce.
+    f.detail = shrink.reproduced ? shrink.violation.detail
+                                 : violation.detail;
+    f.occurrences = 1;
+    f.firstPoint = shrink.point.index;
+    f.shrunk = shrink.point;
+    f.reproduced = shrink.reproduced;
+    f.shrinkChecks = shrink.checksRun;
+    failures_.push_back(std::move(f));
+    return true;
+}
+
+bool
+ChaosTriage::known(const Violation &violation) const
+{
+    for (const ChaosFailure &f : failures_) {
+        if (f.invariant == violation.invariant &&
+            f.signature == violation.signature)
+            return true;
+    }
+    return false;
+}
+
+std::string
+ChaosTriage::replayCommand(const ChaosFailure &f) const
+{
+    return "bench/chaos_campaign --seed=" + std::to_string(seed_) +
+        " --replay=" + std::to_string(f.firstPoint) +
+        " --invariants=" + f.invariant;
+}
+
+std::string
+ChaosTriage::toJson(std::size_t points_run) const
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("schema", "s64v-chaos-1");
+    w.field("seed", seed_);
+    w.field("points", static_cast<std::uint64_t>(points_run));
+    w.field("violations", static_cast<std::uint64_t>(violations_));
+    w.beginArray("failures");
+    for (const ChaosFailure &f : failures_) {
+        w.beginObject();
+        w.field("invariant", f.invariant);
+        w.field("signature", f.signature);
+        w.field("occurrences",
+                static_cast<std::uint64_t>(f.occurrences));
+        w.field("first_point",
+                static_cast<std::uint64_t>(f.firstPoint));
+        w.field("detail", f.detail);
+        w.field("reproduced", f.reproduced);
+        w.field("shrink_checks",
+                static_cast<std::uint64_t>(f.shrinkChecks));
+        w.field("workload", f.shrunk.workload);
+        w.field("num_cpus",
+                static_cast<std::uint64_t>(f.shrunk.numCpus));
+        w.field("instrs", static_cast<std::uint64_t>(f.shrunk.instrs));
+        w.beginArray("config_deltas");
+        for (const std::string &name : f.shrunk.activeDeltaNames())
+            w.value(name);
+        w.end();
+        w.field("replay", replayCommand(f));
+        w.end();
+    }
+    w.end();
+    w.end();
+    return w.str();
+}
+
+bool
+ChaosTriage::write(const std::string &path,
+                   std::size_t points_run) const
+{
+    std::string err;
+    if (!atomicWriteFile(path, toJson(points_run), &err)) {
+        warn("cannot write chaos report to '%s': %s", path.c_str(),
+             err.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace s64v::chaos

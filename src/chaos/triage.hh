@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Failure triage for chaos campaigns. A long campaign can trip the
+ * same underlying defect hundreds of times; the raw violation stream
+ * is useless until it is deduplicated. ChaosTriage buckets every
+ * violation by (invariant, signature) — signatures are designed to be
+ * stable across seeds and point indices — keeps the first (shrunk)
+ * reproducer per bucket, counts the rest, and renders the result as
+ * chaos_report.json:
+ *
+ *   {"schema": "s64v-chaos-1", "seed": ..., "points": N,
+ *    "violations": V, "failures": [
+ *      {"invariant": ..., "signature": ..., "occurrences": n,
+ *       "first_point": i, "detail": ..., "reproduced": true,
+ *       "config_deltas": [...], "workload": ..., "instrs": ...,
+ *       "replay": "bench/chaos_campaign --seed=S --replay=i
+ *                  --invariants=inv"}, ...]}
+ *
+ * The replay command is self-contained: point(i) is a pure function
+ * of (seed, i), so those two numbers plus the invariant name rerun
+ * the exact failing experiment.
+ */
+
+#ifndef S64V_CHAOS_TRIAGE_HH
+#define S64V_CHAOS_TRIAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/shrink.hh"
+
+namespace s64v::chaos
+{
+
+/** One deduplicated failure bucket. */
+struct ChaosFailure
+{
+    std::string invariant;
+    std::string signature;
+    /** Detail text of the minimized reproducer. */
+    std::string detail;
+    /** Violations that landed in this bucket. */
+    std::size_t occurrences = 0;
+    /** Index of the first point that tripped it. */
+    std::size_t firstPoint = 0;
+    /** Minimized reproducer (shrinker output for the first hit). */
+    ChaosPoint shrunk;
+    /** False when the shrinker could not re-trigger the violation. */
+    bool reproduced = false;
+    /** Invariant checks the shrinker spent. */
+    std::size_t shrinkChecks = 0;
+};
+
+/** Deduplicating sink for campaign violations (see file comment). */
+class ChaosTriage
+{
+  public:
+    explicit ChaosTriage(std::uint64_t campaign_seed)
+        : seed_(campaign_seed)
+    {
+    }
+
+    /**
+     * Record one violation. The first hit of a (invariant, signature)
+     * bucket stores @p shrink as the bucket's reproducer; later hits
+     * only bump the occurrence count (callers therefore only need to
+     * spend shrinking effort when known() is false).
+     * @return true when this opened a new bucket.
+     */
+    bool record(const Violation &violation, const ShrinkResult &shrink);
+
+    /** Whether @p violation's bucket already exists. */
+    bool known(const Violation &violation) const;
+
+    const std::vector<ChaosFailure> &failures() const
+    {
+        return failures_;
+    }
+
+    /** Total violations recorded, duplicates included. */
+    std::size_t totalViolations() const { return violations_; }
+
+    /** The replay command line for @p f's first failing point. */
+    std::string replayCommand(const ChaosFailure &f) const;
+
+    /** Render the chaos_report.json document. @p points_run is the
+     *  number of campaign points executed. */
+    std::string toJson(std::size_t points_run) const;
+
+    /** Atomically write toJson() to @p path; warn + false on I/O
+     *  failure. */
+    bool write(const std::string &path, std::size_t points_run) const;
+
+  private:
+    std::uint64_t seed_;
+    std::size_t violations_ = 0;
+    std::vector<ChaosFailure> failures_;
+};
+
+} // namespace s64v::chaos
+
+#endif // S64V_CHAOS_TRIAGE_HH

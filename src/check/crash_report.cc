@@ -150,6 +150,8 @@ buildCrashReportJson(System &sys, const char *kind,
     w.beginObject();
     w.field("kind", kind);
     w.field("message", msg);
+    if (obs::globalSeedSet())
+        w.field("seed", obs::runObsOptions().seed);
     w.field("cycle", std::uint64_t{sys.currentCycle()});
     w.field("max_cycles", sys.params().maxCycles);
     w.field("hit_cycle_cap", sys.hitCycleCap());
@@ -208,6 +210,75 @@ installCrashReporting(const std::string &path)
         if (!opts.statsJsonPath.empty())
             obs::writeStatsJson(sys->root(), opts.statsJsonPath);
     });
+}
+
+namespace
+{
+
+/** Sweep-triage sink state (see installSweepCrashTriage). */
+struct TriageState
+{
+    std::mutex mutex;
+    std::vector<std::string> crashes; ///< rendered report objects.
+    std::string path;
+};
+
+TriageState &
+triageState()
+{
+    static TriageState state;
+    return state;
+}
+
+/** Render the aggregated triage document from the recorded entries.
+ *  Caller holds the triage mutex. */
+std::string
+buildTriageDocument(const TriageState &state)
+{
+    std::string doc = "{\"schema\": \"s64v-crash-triage-1\", "
+                      "\"count\": " +
+        std::to_string(state.crashes.size()) + ", \"crashes\": [";
+    for (std::size_t i = 0; i < state.crashes.size(); ++i) {
+        if (i != 0)
+            doc += ", ";
+        doc += state.crashes[i];
+    }
+    doc += "]}";
+    return doc;
+}
+
+} // namespace
+
+void
+installSweepCrashTriage(const std::string &path)
+{
+    TriageState &state = triageState();
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.crashes.clear();
+        state.path = path.empty() ? "crash_report.json" : path;
+    }
+    setErrorHook([](const char *kind, const std::string &msg) {
+        System *sys = crashSystem();
+        if (!sys)
+            return;
+        TriageState &st = triageState();
+        // One mutex serializes concurrent dying points: each appends
+        // its entry and rewrites the aggregate, so no report is ever
+        // lost to a last-writer-wins overwrite.
+        std::lock_guard<std::mutex> lock(st.mutex);
+        st.crashes.push_back(
+            buildCrashReportJson(*sys, kind, msg));
+        writeCrashReport(st.path, buildTriageDocument(st));
+    });
+}
+
+std::size_t
+sweepCrashCount()
+{
+    TriageState &state = triageState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    return state.crashes.size();
 }
 
 void

@@ -62,7 +62,29 @@ bool writeCrashReport(const std::string &path, const std::string &json);
  */
 void installCrashReporting(const std::string &path);
 
-/** Remove the error hook installed by installCrashReporting(). */
+/**
+ * Install the error hook in sweep-triage mode: under a parallel
+ * sweep, several points can fail in one process, and each writing a
+ * whole-file report would leave only the last writer's point on disk.
+ * This sink instead holds one mutex, appends a per-point entry
+ * (sweep-point label/index plus the full per-crash report) to an
+ * in-memory list, and atomically rewrites @p path (default
+ * "crash_report.json") as one aggregated document
+ *
+ *   {"schema": "s64v-crash-triage-1", "count": N,
+ *    "crashes": [ <crash report>, ... ]}
+ *
+ * after every crash, so the file always names every point that died
+ * so far. Installing resets the list. Uninstall with
+ * uninstallCrashReporting() as usual.
+ */
+void installSweepCrashTriage(const std::string &path);
+
+/** Crashes recorded by the triage sink since its install. */
+std::size_t sweepCrashCount();
+
+/** Remove the error hook installed by installCrashReporting() /
+ *  installSweepCrashTriage(). */
 void uninstallCrashReporting();
 
 } // namespace check

@@ -20,6 +20,15 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+mixSeeds(std::uint64_t a, std::uint64_t b)
+{
+    // splitmix64 finalizer over an asymmetric combination, so
+    // mixSeeds(a, b) != mixSeeds(b, a) and neither argument can
+    // cancel the other.
+    return mix64(mix64(a) ^ (b + 0x9e3779b97f4a7c15ull + (a << 6)));
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     // splitmix64 expansion; guarantees a nonzero state for any seed.

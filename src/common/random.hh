@@ -17,6 +17,15 @@ namespace s64v
 {
 
 /**
+ * Combine two seeds into one well-mixed 64-bit seed. Used to derive
+ * per-component seeds (trace synthesis, fault-storm cycles, sweep
+ * shuffling) from one campaign/process seed without the streams
+ * becoming correlated: mixSeeds(s, a) and mixSeeds(s, b) differ in
+ * about half their bits for any a != b.
+ */
+std::uint64_t mixSeeds(std::uint64_t a, std::uint64_t b);
+
+/**
  * xoshiro256** generator, seeded via splitmix64. Small, fast, and
  * statistically strong enough for workload synthesis.
  */

@@ -13,6 +13,7 @@
 #include "check/signals.hh"
 #include "ckpt/snapshot.hh"
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "exp/journal.hh"
 #include "exp/self_profile.hh"
 #include "model/fingerprint.hh"
@@ -159,6 +160,10 @@ SweepRunner::run(const Sweep &sweep)
             opts_.maxAttempts = oo.maxAttempts;
         if (oo.watchdogEscalate)
             opts_.watchdogEscalate = true;
+        if (oo.retryBudgetMs != obs::ObsOptions::kUnset)
+            opts_.retryBudgetMs = oo.retryBudgetMs;
+        if (oo.shuffle)
+            opts_.shuffle = true;
     }
 
     // All trace synthesis happens here, serially, before any worker
@@ -174,14 +179,36 @@ SweepRunner::run(const Sweep &sweep)
     }
 
     // Process-level run machinery, once for the whole sweep. The
-    // embedded models skip their own installs.
-    check::installCrashReporting(obs::runObsOptions().crashReportPath);
+    // embedded models skip their own installs. The triage sink
+    // aggregates every crashed point into one document instead of
+    // letting concurrent failures overwrite each other's report.
+    check::installSweepCrashTriage(
+        obs::runObsOptions().crashReportPath);
     check::ScopedSignalGuard guard;
     obs::beginSweepProgress(points.size());
 
     const unsigned threads = effectiveThreads(points.size());
     std::atomic<std::size_t> next{0};
     const MetricFn &metricFn = sweep.metricFn();
+
+    // Dispatch order. Per-point Rng streams were fixed during the
+    // serial trace synthesis above, so any permutation here yields
+    // bit-identical results; shuffling only varies which point runs
+    // on which worker when.
+    std::vector<std::size_t> order(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        order[i] = i;
+    if (opts_.shuffle && points.size() > 1) {
+        const std::uint64_t base = obs::globalSeedSet()
+            ? obs::runObsOptions().seed
+            : 1;
+        Rng rng(mixSeeds(base, 0x73687566666c65ull)); // "shuffle"
+        for (std::size_t i = points.size() - 1; i > 0; --i) {
+            const std::size_t j =
+                static_cast<std::size_t>(rng.below(i + 1));
+            std::swap(order[i], order[j]);
+        }
+    }
 
     // --- Durability: point keys, journal replay, write-ahead log ---
     const bool journalled = !opts_.journalPath.empty();
@@ -285,8 +312,22 @@ SweepRunner::run(const Sweep &sweep)
 
     // A journalled point gets up to maxAttempts tries with capped
     // exponential backoff; the outcome of every attempt is durable
-    // before the next one starts.
+    // before the next one starts. A wall-clock retry budget bounds
+    // the whole attempt sequence: a point whose failures are eating
+    // real time is quarantined immediately rather than blocking its
+    // worker for further retries (see SweepOptions::retryBudgetMs).
     auto runJournalled = [&](std::size_t i) {
+        const auto start = std::chrono::steady_clock::now();
+        auto budgetSpent = [&]() -> bool {
+            if (opts_.retryBudgetMs == 0)
+                return false;
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            return static_cast<std::uint64_t>(elapsed) >=
+                opts_.retryBudgetMs;
+        };
         std::uint32_t attempt = priorAttempts[i];
         for (;;) {
             ++attempt;
@@ -313,6 +354,18 @@ SweepRunner::run(const Sweep &sweep)
                      points[i].label.c_str(), attempt);
                 return;
             }
+            if (budgetSpent()) {
+                results[i].error = "quarantined: retry budget (" +
+                    std::to_string(opts_.retryBudgetMs) +
+                    " ms) exhausted after " + std::to_string(attempt) +
+                    " attempts: " + results[i].error;
+                journalAppend(makeEntry(i, attempt, results[i],
+                                        "quarantined"));
+                warn("sweep point '%s' quarantined: retry budget "
+                     "exhausted after %u attempts",
+                     points[i].label.c_str(), attempt);
+                return;
+            }
             journalAppend(makeEntry(i, attempt, results[i],
                                     "failed"));
             if (check::stopRequested())
@@ -334,10 +387,11 @@ SweepRunner::run(const Sweep &sweep)
 
     auto workerLoop = [&]() {
         for (;;) {
-            const std::size_t i =
+            const std::size_t slot =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= points.size())
+            if (slot >= points.size())
                 break;
+            const std::size_t i = order[slot];
             if (prefilled[i]) {
                 pointDone(results[i], /*executed=*/false);
                 continue;

@@ -148,6 +148,25 @@ struct SweepOptions
     std::uint64_t backoffCapMs = 2000;
     /** @} */
     /**
+     * Wall-clock budget (ms) for one journalled point across all of
+     * its attempts and backoff sleeps. A point that fails with the
+     * budget spent is quarantined immediately — with the reason
+     * recorded in its error and journal entry — instead of burning
+     * further retries on a deterministic failure. 0 = unlimited.
+     * Defers to --retry-budget-ms= when left at the default.
+     */
+    std::uint64_t retryBudgetMs = 300'000;
+    /**
+     * Dispatch points in a seeded-random order instead of point
+     * order (results still come back in point order; per-point Rng
+     * streams are dispatch-order independent, so shuffling never
+     * changes any result — chaos campaigns use it to shake out
+     * ordering assumptions). The permutation is derived from the
+     * process-wide --seed= (or a fixed default), so a given seed
+     * always dispatches in the same order. Defers to --shuffle.
+     */
+    bool shuffle = false;
+    /**
      * Watchdog escalation: a hung point writes an emergency
      * checkpoint (next to the journal, or "emergency.point<i>.ckpt"
      * without one) before the watchdog kill, so the wedged machine

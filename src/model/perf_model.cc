@@ -41,7 +41,12 @@ void
 PerfModel::loadWorkload(const WorkloadProfile &profile,
                         std::size_t instrs_per_cpu)
 {
-    TraceGenerator gen(profile, params_.sys.numCpus);
+    // Honour the process-wide --seed= policy the same way TracePool
+    // does, so direct loads and pooled sweeps synthesize identical
+    // traces for identical (global seed, profile) pairs.
+    WorkloadProfile effective = profile;
+    effective.seed = obs::effectiveWorkloadSeed(profile.seed);
+    TraceGenerator gen(effective, params_.sys.numCpus);
     for (CpuId cpu = 0; cpu < params_.sys.numCpus; ++cpu) {
         traces_[cpu] = std::make_shared<const InstrTrace>(
             gen.generate(instrs_per_cpu, cpu));
@@ -87,9 +92,8 @@ PerfModel::prepare()
         sys.checkLevel =
             check::checkLevelFromString(opts.checkLevel.c_str());
     }
-    if (!embedded_ && opts.checkpointAt != 0 &&
-        !opts.checkpointOut.empty() &&
-        sys.checkpoint.atCycle == 0) {
+    if (!embedded_ && !opts.checkpointOut.empty() &&
+        sys.checkpoint.path.empty()) {
         sys.checkpoint.atCycle = opts.checkpointAt;
         sys.checkpoint.path = opts.checkpointOut;
         sys.checkpoint.stopAfter = opts.checkpointStop;

@@ -4,6 +4,7 @@
 
 #include "check/fault_inject.hh"
 #include "check/invariants.hh"
+#include "common/random.hh"
 
 namespace s64v::obs
 {
@@ -13,6 +14,20 @@ runObsOptions()
 {
     static ObsOptions options;
     return options;
+}
+
+bool
+globalSeedSet()
+{
+    return runObsOptions().seed != ObsOptions::kUnset;
+}
+
+std::uint64_t
+effectiveWorkloadSeed(std::uint64_t profile_seed)
+{
+    if (!globalSeedSet())
+        return profile_seed;
+    return mixSeeds(runObsOptions().seed, profile_seed);
 }
 
 namespace
@@ -86,6 +101,12 @@ parseObsArgs(int argc, const char *const *argv)
             opts.maxAttempts = static_cast<unsigned>(
                 std::strtoul(v, nullptr, 0));
         }
+        else if (const char *v = matchFlag(arg, "retry-budget-ms"))
+            opts.retryBudgetMs = std::strtoull(v, nullptr, 0);
+        else if (const char *v = matchFlag(arg, "seed"))
+            opts.seed = std::strtoull(v, nullptr, 0);
+        else if (arg == "--shuffle" || arg == "shuffle")
+            opts.shuffle = true;
         else if (arg == "--watchdog-escalate" ||
                  arg == "watchdog-escalate")
             opts.watchdogEscalate = true;

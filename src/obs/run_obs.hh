@@ -53,8 +53,8 @@ struct ObsOptions
     std::uint64_t selfProfilePeriod = 0;
 
     /** Checkpoint controls for non-embedded runs. @{ */
-    std::uint64_t checkpointAt = 0; ///< trigger cycle (0 = off).
-    std::string checkpointOut;      ///< snapshot path.
+    std::uint64_t checkpointAt = 0; ///< trigger cycle (0 is valid).
+    std::string checkpointOut;      ///< snapshot path ("" = off).
     bool checkpointStop = false;    ///< stop right after writing.
     std::string restorePath;        ///< restore this snapshot first.
     /** @} */
@@ -64,7 +64,23 @@ struct ObsOptions
     bool resume = false;         ///< replay the journal first.
     unsigned maxAttempts = 0;    ///< 0 = SweepOptions default.
     bool watchdogEscalate = false; ///< emergency-checkpoint hung points.
+    /** Per-point retry wall-clock cap, ms (kUnset = default). */
+    std::uint64_t retryBudgetMs = kUnset;
     /** @} */
+
+    /**
+     * Process-wide randomness seed (--seed=N; kUnset = none given).
+     * When set, every source of randomness derives from it — workload
+     * trace synthesis mixes it into each profile's own seed (see
+     * effectiveWorkloadSeed), sweep dispatch shuffling keys on it,
+     * and the chaos campaign engine seeds its fuzzer and fault storms
+     * from it — so a run or campaign point is replayable
+     * byte-for-byte from the one number. The effective seed is
+     * printed in stats JSON ("run.seed") and crash reports ("seed").
+     */
+    std::uint64_t seed = kUnset;
+    /** Shuffle sweep dispatch order (seeded; results stay ordered). */
+    bool shuffle = false;
 
     bool any() const
     {
@@ -76,6 +92,17 @@ struct ObsOptions
 
 /** The process-wide options PerfModel::run() consults. */
 ObsOptions &runObsOptions();
+
+/** True when a process-wide --seed= was given. */
+bool globalSeedSet();
+
+/**
+ * A workload profile's trace-synthesis seed under the process-wide
+ * seed policy: @p profile_seed itself when no --seed= was given, else
+ * mixSeeds(global, profile_seed) — distinct workloads keep distinct
+ * streams while the whole process re-keys off one number.
+ */
+std::uint64_t effectiveWorkloadSeed(std::uint64_t profile_seed);
 
 /**
  * Parse the observability flags out of @p argv into runObsOptions().
@@ -89,8 +116,9 @@ ObsOptions &runObsOptions();
  * the durability flags "checkpoint-at=<cycle>",
  * "checkpoint-out=<path>", "--checkpoint-stop", "restore=<path>",
  * "journal=<path>", "--resume" / "resume=<journal>",
- * "max-attempts=<n>", and "--watchdog-escalate"; everything else is
- * left for the caller.
+ * "max-attempts=<n>", "retry-budget-ms=<ms>", and
+ * "--watchdog-escalate"; the randomness flags "seed=<n>" and
+ * "--shuffle"; everything else is left for the caller.
  */
 void parseObsArgs(int argc, const char *const *argv);
 

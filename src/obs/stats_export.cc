@@ -4,6 +4,7 @@
 
 #include "common/file_util.hh"
 #include "common/logging.hh"
+#include "obs/run_obs.hh"
 #include "sim/system.hh"
 
 namespace s64v::obs
@@ -141,6 +142,8 @@ exportStatsJson(const stats::Group &root, const SimResult *result)
               std::uint64_t{result->warmupEndCycle});
     run.field("hit_cycle_cap", result->hitCycleCap);
     run.field("interrupted", result->interrupted);
+    if (globalSeedSet())
+        run.field("seed", runObsOptions().seed);
     run.end();
 
     // Splice the run outcome in as the first key of the top-level

@@ -204,8 +204,7 @@ System::run()
     // Checkpoint probe goes last: every other probe of the trigger
     // cycle (warm-up reset, sampler) has fired by the time the
     // snapshot is cut, so the restored run replays none of them.
-    if (params_.checkpoint.atCycle != 0 &&
-        !params_.checkpoint.path.empty() &&
+    if (!params_.checkpoint.path.empty() &&
         params_.checkpoint.atCycle >= start) {
         kernel_->attachProbe(
             params_.checkpoint.atCycle, 1, [&](Cycle cycle) {

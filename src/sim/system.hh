@@ -30,15 +30,16 @@ class Heartbeat;
 } // namespace obs
 
 /**
- * Checkpoint trigger configured on a run. Inactive unless both a
- * cycle and a path are set; the snapshot is written after every tick
- * and probe of @ref atCycle has run, so a restored run continues at
- * atCycle + 1 bit-identically.
+ * Checkpoint trigger configured on a run. Inactive unless a path is
+ * set (the path alone arms it, so cycle 0 — a snapshot after the very
+ * first cycle — is a valid trigger); the snapshot is written after
+ * every tick and probe of @ref atCycle has run, so a restored run
+ * continues at atCycle + 1 bit-identically.
  */
 struct CheckpointParams
 {
-    Cycle atCycle = 0;      ///< write after this cycle (0 = off).
-    std::string path;       ///< snapshot output file.
+    Cycle atCycle = 0;      ///< write after this cycle.
+    std::string path;       ///< snapshot file; "" disables the trigger.
     bool stopAfter = false; ///< end the run right after writing.
 };
 

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Robustness tests for the sweep engine's failure-handling paths:
+ * seeded-shuffle dispatch must not change any result, the wall-clock
+ * retry budget must quarantine a deterministic failure instead of
+ * burning the full attempt allowance, the mutex-held triage sink must
+ * name every point that died in a parallel sweep, and the process-wide
+ * --seed= must be stamped into stats JSON and crash reports so a run
+ * is replayable from its own outputs.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/crash_report.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "exp/sweep.hh"
+#include "model/params.hh"
+#include "obs/run_obs.hh"
+#include "obs/stats_export.hh"
+#include "sim/system.hh"
+#include "workload/workloads.hh"
+
+namespace s64v
+{
+namespace
+{
+
+constexpr std::size_t kRun = 3000;
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream f(path);
+    std::ostringstream out;
+    out << f.rdbuf();
+    return out.str();
+}
+
+/** Save and restore the process-wide observability options. */
+class ScopedObsOptions
+{
+  public:
+    ScopedObsOptions() : saved_(obs::runObsOptions()) {}
+    ~ScopedObsOptions() { obs::runObsOptions() = saved_; }
+
+  private:
+    obs::ObsOptions saved_;
+};
+
+void
+expectSameSim(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.measured, b.measured);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.warmupEndCycle, b.warmupEndCycle);
+}
+
+exp::Sweep
+mixedSweep()
+{
+    exp::Sweep sweep;
+    sweep.add("base-int", sparc64vBase(), specint95Profile(), kRun);
+    sweep.add("base-tpcc", sparc64vBase(), tpccProfile(), kRun);
+    sweep.add("narrow", withIssueWidth(sparc64vBase(), 2),
+              tpccProfile(), kRun);
+    sweep.add("small-l1", withSmallL1(sparc64vBase()),
+              specint95Profile(), kRun);
+    sweep.add("no-pf", withPrefetch(sparc64vBase(), false),
+              tpccProfile(), kRun);
+    sweep.add("base-fp", sparc64vBase(), specfp95Profile(), kRun);
+    return sweep;
+}
+
+TEST(SweepRobustness, ShuffledDispatchIsBitIdentical)
+{
+    ScopedObsOptions restore;
+    obs::runObsOptions().seed = 1234; // keys the permutation.
+    const exp::Sweep sweep = mixedSweep();
+
+    exp::SweepOptions plain;
+    plain.threads = 3;
+    const auto ordered = exp::SweepRunner(plain).run(sweep);
+
+    exp::SweepOptions shuffled = plain;
+    shuffled.shuffle = true;
+    const auto permuted = exp::SweepRunner(shuffled).run(sweep);
+
+    // Dispatch order changed; results (and their order) must not.
+    ASSERT_EQ(ordered.size(), sweep.size());
+    ASSERT_EQ(permuted.size(), sweep.size());
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+        ASSERT_TRUE(ordered[i].ok) << ordered[i].error;
+        ASSERT_TRUE(permuted[i].ok) << permuted[i].error;
+        EXPECT_EQ(ordered[i].label, sweep.points()[i].label);
+        EXPECT_EQ(permuted[i].label, ordered[i].label);
+        expectSameSim(ordered[i].sim, permuted[i].sim);
+    }
+}
+
+TEST(SweepRobustness, RetryBudgetQuarantinesDeterministicFailures)
+{
+    // A point that panics on every attempt would burn all five
+    // attempts (plus exponential backoff) before quarantine; a 1 ms
+    // retry budget must cut that short after the first failed retry
+    // cycle, with the reason recorded in the point's error.
+    const std::string journal = tempPath("retry_budget.jsonl");
+    std::remove(journal.c_str());
+
+    MachineParams sick = sparc64vBase();
+    sick.sys.watchdogCycles = 2; // panics almost immediately.
+    exp::Sweep sweep;
+    sweep.add("doomed", sick, tpccProfile(), kRun);
+
+    exp::SweepOptions opts;
+    opts.threads = 1;
+    opts.journalPath = journal;
+    opts.maxAttempts = 5;
+    opts.retryBudgetMs = 1;
+    opts.backoffBaseMs = 1;
+    const auto results = exp::SweepRunner(opts).run(sweep);
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_NE(results[0].error.find("quarantined: retry budget"),
+              std::string::npos)
+        << results[0].error;
+    // Nowhere near the 5-attempt allowance.
+    EXPECT_EQ(results[0].error.find("after 5 attempts"),
+              std::string::npos)
+        << results[0].error;
+
+    // The quarantine is durable: a resumed sweep must not re-run the
+    // point.
+    const std::string log = slurp(journal);
+    EXPECT_NE(log.find("\"quarantined\""), std::string::npos) << log;
+    exp::SweepOptions again = opts;
+    again.resume = true;
+    const auto resumed = exp::SweepRunner(again).run(sweep);
+    ASSERT_EQ(resumed.size(), 1u);
+    EXPECT_FALSE(resumed[0].ok);
+    EXPECT_NE(resumed[0].error.find("quarantined"), std::string::npos)
+        << resumed[0].error;
+    std::remove(journal.c_str());
+}
+
+TEST(SweepRobustness, ParallelCrashTriageNamesEveryDeadPoint)
+{
+    ScopedObsOptions restore;
+    const std::string report = tempPath("sweep_triage.json");
+    std::remove(report.c_str());
+    obs::runObsOptions().crashReportPath = report;
+
+    MachineParams sick = sparc64vBase();
+    sick.sys.watchdogCycles = 2;
+    exp::Sweep sweep;
+    sweep.add("healthy-one", sparc64vBase(), tpccProfile(), kRun);
+    sweep.add("sick-alpha", sick, tpccProfile(), kRun);
+    sweep.add("sick-beta", sick, specint95Profile(), kRun);
+    sweep.add("healthy-two", sparc64vBase(), specint95Profile(), kRun);
+
+    exp::SweepOptions opts;
+    opts.threads = 4;
+    const auto results = exp::SweepRunner(opts).run(sweep);
+
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_FALSE(results[2].ok);
+    EXPECT_TRUE(results[3].ok) << results[3].error;
+
+    // Both crashes survive in one aggregated document — neither
+    // writer clobbered the other.
+    EXPECT_EQ(check::sweepCrashCount(), 2u);
+    const std::string doc = slurp(report);
+    EXPECT_NE(doc.find("s64v-crash-triage-1"), std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"count\": 2"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("sick-alpha"), std::string::npos);
+    EXPECT_NE(doc.find("sick-beta"), std::string::npos);
+    EXPECT_EQ(doc.find("healthy-one"), std::string::npos);
+    std::remove(report.c_str());
+}
+
+TEST(SweepRobustness, SeedIsStampedInStatsAndCrashReports)
+{
+    ScopedObsOptions restore;
+
+    // Unset: workload seeds pass through untouched, no stamp.
+    obs::runObsOptions() = obs::ObsOptions{};
+    EXPECT_FALSE(obs::globalSeedSet());
+    EXPECT_EQ(obs::effectiveWorkloadSeed(7), 7u);
+
+    // Set: every derived stream re-keys, deterministically.
+    obs::runObsOptions().seed = 42;
+    ASSERT_TRUE(obs::globalSeedSet());
+    EXPECT_NE(obs::effectiveWorkloadSeed(7), 7u);
+    EXPECT_EQ(obs::effectiveWorkloadSeed(7),
+              obs::effectiveWorkloadSeed(7));
+    EXPECT_NE(obs::effectiveWorkloadSeed(7),
+              obs::effectiveWorkloadSeed(8));
+
+    // Stats JSON carries the seed in its "run" object.
+    stats::Group root("sim");
+    root.scalar("x", "a counter");
+    SimResult res;
+    const std::string stats = obs::exportStatsJson(root, &res);
+    EXPECT_NE(stats.find("\"seed\":42"), std::string::npos) << stats;
+
+    // And so does a crash report for a dying system.
+    System sys(sparc64vBase().sys);
+    const std::string crash =
+        check::buildCrashReportJson(sys, "panic", "boom");
+    EXPECT_NE(crash.find("\"seed\":42"), std::string::npos) << crash;
+    EXPECT_NE(crash.find("\"message\":\"boom\""), std::string::npos)
+        << crash;
+}
+
+} // namespace
+} // namespace s64v
