@@ -4,12 +4,21 @@
  * instructions/second on a 1-GHz Pentium III for a multi-user
  * interactive (TPC-C) trace in UP configuration. This measures our
  * model's simulated-instructions-per-second on the same kind of
- * workload.
+ * workload — each configuration twice, with the reference per-cycle
+ * loop and with the skip-ahead kernel, so BENCH_sim_speed.json
+ * records per-workload KIPS for both scheduling modes plus the
+ * skip-ahead speedup.
  */
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "model/perf_model.hh"
+#include "obs/bench_record.hh"
 #include "workload/generator.hh"
 #include "workload/workloads.hh"
 
@@ -19,71 +28,73 @@ namespace
 {
 
 /**
- * Report simulated instructions per host second in KIPS — the unit
- * the paper uses (§2.1: 7.8 KIPS on a 1-GHz Pentium III).
+ * KIPS per finished variant, keyed "<workload>_<mode>". When both
+ * modes of a workload are in, the speedup metric is derived — the
+ * benchmark registration order (plain before skip) guarantees the
+ * plain number exists by the time the skip variant finishes.
+ */
+std::map<std::string, double> &
+kipsByVariant()
+{
+    static std::map<std::string, double> m;
+    return m;
+}
+
+void
+recordVariant(const std::string &workload, bool skip, double kips)
+{
+    const std::string mode = skip ? "skip" : "plain";
+    kipsByVariant()[workload + "_" + mode] = kips;
+    obs::setBenchMetric(workload + "_" + mode + "_kips", kips);
+    if (!skip)
+        return;
+    const auto plain = kipsByVariant().find(workload + "_plain");
+    if (plain != kipsByVariant().end() && plain->second > 0.0)
+        obs::setBenchMetric(workload + "_speedup",
+                            kips / plain->second);
+}
+
+/**
+ * Run @p instrs_per_cpu instructions of @p profile on an
+ * @p num_cpus-way sparc64vBase machine once per iteration, timing
+ * only the model runs (trace synthesis is hoisted out).
  */
 void
-reportKips(benchmark::State &state, std::uint64_t instrs_per_iter)
+simSpeed(benchmark::State &state, const WorkloadProfile &profile,
+         unsigned num_cpus, std::size_t instrs_per_cpu, bool skip,
+         const char *workload)
 {
-    state.counters["KIPS"] = benchmark::Counter(
-        static_cast<double>(state.iterations() * instrs_per_iter) /
-            1000.0,
-        benchmark::Counter::kIsRate);
-}
-
-void
-BM_SimSpeedTpccUp(benchmark::State &state)
-{
-    const auto n = static_cast<std::size_t>(state.range(0));
-    const auto trace = std::make_shared<const InstrTrace>(
-        generateTrace(tpccProfile(), n));
-    for (auto _ : state) {
-        PerfModel m(sparc64vBase());
-        m.loadTrace(0, trace);
-        benchmark::DoNotOptimize(m.run().cycles);
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(n));
-    reportKips(state, n);
-}
-
-void
-BM_SimSpeedSpecint(benchmark::State &state)
-{
-    const auto n = static_cast<std::size_t>(state.range(0));
-    const auto trace = std::make_shared<const InstrTrace>(
-        generateTrace(specint2000Profile(), n));
-    for (auto _ : state) {
-        PerfModel m(sparc64vBase());
-        m.loadTrace(0, trace);
-        benchmark::DoNotOptimize(m.run().cycles);
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(n));
-    reportKips(state, n);
-}
-
-void
-BM_SimSpeedTpccSmp4(benchmark::State &state)
-{
-    const auto n = static_cast<std::size_t>(state.range(0));
-    TraceGenerator gen(tpccProfile(), 4);
+    TraceGenerator gen(profile, num_cpus);
     std::vector<std::shared_ptr<const InstrTrace>> traces;
-    for (CpuId c = 0; c < 4; ++c)
-        traces.push_back(
-            std::make_shared<const InstrTrace>(gen.generate(n, c)));
+    for (CpuId c = 0; c < num_cpus; ++c)
+        traces.push_back(std::make_shared<const InstrTrace>(
+            gen.generate(instrs_per_cpu, c)));
+
+    double run_seconds = 0.0;
     for (auto _ : state) {
-        PerfModel m(sparc64vBase(4));
-        for (CpuId c = 0; c < 4; ++c)
+        MachineParams mp = sparc64vBase(num_cpus);
+        mp.sys.skipAhead = skip;
+        PerfModel m(mp);
+        for (CpuId c = 0; c < num_cpus; ++c)
             m.loadTrace(c, traces[c]);
+        const auto t0 = std::chrono::steady_clock::now();
         benchmark::DoNotOptimize(m.run().cycles);
+        run_seconds += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
     }
+
+    const std::uint64_t instrs_per_iter = num_cpus * instrs_per_cpu;
+    const double total_kinstr =
+        static_cast<double>(state.iterations() * instrs_per_iter) /
+        1000.0;
     state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 4 *
-        static_cast<std::int64_t>(n));
-    reportKips(state, 4 * n);
+        static_cast<std::int64_t>(state.iterations() *
+                                  instrs_per_iter));
+    state.counters["KIPS"] = benchmark::Counter(
+        total_kinstr, benchmark::Counter::kIsRate);
+    if (run_seconds > 0.0)
+        recordVariant(workload, skip, total_kinstr / run_seconds);
 }
 
 void
@@ -101,10 +112,25 @@ BM_TraceGeneration(benchmark::State &state)
 
 } // namespace
 
-BENCHMARK(BM_SimSpeedTpccUp)->Arg(30000)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_SimSpeedSpecint)->Arg(30000)
+// Plain before skip per workload: recordVariant() derives the
+// speedup metric when the skip variant completes.
+BENCHMARK_CAPTURE(simSpeed, tpcc_up_plain, tpccProfile(), 1, 30000,
+                  false, "tpcc_up")
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_SimSpeedTpccSmp4)->Arg(8000)
+BENCHMARK_CAPTURE(simSpeed, tpcc_up_skip, tpccProfile(), 1, 30000,
+                  true, "tpcc_up")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(simSpeed, specint_up_plain, specint2000Profile(),
+                  1, 30000, false, "specint_up")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(simSpeed, specint_up_skip, specint2000Profile(),
+                  1, 30000, true, "specint_up")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(simSpeed, tpcc_smp4_plain, tpccProfile(), 4, 8000,
+                  false, "tpcc_smp4")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(simSpeed, tpcc_smp4_skip, tpccProfile(), 4, 8000,
+                  true, "tpcc_smp4")
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TraceGeneration)->Arg(50000)
     ->Unit(benchmark::kMillisecond);

@@ -327,6 +327,71 @@ checkCkptReplay(const ChaosPoint &p)
     return std::nullopt;
 }
 
+// --- skipahead-identity -------------------------------------------
+
+/**
+ * The event-horizon kernel's core contract: skip-ahead scheduling is
+ * an execution-speed optimization only. Running the same fuzzed
+ * machine with and without it must produce the same SimResult and a
+ * byte-identical stats dump.
+ */
+std::optional<Violation>
+checkSkipaheadIdentity(const ChaosPoint &p)
+{
+    const TraceSet traces = synthTraces(p);
+    MachineParams m = p.machine();
+    m.sys.warmupInstrs = p.instrs / 5;
+
+    ScopedThrow isolate;
+    auto runMode = [&](bool skip, SimResult &res, std::string &stats,
+                       std::uint64_t &elided) {
+        SystemParams sp = m.sys;
+        sp.skipAhead = skip;
+        System sys(sp, m.name);
+        for (CpuId cpu = 0; cpu < p.numCpus; ++cpu)
+            sys.attachTrace(cpu, traces[cpu]);
+        res = sys.run();
+        stats = sys.statsDump();
+        elided = res.elidedCycles;
+    };
+
+    try {
+        SimResult plain, skip;
+        std::string plainStats, skipStats;
+        std::uint64_t plainElided = 0, skipElided = 0;
+        runMode(false, plain, plainStats, plainElided);
+        runMode(true, skip, skipStats, skipElided);
+
+        if (plainElided != 0) {
+            return Violation{
+                "skipahead-identity", "skipahead-identity:plain-elided",
+                fmt("plain run reports %llu elided cycles",
+                    static_cast<unsigned long long>(plainElided))};
+        }
+        const std::string diff = diffSim(plain, skip);
+        if (!diff.empty()) {
+            return Violation{
+                "skipahead-identity",
+                "skipahead-identity:result-diverged",
+                fmt("skip-ahead run (%llu cycles elided) diverged: %s",
+                    static_cast<unsigned long long>(skipElided),
+                    diff.c_str())};
+        }
+        if (plainStats != skipStats) {
+            return Violation{
+                "skipahead-identity",
+                "skipahead-identity:stats-diverged",
+                fmt("stats dump differs between plain and skip-ahead "
+                    "runs (%llu cycles elided)",
+                    static_cast<unsigned long long>(skipElided))};
+        }
+    } catch (const std::exception &e) {
+        return panicViolation("skipahead-identity", "either mode",
+                              e.what());
+    }
+    return std::nullopt;
+}
+
 // --- serial-parallel ----------------------------------------------
 
 std::optional<Violation>
@@ -476,6 +541,9 @@ invariantCatalog()
         {"storm",
          "random fault injections die by the documented contract",
          runFaultStorm},
+        {"skipahead-identity",
+         "skip-ahead and plain per-cycle scheduling are bit-identical",
+         checkSkipaheadIdentity},
     };
     return catalog;
 }

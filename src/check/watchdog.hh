@@ -69,6 +69,13 @@ class Watchdog
     /** Times a pending in-flight event deferred the deadline. */
     std::uint64_t graceExtensions() const { return graceExtensions_; }
 
+    /**
+     * Cycle at which the watchdog would fire absent further progress
+     * — the skip-ahead kernel must visit this cycle so tick() runs
+     * there (a pending event can still defer it then).
+     */
+    Cycle deadline() const { return lastProgress_ + threshold_; }
+
     /** One-line human-readable account of the firing state. */
     std::string diagnosis() const;
 

@@ -169,6 +169,7 @@ Core::replay(WindowEntry &e, Cycle now)
     e.notBefore = now + params_.dispatchToExec;
     ++e.replays;
     ++replays_;
+    ++activity_;
 }
 
 RsId
@@ -257,6 +258,7 @@ Core::commitStage(Cycle cycle)
         }
         window_.retireHead();
         ++n;
+        ++activity_;
     }
     if (n == 0 && !window_.empty())
         ++commitIdleCycles_;
@@ -292,6 +294,7 @@ Core::loadCompletionStage(Cycle cycle)
             e.missKnownAt = lc.missKnownAt;
         }
         e.state = InstrState::Done;
+        ++activity_;
     }
     lsq_->completedLoads().clear();
 }
@@ -312,6 +315,7 @@ Core::pendingStoreStage(Cycle cycle)
         // produce no register result).
         e.doneCycle = std::max(e.predReady, a);
         e.state = InstrState::Done;
+        ++activity_;
         it = pendingStores_.erase(it);
     }
 }
@@ -319,6 +323,7 @@ Core::pendingStoreStage(Cycle cycle)
 void
 Core::performExec(WindowEntry &e, Cycle exec_start, ExecUnit &unit)
 {
+    ++activity_;
     e.execCycle = exec_start;
     rs_[e.rsId]->remove(e.seq);
     rs_[e.rsId]->noteDispatch();
@@ -414,6 +419,7 @@ Core::dispatchStage(Cycle cycle)
     };
 
     auto dispatch_to = [&](std::uint64_t seq, ExecUnit &unit) {
+        ++activity_;
         WindowEntry &e = window_.entry(seq);
         e.state = InstrState::InFlight;
         e.dispatchCycle = cycle;
@@ -552,6 +558,7 @@ Core::issueStage(Cycle cycle)
 
         WindowEntry &e = window_.allocate(rec, cycle);
         ++rawIssued_;
+        ++activity_;
         e.usesIntRename = need_int;
         e.usesFpRename = need_fp;
         rename_->allocate(need_int, need_fp);
@@ -592,6 +599,11 @@ Core::issueStage(Cycle cycle)
 void
 Core::tick(Cycle cycle)
 {
+    // Sum of the monotone activity counters (pipeline transitions,
+    // LSQ arbitration, fetch-group traffic): any movement marks this
+    // tick as "worked" for the nextWorkCycle() fast path.
+    const std::uint64_t a0 =
+        activity_ + lsq_->activity() + fetch_->activity();
     windowOccupancy_.sample(static_cast<double>(window_.size()));
     for (const auto &station : rs_) {
         if (station)
@@ -605,12 +617,290 @@ Core::tick(Cycle cycle)
     dispatchStage(cycle);
     issueStage(cycle);
     fetch_->tick(cycle);
+    workedLastTick_ =
+        activity_ + lsq_->activity() + fetch_->activity() != a0;
 }
 
 bool
 Core::done() const
 {
     return fetch_->exhausted() && window_.empty() && lsq_->drained();
+}
+
+Core::IssueBlock
+Core::issueBlock() const
+{
+    if (fetch_->queueEmpty())
+        return IssueBlock::FetchEmpty;
+    const TraceRecord &rec = fetch_->front().rec;
+    if (window_.full())
+        return IssueBlock::WindowFull;
+    if (rec.cls == InstrClass::Special &&
+        params_.specialMode == SpecialInstrMode::Precise &&
+        (!window_.empty() || !lsq_->drained())) {
+        return IssueBlock::Serialize;
+    }
+    const bool need_int = rec.dst != kNoReg && !isFpReg(rec.dst);
+    const bool need_fp = rec.dst != kNoReg && isFpReg(rec.dst);
+    if (!rename_->canAllocate(need_int, need_fp))
+        return IssueBlock::Rename;
+    if (rec.isLoad() && lsq_->lqFull())
+        return IssueBlock::LqFull;
+    if (rec.isStore() && lsq_->sqFull())
+        return IssueBlock::SqFull;
+    if (rec.cls == InstrClass::Nop)
+        return IssueBlock::None;
+    // Station check mirrors stationFor() + the sibling fallback
+    // without advancing the deal toggles: a dealt pair only blocks
+    // when both stations are full.
+    if (rec.isMem()) {
+        return rs_[kRsA]->full() ? IssueBlock::StationFull
+                                 : IssueBlock::None;
+    }
+    if (rec.isBranch()) {
+        return rs_[kRsBr]->full() ? IssueBlock::StationFull
+                                  : IssueBlock::None;
+    }
+    if (isFpClass(rec.cls)) {
+        if (params_.unifiedRs) {
+            return rs_[kRsF0]->full() ? IssueBlock::StationFull
+                                      : IssueBlock::None;
+        }
+        return (rs_[kRsF0]->full() && rs_[kRsF1]->full())
+            ? IssueBlock::StationFull
+            : IssueBlock::None;
+    }
+    if (params_.unifiedRs) {
+        return rs_[kRsE0]->full() ? IssueBlock::StationFull
+                                  : IssueBlock::None;
+    }
+    return (rs_[kRsE0]->full() && rs_[kRsE1]->full())
+        ? IssueBlock::StationFull
+        : IssueBlock::None;
+}
+
+void
+Core::elideIssueStalls(std::uint64_t cycles)
+{
+    // Split a full-stall run over a dealt station pair exactly as n
+    // consecutive stationFor() calls would: the toggle picks the
+    // noteFullStall target and advances every blocked cycle.
+    auto dealt_stalls = [&](RsId even_rs, RsId odd_rs,
+                            unsigned &toggle) {
+        const std::uint64_t odd =
+            cycles / 2 + ((cycles & 1) && (toggle & 1) ? 1 : 0);
+        if (odd)
+            rs_[odd_rs]->noteFullStall(odd);
+        if (cycles - odd)
+            rs_[even_rs]->noteFullStall(cycles - odd);
+        toggle = static_cast<unsigned>(toggle + cycles);
+    };
+
+    switch (issueBlock()) {
+      case IssueBlock::None:
+        break; // unreachable under nextWorkCycle(); nothing to do.
+      case IssueBlock::FetchEmpty:
+        fetchEmptyStalls_ += cycles;
+        break;
+      case IssueBlock::WindowFull:
+        windowFullStalls_ += cycles;
+        break;
+      case IssueBlock::Serialize:
+        serializeStalls_ += cycles;
+        break;
+      case IssueBlock::Rename:
+        rename_->noteStall(cycles);
+        break;
+      case IssueBlock::LqFull:
+        lsq_->noteLqFullStall(cycles);
+        break;
+      case IssueBlock::SqFull:
+        lsq_->noteSqFullStall(cycles);
+        break;
+      case IssueBlock::StationFull: {
+        const TraceRecord &rec = fetch_->front().rec;
+        if (rec.isMem()) {
+            rs_[kRsA]->noteFullStall(cycles);
+        } else if (rec.isBranch()) {
+            rs_[kRsBr]->noteFullStall(cycles);
+        } else if (isFpClass(rec.cls)) {
+            if (params_.unifiedRs)
+                rs_[kRsF0]->noteFullStall(cycles);
+            else
+                dealt_stalls(kRsF0, kRsF1, rsfToggle_);
+        } else {
+            if (params_.unifiedRs)
+                rs_[kRsE0]->noteFullStall(cycles);
+            else
+                dealt_stalls(kRsE0, kRsE1, rseToggle_);
+        }
+        break;
+      }
+    }
+}
+
+Cycle
+Core::sourceFlipCycle(const WindowEntry &p, Cycle from,
+                      unsigned d2e) const
+{
+    Cycle best = kCycleNever;
+    // Optimistic schedule, in effect for cycles < missKnownAt.
+    if (p.predReady != kCycleNever) {
+        Cycle t = p.predReady > d2e ? p.predReady - d2e : 0;
+        if (t < from)
+            t = from;
+        if (t < p.missKnownAt && t < best)
+            best = t;
+    }
+    // Confirmed schedule, in effect from missKnownAt on.
+    if (p.missKnownAt != kCycleNever &&
+        p.actualReady != kCycleNever) {
+        Cycle t = p.actualReady > d2e ? p.actualReady - d2e : 0;
+        if (t < p.missKnownAt)
+            t = p.missKnownAt;
+        if (t < from)
+            t = from;
+        if (t < best)
+            best = t;
+    }
+    return best;
+}
+
+Cycle
+Core::dispatchCandidate(const WindowEntry &e, Cycle now) const
+{
+    Cycle t = e.notBefore > now ? e.notBefore : now;
+    const unsigned d2e = params_.dispatchToExec;
+    const bool store = e.rec.isStore();
+    const std::uint64_t prods[2] = {e.src1Prod,
+                                    store ? 0 : e.src2Prod};
+    for (std::uint64_t prod : prods) {
+        if (prod == 0 || !window_.contains(prod))
+            continue;
+        const WindowEntry &p = window_.entry(prod);
+        Cycle flip;
+        if (params_.speculativeDispatch) {
+            flip = sourceFlipCycle(p, now, d2e);
+        } else if (p.actualReady == kCycleNever) {
+            flip = kCycleNever;
+        } else {
+            flip = p.actualReady > d2e ? p.actualReady - d2e : 0;
+        }
+        if (flip > t)
+            t = flip;
+    }
+    return t;
+}
+
+Cycle
+Core::nextWorkCycle(Cycle now) const
+{
+    // An injected commit stall keeps the whole run on the reference
+    // per-cycle path (watchdog/exit-code contracts are exercised
+    // against plain ticking).
+    if (commitStallAt_ != kCycleNever)
+        return now;
+
+    // Fast path: a pipeline that just moved an instruction almost
+    // always moves another next cycle. Claiming work at `now` is
+    // always safe (it can only shrink the skip), and it spares the
+    // window scan below on the busy cycles that dominate a run.
+    if (workedLastTick_)
+        return now;
+
+    Cycle cand = kCycleNever;
+    const auto consider = [&](Cycle c) {
+        if (c < cand)
+            cand = c;
+    };
+
+    // Cheap sources first: every branch below answers "work at now"
+    // identically wherever it is evaluated, so ordering is free to
+    // put the O(window) dispatch scan last, where the common pinned
+    // cases (due execs, landable groups, issuable front) bail out
+    // before it runs.
+
+    // Commit of the window head.
+    if (!window_.empty() &&
+        window_.head().state == InstrState::Done) {
+        const Cycle c = window_.head().doneCycle;
+        if (c <= now)
+            return now;
+        consider(c);
+    }
+
+    // Execute pipelines reach their due stage.
+    for (const ExecUnit &u : units_) {
+        const Cycle c = u.nextExecStart();
+        if (c == kCycleNever)
+            continue;
+        if (c <= now)
+            return now;
+        consider(c);
+    }
+
+    // LSQ arbitration, FIFO store release, load completions.
+    {
+        const Cycle c = lsq_->nextWorkCycle(now);
+        if (c <= now)
+            return now;
+        consider(c);
+    }
+
+    // Pending stores transition as soon as their data producer's
+    // actual readiness is known (pendingStoreStage has no time gate).
+    for (std::uint64_t seq : pendingStores_) {
+        if (actualReadyOf(window_.entry(seq).src2Prod) != kCycleNever)
+            return now;
+    }
+
+    // Issue of the fetch-queue front.
+    if (!fetch_->queueEmpty() && issueBlock() == IssueBlock::None)
+        return now;
+
+    // Fetch pipeline, incl. the fetchBlockReason() boundary.
+    {
+        const Cycle c = fetch_->nextWorkCycle(now);
+        if (c <= now)
+            return now;
+        consider(c);
+    }
+
+    // Dispatch of waiting entries (incl. speculative re-dispatch on
+    // the optimistic schedule before a miss-cancel broadcast).
+    for (std::uint64_t seq = window_.headSeq();
+         seq < window_.nextSeq(); ++seq) {
+        const WindowEntry &e = window_.entry(seq);
+        if (e.state != InstrState::Waiting)
+            continue;
+        const Cycle c = dispatchCandidate(e, now);
+        if (c <= now)
+            return now;
+        consider(c);
+    }
+
+    return cand;
+}
+
+void
+Core::elide(Cycle from, std::uint64_t cycles)
+{
+    // Per-cycle occupancy samples.
+    windowOccupancy_.sample(static_cast<double>(window_.size()),
+                            cycles);
+    for (const auto &station : rs_) {
+        if (station)
+            station->sampleOccupancy(cycles);
+    }
+    // Commit-slot accounting: zero retirements in the window, one
+    // dominant stall reason — constant across the span because
+    // nextWorkCycle() bounds every classification boundary.
+    if (!window_.empty())
+        commitIdleCycles_ += cycles;
+    cpiStack_.account(classifyCommitStall(from),
+                      params_.commitWidth * cycles);
+    lsq_->elide(cycles);
+    elideIssueStalls(cycles);
 }
 
 std::vector<RecentCommit>

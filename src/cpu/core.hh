@@ -77,6 +77,24 @@ class Core : public Clocked
     /** @return true when the trace is fully executed and drained. */
     bool done() const override;
 
+    /**
+     * Earliest cycle >= @p now at which this core could commit,
+     * complete, dispatch, issue, fetch, or change a stall
+     * classification — the skip-ahead kernel's quiescence contract
+     * (see Clocked::nextWorkCycle). Conservative: returns @p now
+     * whenever any stage could act, including speculative-dispatch
+     * churn before a miss-cancel broadcast.
+     */
+    Cycle nextWorkCycle(Cycle now) const override;
+
+    /**
+     * Bulk-replay the per-cycle stat mutations of @p cycles elided
+     * idle ticks starting at @p from: occupancy samples, commit-idle
+     * and CPI-stack stall slots, and the issue-stage stall counter
+     * the frozen front-of-queue instruction would have hit.
+     */
+    void elide(Cycle from, std::uint64_t cycles) override;
+
     /** Component class for the simulator self-profiler. */
     const char *profileClass() const override { return "core"; }
 
@@ -171,6 +189,43 @@ class Core : public Clocked
     void dispatchStage(Cycle cycle);
     void issueStage(Cycle cycle);
 
+    /**
+     * What blocks the front of the fetch queue from issuing — a
+     * side-effect-free mirror of issueStage()'s gate sequence (it
+     * must not advance the station-deal toggles), used by the
+     * skip-ahead path to classify and bulk-replay issue stalls.
+     */
+    enum class IssueBlock : std::uint8_t
+    {
+        None,        ///< the front instruction can issue.
+        FetchEmpty,  ///< nothing fetched.
+        WindowFull,
+        Serialize,   ///< precise special-instruction drain.
+        Rename,
+        LqFull,
+        SqFull,
+        StationFull, ///< every candidate reservation station full.
+    };
+    IssueBlock issueBlock() const;
+
+    /** Replay @p cycles of the current issue-stage stall counter. */
+    void elideIssueStalls(std::uint64_t cycles);
+
+    /**
+     * Lower bound (exact while no cycle in between is visited) on the
+     * first cycle >= @p now a Waiting entry could be selected for
+     * dispatch, from notBefore and its gating sources' schedules.
+     */
+    Cycle dispatchCandidate(const WindowEntry &e, Cycle now) const;
+
+    /**
+     * Earliest cycle >= @p from at which producer @p p stops gating a
+     * consumer's dispatch, given the speculative pred/actual schedule
+     * switch at missKnownAt (state frozen between visited cycles).
+     */
+    Cycle sourceFlipCycle(const WindowEntry &p, Cycle from,
+                          unsigned d2e) const;
+
     /** Execute-stage action once operands are validated. */
     void performExec(WindowEntry &e, Cycle exec_start, ExecUnit &unit);
     void replay(WindowEntry &e, Cycle now);
@@ -204,6 +259,16 @@ class Core : public Clocked
 
     std::uint64_t rawIssued_ = 0;    ///< see rawIssued().
     std::uint64_t rawCommitted_ = 0; ///< see rawCommitted().
+    /**
+     * Instruction state transitions made by the current tick; bumped
+     * by every stage that moves an instruction. Host-side scheduling
+     * hint only (never serialized, never a stat): when the last tick
+     * transitioned anything, nextWorkCycle() reports "busy now"
+     * without the full window scan — a conservative answer that can
+     * only shrink a skip, never stretch one.
+     */
+    std::uint64_t activity_ = 0;
+    bool workedLastTick_ = true; ///< conservative until first tick.
     Cycle commitStallAt_ = kCycleNever; ///< see injectCommitStall().
     static constexpr unsigned kRecentCommits = 16;
     std::array<RecentCommit, kRecentCommits> recent_{};

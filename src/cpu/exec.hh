@@ -75,6 +75,17 @@ class ExecUnit
     Cycle busyUntil() const { return busyUntil_; }
     bool idle() const { return pending_.empty(); }
 
+    /**
+     * Execute-stage cycle of the oldest in-flight operation, or
+     * kCycleNever when the pipeline is empty (skip-ahead bound).
+     */
+    Cycle
+    nextExecStart() const
+    {
+        return pending_.empty() ? kCycleNever
+                                : pending_.front().execStart;
+    }
+
     /** Serialize mutable state (checkpoint/restore). */
     void saveState(ckpt::SnapshotWriter &w) const;
     void restoreState(ckpt::SnapshotReader &r);

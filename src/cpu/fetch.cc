@@ -58,6 +58,44 @@ FetchUnit::fetchBlockReason(Cycle cycle) const
     return obs::CommitSlot::FetchEmpty;
 }
 
+Cycle
+FetchUnit::nextWorkCycle(Cycle now) const
+{
+    Cycle cand = kCycleNever;
+
+    // Landing an in-flight group.
+    for (const Group &g : inflight_) {
+        const Cycle c = g.availableAt < now ? now : g.availableAt;
+        if (c < cand)
+            cand = c;
+    }
+
+    // Starting a new group. Queue room only changes when the core
+    // pops (a visited cycle), so a full buffer stays full for the
+    // whole window; a branch stall only lifts via redirect() from a
+    // core tick.
+    if (!stalledOnBranch_ && source_) {
+        TraceRecord dummy;
+        std::size_t buffered = queue_.size();
+        for (const Group &g : inflight_)
+            buffered += g.instrs.size();
+        if (buffered + params_.fetchBytes / 4 <=
+                params_.fetchQueueEntries &&
+            source_->peek(dummy)) {
+            const Cycle c = nextGroupStart_ < now ? now
+                                                  : nextGroupStart_;
+            if (c < cand)
+                cand = c;
+        }
+    }
+
+    // Stall-attribution boundary: fetchBlockReason() changes here.
+    if (missBlockedUntil_ > now && missBlockedUntil_ < cand)
+        cand = missBlockedUntil_;
+
+    return cand;
+}
+
 bool
 FetchUnit::exhausted() const
 {
@@ -76,6 +114,7 @@ FetchUnit::formGroup(Cycle cycle)
 
     const Addr line_base = alignDown(rec.pc, params_.fetchBytes);
     const unsigned max_instrs = params_.fetchBytes / 4;
+    group.instrs.reserve(max_instrs);
     Addr prev_pc = rec.pc - 4;
     bool ends_taken = false;
 
@@ -117,6 +156,7 @@ FetchUnit::formGroup(Cycle cycle)
     if (group.instrs.empty())
         return;
     ++groups_;
+    ++activity_;
 
     // L1I access for the block; the two non-access pipe stages
     // (priority + validate) are added on top of the cache time.
@@ -161,6 +201,7 @@ FetchUnit::tick(Cycle cycle)
         for (FetchedInstr &fi : inflight_.front().instrs)
             queue_.push_back(fi);
         inflight_.pop_front();
+        ++activity_;
     }
     // Once redirected fetch delivers, the squash is recovered from.
     if (branchRecovery_ && !queue_.empty())

@@ -73,6 +73,22 @@ class FetchUnit
      */
     obs::CommitSlot fetchBlockReason(Cycle cycle) const;
 
+    /**
+     * Earliest cycle >= @p now at which tick() could land a group,
+     * start a new one, or change fetchBlockReason() — the last
+     * matters because a flip of the stall attribution at
+     * missBlockedUntil_ must not be skipped across even though no
+     * machine state changes there (see Clocked::nextWorkCycle).
+     */
+    Cycle nextWorkCycle(Cycle now) const;
+
+    /**
+     * Monotone count of tick()-side state changes (groups formed or
+     * landed). Host-side scheduling hint for the core's
+     * worked-last-tick fast path, never serialized.
+     */
+    std::uint64_t activity() const { return activity_; }
+
     /** Serialize mutable state (checkpoint/restore). */
     void saveState(ckpt::SnapshotWriter &w) const;
     void restoreState(ckpt::SnapshotReader &r);
@@ -102,6 +118,7 @@ class FetchUnit
     /** Frontend memory stall window and its dominant cause. @{ */
     Cycle missBlockedUntil_ = 0;
     obs::CommitSlot missBlockReason_ = obs::CommitSlot::FetchEmpty;
+    std::uint64_t activity_ = 0; ///< see activity().
     /** @} */
 
     stats::Group statGroup_;

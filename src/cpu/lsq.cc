@@ -60,6 +60,7 @@ LoadStoreQueue::allocateLoad(std::uint64_t seq)
             loads_[i] = LsqEntry{};
             loads_[i].valid = true;
             loads_[i].seq = seq;
+            ++lqCount_;
             return static_cast<std::int32_t>(i);
         }
     }
@@ -75,6 +76,7 @@ LoadStoreQueue::allocateStore(std::uint64_t seq)
             stores_[i].valid = true;
             stores_[i].isStore = true;
             stores_[i].seq = seq;
+            ++sqCount_;
             return static_cast<std::int32_t>(i);
         }
     }
@@ -105,6 +107,8 @@ LoadStoreQueue::commitStore(std::int32_t slot)
 void
 LoadStoreQueue::freeLoad(std::int32_t slot)
 {
+    if (loads_[slot].valid)
+        --lqCount_;
     loads_[slot].valid = false;
 }
 
@@ -124,12 +128,8 @@ LoadStoreQueue::oldestStore() const
 void
 LoadStoreQueue::tick(Cycle cycle)
 {
-    lqOccupancy_.sample(static_cast<double>(
-        std::count_if(loads_.begin(), loads_.end(),
-                      [](const LsqEntry &e) { return e.valid; })));
-    sqOccupancy_.sample(static_cast<double>(
-        std::count_if(stores_.begin(), stores_.end(),
-                      [](const LsqEntry &e) { return e.valid; })));
+    lqOccupancy_.sample(static_cast<double>(lqCount_));
+    sqOccupancy_.sample(static_cast<double>(sqCount_));
 
     // Release completed stores in order (FIFO retirement of the SQ).
     for (;;) {
@@ -137,21 +137,19 @@ LoadStoreQueue::tick(Cycle cycle)
         if (head < 0)
             break;
         LsqEntry &e = stores_[head];
-        if (e.issued && e.completion <= cycle)
+        if (e.issued && e.completion <= cycle) {
             e.valid = false;
-        else
+            --sqCount_;
+            ++activity_;
+        } else {
             break;
+        }
     }
 
     // Collect issue candidates: committed store writes and loads with
     // generated addresses, oldest first.
-    struct Candidate
-    {
-        LsqEntry *entry;
-        std::int32_t slot;
-        bool isStore;
-    };
-    std::vector<Candidate> cands;
+    std::vector<Candidate> &cands = candScratch_;
+    cands.clear();
     for (std::size_t i = 0; i < stores_.size(); ++i) {
         LsqEntry &e = stores_[i];
         if (e.valid && e.committed && !e.issued)
@@ -179,6 +177,7 @@ LoadStoreQueue::tick(Cycle cycle)
         if (banks_used & (1u << bank)) {
             // Lower-priority request aborted; retried next cycle.
             ++bankConflicts_;
+            ++activity_;
             continue;
         }
 
@@ -203,6 +202,7 @@ LoadStoreQueue::tick(Cycle cycle)
                     e.issued = true;
                     e.completion = cycle + 1;
                     ++storeForwards_;
+                    ++activity_;
                     completedLoads_.push_back(
                         {e.seq, c.slot, e.completion, true,
                          kCycleNever});
@@ -210,6 +210,7 @@ LoadStoreQueue::tick(Cycle cycle)
                     ++ports_used;
                 } else {
                     ++forwardWaits_;
+                    ++activity_;
                     must_wait = true;
                 }
                 if (must_wait)
@@ -221,6 +222,7 @@ LoadStoreQueue::tick(Cycle cycle)
             e.issued = true;
             e.completion = res.ready;
             ++loadIssues_;
+            ++activity_;
             // On a miss, the cancel broadcast reaches the stations
             // when the (absent) data would have been delivered.
             const Cycle miss_known = res.l1Hit
@@ -237,55 +239,58 @@ LoadStoreQueue::tick(Cycle cycle)
             e.issued = true;
             e.completion = res.ready;
             ++storeIssues_;
+            ++activity_;
             banks_used |= 1u << bank;
             ++ports_used;
         }
     }
 }
 
-bool
-LoadStoreQueue::lqFull() const
+Cycle
+LoadStoreQueue::nextWorkCycle(Cycle now) const
 {
-    return std::all_of(loads_.begin(), loads_.end(),
-                       [](const LsqEntry &e) { return e.valid; });
+    // Pending completions must be drained by the core this tick.
+    if (!completedLoads_.empty())
+        return now;
+
+    Cycle cand = kCycleNever;
+
+    // Committed stores awaiting issue contend for ports every cycle.
+    for (const LsqEntry &e : stores_) {
+        if (e.valid && e.committed && !e.issued)
+            return now;
+    }
+
+    // FIFO release is gated by the oldest store's completion.
+    const std::int32_t head = oldestStore();
+    if (head >= 0 && stores_[head].issued) {
+        const Cycle c = stores_[head].completion;
+        if (c <= now)
+            return now;
+        if (c < cand)
+            cand = c;
+    }
+
+    // Loads with generated addresses become issue candidates at
+    // addrReady; once candidates they may burn forward-wait or
+    // bank-conflict stats every cycle, so they pin the clock.
+    for (const LsqEntry &e : loads_) {
+        if (!(e.valid && e.addrKnown && !e.issued))
+            continue;
+        if (e.addrReady <= now)
+            return now;
+        if (e.addrReady < cand)
+            cand = e.addrReady;
+    }
+
+    return cand;
 }
 
-bool
-LoadStoreQueue::sqFull() const
+void
+LoadStoreQueue::elide(std::uint64_t cycles)
 {
-    return std::all_of(stores_.begin(), stores_.end(),
-                       [](const LsqEntry &e) { return e.valid; });
-}
-
-bool
-LoadStoreQueue::sqEmpty() const
-{
-    return std::none_of(stores_.begin(), stores_.end(),
-                        [](const LsqEntry &e) { return e.valid; });
-}
-
-bool
-LoadStoreQueue::drained() const
-{
-    return sqEmpty() &&
-        std::none_of(loads_.begin(), loads_.end(),
-                     [](const LsqEntry &e) { return e.valid; });
-}
-
-std::size_t
-LoadStoreQueue::lqSize() const
-{
-    return static_cast<std::size_t>(
-        std::count_if(loads_.begin(), loads_.end(),
-                      [](const LsqEntry &e) { return e.valid; }));
-}
-
-std::size_t
-LoadStoreQueue::sqSize() const
-{
-    return static_cast<std::size_t>(
-        std::count_if(stores_.begin(), stores_.end(),
-                      [](const LsqEntry &e) { return e.valid; }));
+    lqOccupancy_.sample(static_cast<double>(lqCount_), cycles);
+    sqOccupancy_.sample(static_cast<double>(sqCount_), cycles);
 }
 
 
@@ -353,6 +358,12 @@ LoadStoreQueue::restoreState(ckpt::SnapshotReader &r)
 {
     restoreLsqEntries(r, loads_, "load-queue capacity differs");
     restoreLsqEntries(r, stores_, "store-queue capacity differs");
+    lqCount_ = static_cast<std::size_t>(
+        std::count_if(loads_.begin(), loads_.end(),
+                      [](const LsqEntry &e) { return e.valid; }));
+    sqCount_ = static_cast<std::size_t>(
+        std::count_if(stores_.begin(), stores_.end(),
+                      [](const LsqEntry &e) { return e.valid; }));
     completedLoads_.clear();
     const std::uint64_t n = r.getU64();
     for (std::uint64_t i = 0; i < n; ++i) {

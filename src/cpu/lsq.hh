@@ -84,22 +84,39 @@ class LoadStoreQueue
         return completedLoads_;
     }
 
-    bool lqFull() const;
-    bool sqFull() const;
-    bool sqEmpty() const;
-    bool drained() const;
+    bool lqFull() const { return lqCount_ >= loads_.size(); }
+    bool sqFull() const { return sqCount_ >= stores_.size(); }
+    bool sqEmpty() const { return sqCount_ == 0; }
+    bool drained() const { return lqCount_ == 0 && sqCount_ == 0; }
 
     /** Occupancy snapshot (invariant auditor / crash report). @{ */
-    std::size_t lqSize() const;
-    std::size_t sqSize() const;
+    std::size_t lqSize() const { return lqCount_; }
+    std::size_t sqSize() const { return sqCount_; }
     std::size_t lqCapacity() const { return loads_.size(); }
     std::size_t sqCapacity() const { return stores_.size(); }
     /** @} */
 
     /** Issue-stall accounting hooks. @{ */
-    void noteLqFullStall() { ++lqFullStalls_; }
-    void noteSqFullStall() { ++sqFullStalls_; }
+    void noteLqFullStall(std::uint64_t n = 1) { lqFullStalls_ += n; }
+    void noteSqFullStall(std::uint64_t n = 1) { sqFullStalls_ += n; }
     /** @} */
+
+    /**
+     * Earliest cycle >= @p now at which tick() could change state or
+     * mutate a stat beyond the per-cycle occupancy samples (see
+     * Clocked::nextWorkCycle; the owning core aggregates this).
+     */
+    Cycle nextWorkCycle(Cycle now) const;
+
+    /**
+     * Monotone count of tick()-side state/stat mutations (releases,
+     * issues, conflicts, waits). Host-side scheduling hint for the
+     * core's worked-last-tick fast path, never serialized.
+     */
+    std::uint64_t activity() const { return activity_; }
+
+    /** Replay the occupancy samples of @p cycles elided idle ticks. */
+    void elide(std::uint64_t cycles);
 
     std::uint64_t bankConflicts() const
     {
@@ -120,13 +137,34 @@ class LoadStoreQueue
     /** Oldest valid store, or -1. */
     std::int32_t oldestStore() const;
 
+    /** An issue candidate collected by tick()'s arbitration pass. */
+    struct Candidate
+    {
+        LsqEntry *entry;
+        std::int32_t slot;
+        bool isStore;
+    };
+
     const CoreParams params_;
     CpuId cpu_;
     MemSystem &mem_;
 
+    /**
+     * tick()'s candidate scratch, hoisted out of the per-cycle path:
+     * a local vector re-allocates on every cycle that has at least
+     * one issue candidate, which is most busy cycles.
+     */
+    std::vector<Candidate> candScratch_;
+
+    std::uint64_t activity_ = 0; ///< see activity().
+
     std::vector<LsqEntry> loads_;
     std::vector<LsqEntry> stores_;
     std::vector<LoadCompletion> completedLoads_;
+    /** Valid-entry counts, maintained flat so the hot-loop occupancy
+     *  checks stop rescanning the queues. */
+    std::size_t lqCount_ = 0;
+    std::size_t sqCount_ = 0;
 
     stats::Group statGroup_;
     stats::Distribution &lqOccupancy_;

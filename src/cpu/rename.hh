@@ -35,8 +35,8 @@ class RenameUnit
     unsigned intInUse() const { return intUsed_; }
     unsigned fpInUse() const { return fpUsed_; }
 
-    /** Count an issue stall caused by pool exhaustion. */
-    void noteStall() { ++renameStalls_; }
+    /** Count issue stalls caused by pool exhaustion. */
+    void noteStall(std::uint64_t n = 1) { renameStalls_ += n; }
 
     /** Serialize mutable state (checkpoint/restore). */
     void saveState(ckpt::SnapshotWriter &w) const;

@@ -48,21 +48,6 @@ ReservationStation::remove(std::uint64_t seq)
     seqs_.erase(it);
 }
 
-void
-ReservationStation::select(
-    const std::function<bool(std::uint64_t)> &dispatchable,
-    std::vector<std::uint64_t> &out)
-{
-    unsigned picked = 0;
-    for (std::uint64_t seq : seqs_) {
-        if (picked >= dispatchWidth_)
-            break;
-        if (dispatchable(seq)) {
-            out.push_back(seq);
-            ++picked;
-        }
-    }
-}
 
 
 void

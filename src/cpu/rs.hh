@@ -10,7 +10,6 @@
 #define S64V_CPU_RS_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -56,11 +55,27 @@ class ReservationStation
      * @p dispatchable returns true. Selected entries stay in the
      * station (they are removed only on confirmation).
      *
+     * Templated on the predicate so the per-entry call inlines: the
+     * dispatch stage runs this on every station every cycle, and a
+     * std::function indirection here is measurable on the profile.
+     *
      * @param dispatchable predicate: can this seq dispatch now?
      * @param out selected sequence numbers, oldest first.
      */
-    void select(const std::function<bool(std::uint64_t)> &dispatchable,
-                std::vector<std::uint64_t> &out);
+    template <typename Pred>
+    void select(const Pred &dispatchable,
+                std::vector<std::uint64_t> &out) const
+    {
+        unsigned picked = 0;
+        for (std::uint64_t seq : seqs_) {
+            if (picked >= dispatchWidth_)
+                break;
+            if (dispatchable(seq)) {
+                out.push_back(seq);
+                ++picked;
+            }
+        }
+    }
 
     std::uint64_t dispatches() const { return dispatches_.value(); }
 
@@ -70,9 +85,14 @@ class ReservationStation
     /**
      * Record the current occupancy into the occupancy distribution;
      * the core calls this once per cycle (the Figure 18 study reads
-     * station pressure off these numbers).
+     * station pressure off these numbers). @p n > 1 replays the
+     * sample for a run of elided idle cycles in one bulk update.
      */
-    void sampleOccupancy() { occupancy_.sample(double(seqs_.size())); }
+    void
+    sampleOccupancy(std::uint64_t n = 1)
+    {
+        occupancy_.sample(double(seqs_.size()), n);
+    }
 
     /** Occupancy distribution accessor for tests and reports. */
     const stats::Distribution &occupancyDist() const
@@ -96,8 +116,8 @@ class ReservationStation
     stats::Distribution &occupancy_;
 
   public:
-    /** Count an issue stall caused by this station being full. */
-    void noteFullStall() { ++fullStalls_; }
+    /** Count issue stalls caused by this station being full. */
+    void noteFullStall(std::uint64_t n = 1) { fullStalls_ += n; }
 };
 
 } // namespace s64v

@@ -20,6 +20,7 @@ struct Aggregate
     std::mutex mutex;
     ProfileTotals totals;
     std::uint64_t sampledCycles = 0;
+    std::uint64_t elidedCycles = 0;
     std::uint64_t runs = 0;
     std::uint64_t period = kDefaultSelfProfilePeriod;
 };
@@ -65,6 +66,7 @@ mergeSelfProfile(const SelfProfiler &profiler)
         dst.ns += t.ns;
     }
     agg.sampledCycles += profiler.sampledCycles();
+    agg.elidedCycles += profiler.elidedCycles();
     agg.period = profiler.period();
     ++agg.runs;
 }
@@ -86,6 +88,14 @@ selfProfileSampledCycles()
 }
 
 std::uint64_t
+selfProfileElidedCycles()
+{
+    Aggregate &agg = aggregate();
+    std::lock_guard<std::mutex> lock(agg.mutex);
+    return agg.elidedCycles;
+}
+
+std::uint64_t
 selfProfileRuns()
 {
     Aggregate &agg = aggregate();
@@ -100,6 +110,7 @@ resetSelfProfile()
     std::lock_guard<std::mutex> lock(agg.mutex);
     agg.totals.clear();
     agg.sampledCycles = 0;
+    agg.elidedCycles = 0;
     agg.runs = 0;
 }
 
@@ -126,6 +137,10 @@ renderSelfProfileJson()
     w.field("sample_period", agg.period);
     w.field("runs", agg.runs);
     w.field("sampled_cycles", agg.sampledCycles);
+    // Cycles the skip-ahead kernel never ticked at all; zero host
+    // time was spent there, so they appear as their own class rather
+    // than inflating any per-tick estimate.
+    w.field("elided_cycles", agg.elidedCycles);
     w.field("sampled_seconds", sampled_seconds);
     w.field("est_total_seconds", est_total_seconds);
     w.field("instructions", instrs);
@@ -141,6 +156,15 @@ renderSelfProfileJson()
                 ? static_cast<double>(t.ns) /
                   static_cast<double>(total_ns)
                 : 0.0);
+        w.end();
+    }
+    if (agg.elidedCycles != 0) {
+        // Synthetic class: skipped cycles cost no wall time by
+        // definition, so samples counts the cycles themselves.
+        w.beginObject("elided");
+        w.field("samples", agg.elidedCycles);
+        w.field("seconds", 0.0);
+        w.field("share", 0.0);
         w.end();
     }
     w.end();

@@ -58,14 +58,21 @@ class SelfProfiler : public TickProfiler
     void recordTick(const Clocked &component,
                     std::uint64_t ns) override;
     void recordProbes(std::uint64_t ns) override;
+    void recordElided(std::uint64_t cycles) override
+    {
+        elidedCycles_ += cycles;
+    }
 
     std::uint64_t period() const { return period_; }
     std::uint64_t sampledCycles() const { return sampledCycles_; }
+    /** Cycles the skip-ahead kernel jumped over instead of ticking. */
+    std::uint64_t elidedCycles() const { return elidedCycles_; }
     const ProfileTotals &totals() const { return totals_; }
 
   private:
     std::uint64_t period_;
     std::uint64_t sampledCycles_ = 0;
+    std::uint64_t elidedCycles_ = 0;
     ProfileTotals totals_;
 };
 
@@ -76,6 +83,7 @@ class SelfProfiler : public TickProfiler
 void mergeSelfProfile(const SelfProfiler &profiler);
 ProfileTotals selfProfileTotals();
 std::uint64_t selfProfileSampledCycles();
+std::uint64_t selfProfileElidedCycles();
 std::uint64_t selfProfileRuns();
 void resetSelfProfile();
 /** @} */

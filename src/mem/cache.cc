@@ -356,6 +356,16 @@ TimedCache::earliestPendingFill(Cycle cycle)
 }
 
 Cycle
+TimedCache::nextPendingFill(Cycle now) const
+{
+    Cycle earliest = kCycleNever;
+    for (const auto &[line, ready] : inflight_)
+        if (ready > now && ready < earliest)
+            earliest = ready;
+    return earliest;
+}
+
+Cycle
 TimedCache::mshrAvailable(Cycle cycle)
 {
     expireMshrs(cycle);

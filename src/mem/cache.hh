@@ -172,6 +172,14 @@ class TimedCache
     Cycle earliestPendingFill(Cycle cycle);
 
     /**
+     * Side-effect-free variant of earliestPendingFill() for the
+     * skip-ahead kernel's memory bound: min fill completion > @p now,
+     * without expiring MSHRs (the skip decision must not mutate
+     * state).
+     */
+    Cycle nextPendingFill(Cycle now) const;
+
+    /**
      * Misses recorded by lookup() whose fill() never arrived. The
      * hierarchy services every miss synchronously, so any nonzero
      * value at drain is a leak.

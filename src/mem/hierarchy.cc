@@ -280,6 +280,24 @@ MemSystem::data(CpuId cpu, Addr addr, bool is_write, Cycle cycle)
     return out;
 }
 
+Cycle
+MemSystem::earliestPendingCompletion(Cycle now) const
+{
+    Cycle earliest = kCycleNever;
+    const auto consider = [&earliest](Cycle c) {
+        if (c < earliest)
+            earliest = c;
+    };
+    for (const auto &pc : cpus_) {
+        consider(pc->l1i->nextPendingFill(now));
+        consider(pc->l1d->nextPendingFill(now));
+        consider(pc->l2->nextPendingFill(now));
+    }
+    consider(bus_->nextRelease(now));
+    consider(memCtrl_->nextRelease(now));
+    return earliest;
+}
+
 double
 MemSystem::l2DemandMissRatio() const
 {

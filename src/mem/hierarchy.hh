@@ -87,6 +87,15 @@ class MemSystem
     CoherenceController &coherence() { return *coherence_; }
     /** @} */
 
+    /**
+     * Earliest future cycle (> @p now) any in-flight fill lands or a
+     * shared resource (bus phase, memory channel) frees up, over all
+     * CPUs — or kCycleNever when the whole hierarchy is quiescent.
+     * The memory system is lazily timed (never ticked), so this is
+     * purely a skip bound for the kernel: it must not mutate state.
+     */
+    Cycle earliestPendingCompletion(Cycle now) const;
+
     /** Aggregate L2 demand-miss ratio over all CPUs (Figure 15/17). */
     double l2DemandMissRatio() const;
     /** Aggregate L2 miss ratio including prefetches (Figure 17). */

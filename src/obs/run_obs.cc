@@ -107,6 +107,10 @@ parseObsArgs(int argc, const char *const *argv)
             opts.seed = std::strtoull(v, nullptr, 0);
         else if (arg == "--shuffle" || arg == "shuffle")
             opts.shuffle = true;
+        else if (arg == "--no-skip-ahead" || arg == "no-skip-ahead")
+            opts.skipAhead = 0;
+        else if (const char *v = matchFlag(arg, "skip-ahead"))
+            opts.skipAhead = std::strtol(v, nullptr, 0) != 0 ? 1 : 0;
         else if (arg == "--watchdog-escalate" ||
                  arg == "watchdog-escalate")
             opts.watchdogEscalate = true;

@@ -47,6 +47,14 @@ struct ObsOptions
      * hardware thread). Read-only while any sweep is running.
      */
     unsigned threads = 0;
+    /**
+     * Skip-ahead scheduling override: -1 = leave the configured
+     * default (on), 0 = force the plain per-cycle loop
+     * (--no-skip-ahead), 1 = force skip-ahead on (skip-ahead=1).
+     * Never part of a config fingerprint — both modes produce
+     * bit-identical stats by contract.
+     */
+    int skipAhead = -1;
     /** Time the simulator itself (see exp/self_profile.hh). */
     bool selfProfile = false;
     /** Self-profiler sampling period in cycles (0 = default). */
@@ -118,7 +126,8 @@ std::uint64_t effectiveWorkloadSeed(std::uint64_t profile_seed);
  * "journal=<path>", "--resume" / "resume=<journal>",
  * "max-attempts=<n>", "retry-budget-ms=<ms>", and
  * "--watchdog-escalate"; the randomness flags "seed=<n>" and
- * "--shuffle"; everything else is left for the caller.
+ * "--shuffle"; the scheduling flags "--no-skip-ahead" and
+ * "skip-ahead=<0|1>"; everything else is left for the caller.
  */
 void parseObsArgs(int argc, const char *const *argv);
 

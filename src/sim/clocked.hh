@@ -41,6 +41,32 @@ class Clocked
     virtual bool done() const { return false; }
 
     /**
+     * Earliest cycle >= @p now at which ticking this component could
+     * change machine state or produce a stat mutation that differs
+     * from an idle repeat of cycle @p now. The skip-ahead kernel
+     * advances directly to the minimum over all components (bounded
+     * by probes); every cycle in between is elided and replayed in
+     * bulk through elide(). kCycleNever means fully quiescent until
+     * an external event. The default — always busy — keeps any
+     * component that has not opted in bit-exact under skip-ahead.
+     */
+    virtual Cycle nextWorkCycle(Cycle now) const { return now; }
+
+    /**
+     * Account for @p cycles idle cycles [@p from, @p from + cycles)
+     * the kernel skipped. The component must reproduce exactly the
+     * stat mutations that @p cycles consecutive idle ticks starting
+     * at @p from would have made — machine state itself must not
+     * change (nextWorkCycle() guaranteed no state transition could
+     * occur in the window).
+     */
+    virtual void elide(Cycle from, std::uint64_t cycles)
+    {
+        (void)from;
+        (void)cycles;
+    }
+
+    /**
      * Component class the self-profiler aggregates tick time under
      * ("core", "dma", ...). Instances of one class share a bucket.
      */
@@ -68,6 +94,12 @@ class TickProfiler
 
     /** The whole probe pass on a sampled cycle took @p ns. */
     virtual void recordProbes(std::uint64_t ns) = 0;
+
+    /**
+     * The skip-ahead kernel elided @p cycles idle cycles. Default
+     * no-op so profilers that predate skip-ahead keep compiling.
+     */
+    virtual void recordElided(std::uint64_t cycles) { (void)cycles; }
 };
 
 /**
@@ -102,9 +134,49 @@ class CycleKernel
     /**
      * Register a probe firing at cycle @p first and every @p period
      * cycles after that. A disabled observer is simply never
-     * registered — the loop pays nothing for it.
+     * registered — the loop pays nothing for it. Periodic probes
+     * bound the skip: the kernel never skips across a registered
+     * firing cycle.
      */
     void attachProbe(Cycle first, std::uint64_t period, ProbeFn fn);
+
+    /**
+     * Register a probe invoked at every *visited* cycle (after the
+     * components tick), interleaved with periodic probes in
+     * registration order; return false to detach. Unlike a period-1
+     * periodic probe, a polled probe does not force the kernel to
+     * visit every cycle: it runs whenever the kernel does work.
+     *
+     * @p horizon optionally bounds the skip — it returns the latest
+     * cycle the kernel may advance to without consulting the probe
+     * (e.g. the watchdog's deadline). Pass nullptr when the probe's
+     * decision can only change at cycles the kernel visits anyway
+     * (e.g. warm-up: commits only happen at visited cycles).
+     */
+    void attachPolledProbe(ProbeFn fn,
+                           std::function<Cycle()> horizon = nullptr);
+
+    /**
+     * Register an external skip bound: a function of the prospective
+     * skip start returning the earliest cycle an event outside the
+     * Clocked components completes (kCycleNever for none). Used for
+     * lazily-timed shared state (memory hierarchy) whose completions
+     * classify stalls even though nothing ticks it.
+     */
+    void attachSkipBound(std::function<Cycle(Cycle)> bound);
+
+    /**
+     * Enable skip-ahead scheduling: advance directly to
+     * min(component next work, next probe, horizons, skip bounds,
+     * cycle cap), replaying the elided cycles' stat effects in bulk
+     * via Clocked::elide(). Off by default — the plain per-cycle
+     * loop is the reference semantics.
+     */
+    void setSkipAhead(bool on) { skipAhead_ = on; }
+    bool skipAhead() const { return skipAhead_; }
+
+    /** Total cycles elided by skip-ahead in the last/current run(). */
+    std::uint64_t elidedCycles() const { return elidedCycles_; }
 
     /** Why run() returned. */
     enum class Stop
@@ -146,13 +218,26 @@ class CycleKernel
         Cycle next;
         std::uint64_t period;
         ProbeFn fn;
+        bool polled = false;
+        /** Skip bound for polled probes (may be null). */
+        std::function<Cycle()> horizon;
     };
+
+    /**
+     * Earliest cycle in [@p next, @p max_cycles] the kernel must
+     * visit: min over component work, probe firings, polled-probe
+     * horizons, and external skip bounds.
+     */
+    Cycle skipTarget(Cycle next, std::uint64_t max_cycles) const;
 
     std::vector<Clocked *> clocked_;
     std::vector<ProbeEntry> probes_;
+    std::vector<std::function<Cycle(Cycle)>> bounds_;
     TickProfiler *profiler_ = nullptr;
     Cycle currentCycle_ = 0;
+    std::uint64_t elidedCycles_ = 0;
     bool stopRequested_ = false;
+    bool skipAhead_ = false;
 };
 
 } // namespace s64v

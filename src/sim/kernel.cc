@@ -37,13 +37,81 @@ CycleKernel::attachProbe(Cycle first, std::uint64_t period, ProbeFn fn)
         panic("CycleKernel probe needs a nonzero period");
     if (!fn)
         panic("CycleKernel probe needs a callback");
-    probes_.push_back(ProbeEntry{first, period, std::move(fn)});
+    probes_.push_back(
+        ProbeEntry{first, period, std::move(fn), false, nullptr});
+}
+
+void
+CycleKernel::attachPolledProbe(ProbeFn fn,
+                               std::function<Cycle()> horizon)
+{
+    if (!fn)
+        panic("CycleKernel polled probe needs a callback");
+    probes_.push_back(ProbeEntry{0, 1, std::move(fn), true,
+                                 std::move(horizon)});
+}
+
+void
+CycleKernel::attachSkipBound(std::function<Cycle(Cycle)> bound)
+{
+    if (!bound)
+        panic("CycleKernel skip bound needs a callback");
+    bounds_.push_back(std::move(bound));
+}
+
+Cycle
+CycleKernel::skipTarget(Cycle next, std::uint64_t max_cycles) const
+{
+    Cycle target = max_cycles;
+    bool any_alive = false;
+    for (const Clocked *c : clocked_) {
+        if (c->done())
+            continue;
+        any_alive = true;
+        if (target <= next)
+            return next;
+        Cycle w = c->nextWorkCycle(next);
+        if (w < next)
+            w = next;
+        if (w < target)
+            target = w;
+    }
+    // Every component drained: the very next cycle ends the run as
+    // Drained, exactly where the per-cycle loop would end it.
+    if (!any_alive)
+        return next;
+    for (const ProbeEntry &p : probes_) {
+        if (target <= next)
+            return next;
+        Cycle h = kCycleNever;
+        if (p.polled) {
+            if (p.fn && p.horizon)
+                h = p.horizon();
+        } else if (p.next != kCycleNever) {
+            h = p.next;
+        }
+        if (h < next)
+            h = next;
+        if (h < target)
+            target = h;
+    }
+    for (const auto &bound : bounds_) {
+        if (target <= next)
+            return next;
+        Cycle h = bound(next);
+        if (h < next)
+            h = next;
+        if (h < target)
+            target = h;
+    }
+    return target;
 }
 
 CycleKernel::Outcome
 CycleKernel::run(std::uint64_t max_cycles, Cycle start_cycle)
 {
     stopRequested_ = false;
+    elidedCycles_ = 0;
     Cycle cycle = start_cycle;
     for (;;) {
         currentCycle_ = cycle;
@@ -60,7 +128,10 @@ CycleKernel::run(std::uint64_t max_cycles, Cycle start_cycle)
             }
             const std::uint64_t p0 = nowNs();
             for (ProbeEntry &p : probes_) {
-                if (cycle == p.next) {
+                if (p.polled) {
+                    if (p.fn && !p.fn(cycle))
+                        p.fn = nullptr;
+                } else if (cycle == p.next) {
                     p.next = p.fn(cycle) ? p.next + p.period
                                          : kCycleNever;
                 }
@@ -74,7 +145,10 @@ CycleKernel::run(std::uint64_t max_cycles, Cycle start_cycle)
                 }
             }
             for (ProbeEntry &p : probes_) {
-                if (cycle == p.next) {
+                if (p.polled) {
+                    if (p.fn && !p.fn(cycle))
+                        p.fn = nullptr;
+                } else if (cycle == p.next) {
                     p.next = p.fn(cycle) ? p.next + p.period
                                          : kCycleNever;
                 }
@@ -86,11 +160,26 @@ CycleKernel::run(std::uint64_t max_cycles, Cycle start_cycle)
             return {Stop::Requested, cycle};
         if (check::stopRequested())
             return {Stop::Interrupted, cycle};
-        ++cycle;
-        if (cycle >= max_cycles) {
-            currentCycle_ = cycle;
-            return {Stop::CycleCap, cycle};
+        Cycle next = cycle + 1;
+        if (skipAhead_ && next < max_cycles) {
+            const Cycle target = skipTarget(next, max_cycles);
+            if (target > next) {
+                const std::uint64_t n = target - next;
+                for (Clocked *c : clocked_) {
+                    if (!c->done())
+                        c->elide(next, n);
+                }
+                elidedCycles_ += n;
+                if (profiler_)
+                    profiler_->recordElided(n);
+                next = target;
+            }
         }
+        if (next >= max_cycles) {
+            currentCycle_ = next;
+            return {Stop::CycleCap, next};
+        }
+        cycle = next;
     }
 }
 

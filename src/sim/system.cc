@@ -123,12 +123,24 @@ System::run()
     // the warm-up reset; the sampler reads deltas after it).
     kernel_ = std::make_unique<CycleKernel>();
     hitCycleCap_ = false;
+    kernel_->setSkipAhead(params_.skipAhead);
+    // The lazily-timed memory system is never ticked, but in-flight
+    // fills and busy shared resources still bound how far the kernel
+    // may skip (their completion cycles are where stall
+    // classifications and watchdog deferrals can change).
+    kernel_->attachSkipBound([this](Cycle now) {
+        return mem_->earliestPendingCompletion(now);
+    });
     if (profiler_)
         kernel_->attachProfiler(profiler_);
     for (auto &core : cores_)
         kernel_->attach(core.get());
     if (watchdog) {
-        kernel_->attachProbe(start, 1, [&](Cycle cycle) {
+        // Polled, not periodic: a period-1 probe would pin the
+        // skip-ahead target to the very next cycle. The horizon keeps
+        // the would-be firing cycle visited, so the watchdog fires on
+        // exactly the cycle the per-cycle loop would fire on.
+        kernel_->attachPolledProbe([&](Cycle cycle) {
             if (watchdog->tick(cycle, totalRawCommitted())) {
                 if (params_.watchdogEscalate &&
                     !params_.emergencyCheckpointPath.empty()) {
@@ -150,7 +162,7 @@ System::run()
                 panic("%s", watchdog->diagnosis().c_str());
             }
             return true;
-        });
+        }, [&wd = *watchdog]() { return wd.deadline(); });
     }
     if (params_.checkLevel == check::CheckLevel::PerCycle) {
         kernel_->attachProbe(start, 1, [&](Cycle cycle) {
@@ -159,7 +171,10 @@ System::run()
         });
     }
     if (!warm_done) {
-        kernel_->attachProbe(start, 1, [&](Cycle cycle) {
+        // Polled with no horizon: the warm-up decision depends only
+        // on committed counts, which change exclusively at visited
+        // cycles, so the probe need not bound the skip.
+        kernel_->attachPolledProbe([&](Cycle cycle) {
             for (auto &core : cores_) {
                 if (core->committed() < params_.warmupInstrs)
                     return true; // not warm yet; probe again.
@@ -224,6 +239,7 @@ System::run()
         kernel_->run(params_.maxCycles, start);
     const Cycle cycle = out.cycle;
     currentCycle_ = cycle;
+    res.elidedCycles = kernel_->elidedCycles();
     kernel_.reset();
 
     switch (out.stop) {

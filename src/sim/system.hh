@@ -71,6 +71,15 @@ struct SystemParams
      * See check::Watchdog.
      */
     std::uint64_t watchdogCycles = check::kDefaultWatchdogCycles;
+    /**
+     * Skip-ahead scheduling: when every core is quiescent, the cycle
+     * kernel jumps straight to the next cycle any component or probe
+     * can act, bulk-attributing the elided cycles to the stats the
+     * per-cycle loop would have produced. Bit-identical to plain
+     * ticking by contract (chaos invariant "skipahead-identity");
+     * --no-skip-ahead selects the plain loop.
+     */
+    bool skipAhead = true;
     /** Self-check depth; see check::InvariantAuditor. */
     check::CheckLevel checkLevel = check::CheckLevel::EndOfRun;
     /** Mid-run snapshot trigger (see CheckpointParams). */
@@ -112,6 +121,13 @@ struct SimResult
     /** Run ended at a --checkpoint-stop point (not an error). */
     bool stoppedAtCheckpoint = false;
     Cycle warmupEndCycle = 0;
+    /**
+     * Cycles the kernel skipped over rather than ticked (0 on the
+     * plain path). Host-side diagnostics only — deliberately never
+     * exported into the stats JSON, which must stay bit-identical
+     * between the two scheduling modes.
+     */
+    std::uint64_t elidedCycles = 0;
     std::vector<CoreResult> cores;
 };
 

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Skip-ahead kernel tests (sim/clocked.hh, SystemParams::skipAhead):
+ * the event-horizon scheduler must be an invisible optimization. At
+ * the kernel level: probes fire at exactly their registered cycles,
+ * a probe registered at the cycle cap fires in neither mode, polled
+ * probes' horizons bound the jump, and a machine that drains inside
+ * a skipped window still exits Drained at the reference cycle. At
+ * the system level: SimResult, statsDump() and the exported stats
+ * JSON must be bit-identical between the plain per-cycle loop and
+ * skip-ahead — SPECint and TPC-C, uniprocessor and 4P — and a
+ * checkpoint cut at a cycle the uninterrupted run elided must
+ * restore into the same bits.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.hh"
+#include "model/params.hh"
+#include "obs/stats_export.hh"
+#include "sim/clocked.hh"
+#include "sim/system.hh"
+#include "workload/generator.hh"
+#include "workload/workloads.hh"
+
+namespace s64v
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+// --- Kernel-level: probe alignment under skip-ahead ---------------
+
+/**
+ * Does work only at multiples of @p stride (quiescent in between —
+ * ticks on other cycles are no-ops, honoring the nextWorkCycle()
+ * contract), drains once it has worked at or past @p done_at.
+ */
+class StridedComponent : public Clocked
+{
+  public:
+    StridedComponent(Cycle stride, Cycle done_at)
+        : stride_(stride), doneAt_(done_at)
+    {
+    }
+
+    void tick(Cycle cycle) override
+    {
+        if (cycle % stride_ == 0)
+            work.push_back(cycle);
+    }
+    bool done() const override
+    {
+        return !work.empty() && work.back() >= doneAt_;
+    }
+    Cycle nextWorkCycle(Cycle now) const override
+    {
+        return (now + stride_ - 1) / stride_ * stride_;
+    }
+    void elide(Cycle from, std::uint64_t cycles) override
+    {
+        (void)from;
+        elided += cycles;
+    }
+
+    std::vector<Cycle> work;
+    std::uint64_t elided = 0;
+
+  private:
+    Cycle stride_;
+    Cycle doneAt_;
+};
+
+/** Never drains, never has work: only probes make the kernel move. */
+class QuiescentComponent : public Clocked
+{
+  public:
+    void tick(Cycle cycle) override { (void)cycle; }
+    Cycle nextWorkCycle(Cycle) const override { return kCycleNever; }
+};
+
+TEST(SkipAheadKernel, ProbesFireAtExactRegisteredCycles)
+{
+    // The component works every 97 cycles; the probe's 50-cycle grid
+    // is mostly misaligned with that, so every firing below proves
+    // the kernel landed on the registered cycle, not a work cycle.
+    std::vector<Cycle> plain_fired, skip_fired;
+    for (bool skip : {false, true}) {
+        CycleKernel kernel;
+        kernel.setSkipAhead(skip);
+        StridedComponent comp(97, 1000);
+        kernel.attach(&comp);
+        std::vector<Cycle> &fired = skip ? skip_fired : plain_fired;
+        kernel.attachProbe(13, 50, [&](Cycle c) {
+            fired.push_back(c);
+            return true;
+        });
+        const CycleKernel::Outcome out = kernel.run(100000);
+        EXPECT_EQ(out.stop, CycleKernel::Stop::Drained);
+        EXPECT_EQ(kernel.elidedCycles() > 0, skip);
+    }
+    ASSERT_FALSE(plain_fired.empty());
+    EXPECT_EQ(plain_fired.front(), 13u);
+    EXPECT_EQ(plain_fired[1] - plain_fired[0], 50u);
+    EXPECT_EQ(skip_fired, plain_fired);
+}
+
+TEST(SkipAheadKernel, ProbeAtTheCycleCapFiresInNeitherMode)
+{
+    constexpr std::uint64_t kCap = 500;
+    for (bool skip : {false, true}) {
+        SCOPED_TRACE(skip ? "skip" : "plain");
+        CycleKernel kernel;
+        kernel.setSkipAhead(skip);
+        StridedComponent comp(97, kCycleNever);
+        kernel.attach(&comp);
+        std::vector<Cycle> at_cap, before_cap;
+        kernel.attachProbe(kCap, 1000, [&](Cycle c) {
+            at_cap.push_back(c);
+            return true;
+        });
+        kernel.attachProbe(kCap - 1, 1000, [&](Cycle c) {
+            before_cap.push_back(c);
+            return true;
+        });
+        const CycleKernel::Outcome out = kernel.run(kCap);
+        EXPECT_EQ(out.stop, CycleKernel::Stop::CycleCap);
+        EXPECT_EQ(out.cycle, kCap);
+        // The loop never visits the cap cycle, in either mode; the
+        // cycle before it is a regular visited cycle.
+        EXPECT_TRUE(at_cap.empty());
+        EXPECT_EQ(before_cap, (std::vector<Cycle>{kCap - 1}));
+    }
+}
+
+TEST(SkipAheadKernel, PolledProbeHorizonBoundsTheJump)
+{
+    // A watchdog-shaped polled probe: its horizon is always 100
+    // cycles past the last visit. The kernel may never jump beyond
+    // it, so with a fully quiescent machine the visited cycles are
+    // exactly the 100-cycle grid.
+    CycleKernel kernel;
+    kernel.setSkipAhead(true);
+    QuiescentComponent comp;
+    kernel.attach(&comp);
+    std::vector<Cycle> seen;
+    kernel.attachPolledProbe(
+        [&](Cycle c) {
+            seen.push_back(c);
+            return true;
+        },
+        [&]() { return (seen.empty() ? 0 : seen.back()) + 100; });
+    const CycleKernel::Outcome out = kernel.run(450);
+    EXPECT_EQ(out.stop, CycleKernel::Stop::CycleCap);
+    EXPECT_EQ(seen, (std::vector<Cycle>{0, 100, 200, 300, 400}));
+    EXPECT_EQ(kernel.elidedCycles(), 450u - seen.size());
+}
+
+TEST(SkipAheadKernel, DrainInsideASkippedWindowExitsAtTheSameCycle)
+{
+    // The component's last work cycle is 200; with a 50-cycle stride
+    // the skip path would otherwise jump from 201 toward the cap.
+    // Both modes must report Drained at cycle 201.
+    for (bool skip : {false, true}) {
+        SCOPED_TRACE(skip ? "skip" : "plain");
+        CycleKernel kernel;
+        kernel.setSkipAhead(skip);
+        StridedComponent comp(50, 200);
+        kernel.attach(&comp);
+        const CycleKernel::Outcome out = kernel.run(100000);
+        EXPECT_EQ(out.stop, CycleKernel::Stop::Drained);
+        EXPECT_EQ(out.cycle, 201u);
+        EXPECT_EQ(kernel.elidedCycles() > 0, skip);
+    }
+}
+
+// --- System-level: bit-identity of the full model -----------------
+
+std::vector<InstrTrace>
+makeTraces(const WorkloadProfile &profile, unsigned num_cpus,
+           std::size_t instrs)
+{
+    TraceGenerator gen(profile, num_cpus);
+    std::vector<InstrTrace> traces;
+    for (unsigned cpu = 0; cpu < num_cpus; ++cpu)
+        traces.push_back(gen.generate(instrs, cpu));
+    return traces;
+}
+
+void
+attachAll(System &sys, const std::vector<InstrTrace> &traces)
+{
+    for (CpuId cpu = 0; cpu < traces.size(); ++cpu)
+        sys.attachTrace(cpu, traces[cpu]);
+}
+
+struct RunOutcome
+{
+    SimResult res;
+    std::string stats;
+    std::string json;
+};
+
+RunOutcome
+runMode(SystemParams sp, const std::vector<InstrTrace> &traces,
+        bool skip)
+{
+    sp.skipAhead = skip;
+    System sys(sp);
+    attachAll(sys, traces);
+    RunOutcome out;
+    out.res = sys.run();
+    out.stats = sys.statsDump();
+    out.json = obs::exportStatsJson(sys.root(), &out.res);
+    return out;
+}
+
+void
+expectSameSim(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.measured, b.measured);
+    EXPECT_EQ(a.ipc, b.ipc); // bit-identical, not approximately.
+    EXPECT_EQ(a.warmupEndCycle, b.warmupEndCycle);
+    EXPECT_EQ(a.hitCycleCap, b.hitCycleCap);
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (std::size_t c = 0; c < a.cores.size(); ++c) {
+        EXPECT_EQ(a.cores[c].committed, b.cores[c].committed);
+        EXPECT_EQ(a.cores[c].measured, b.cores[c].measured);
+        EXPECT_EQ(a.cores[c].lastCommitCycle,
+                  b.cores[c].lastCommitCycle);
+        EXPECT_EQ(a.cores[c].ipc, b.cores[c].ipc);
+    }
+}
+
+void
+expectBitIdenticalModes(const WorkloadProfile &profile,
+                        unsigned num_cpus, std::size_t instrs)
+{
+    SystemParams sp = sparc64vBase(num_cpus).sys;
+    sp.warmupInstrs = instrs / 5;
+    const std::vector<InstrTrace> traces =
+        makeTraces(profile, num_cpus, instrs);
+
+    const RunOutcome plain = runMode(sp, traces, false);
+    const RunOutcome skip = runMode(sp, traces, true);
+    ASSERT_FALSE(plain.res.hitCycleCap);
+
+    expectSameSim(plain.res, skip.res);
+    EXPECT_EQ(plain.stats, skip.stats);
+    EXPECT_EQ(plain.json, skip.json);
+    // The optimization must actually engage — and never report
+    // phantom elisions on the reference path.
+    EXPECT_EQ(plain.res.elidedCycles, 0u);
+    EXPECT_GT(skip.res.elidedCycles, 0u);
+}
+
+TEST(SkipAheadIdentity, UpSpecint)
+{
+    expectBitIdenticalModes(specint95Profile(), 1, 20000);
+}
+
+TEST(SkipAheadIdentity, UpTpcc)
+{
+    expectBitIdenticalModes(tpccProfile(), 1, 20000);
+}
+
+TEST(SkipAheadIdentity, Smp4Specint)
+{
+    expectBitIdenticalModes(specint95Profile(), 4, 6000);
+}
+
+TEST(SkipAheadIdentity, Smp4Tpcc)
+{
+    expectBitIdenticalModes(tpccProfile(), 4, 6000);
+}
+
+// --- Checkpoint cut inside an elided stall window -----------------
+
+/**
+ * Checkpoint-stop a skip-ahead run at @p at, restore a fresh system
+ * and finish it, returning the resumed outcome plus the total cycles
+ * the two legs elided.
+ */
+RunOutcome
+runThroughCheckpoint(const SystemParams &sp,
+                     const std::vector<InstrTrace> &traces, Cycle at,
+                     const std::string &path,
+                     std::uint64_t *legs_elided)
+{
+    *legs_elided = 0;
+    {
+        SystemParams cp = sp;
+        cp.checkpoint.atCycle = at;
+        cp.checkpoint.path = path;
+        cp.checkpoint.stopAfter = true;
+        System sys(cp);
+        attachAll(sys, traces);
+        const SimResult first = sys.run();
+        EXPECT_TRUE(first.stoppedAtCheckpoint);
+        *legs_elided += first.elidedCycles;
+    }
+    System sys(sp);
+    attachAll(sys, traces);
+    ckpt::restoreSystemCheckpoint(sys, path);
+    RunOutcome out;
+    out.res = sys.run();
+    out.stats = sys.statsDump();
+    *legs_elided += out.res.elidedCycles;
+    return out;
+}
+
+void
+expectElidedWindowCutRestores(const WorkloadProfile &profile,
+                              unsigned num_cpus, std::size_t instrs,
+                              const char *ckpt_name)
+{
+    SystemParams sp = sparc64vBase(num_cpus).sys;
+    sp.warmupInstrs = instrs / 5;
+    sp.skipAhead = true;
+    const std::vector<InstrTrace> traces =
+        makeTraces(profile, num_cpus, instrs);
+
+    const RunOutcome base = runMode(sp, traces, true);
+    ASSERT_FALSE(base.res.hitCycleCap);
+    ASSERT_GT(base.res.elidedCycles, 0u);
+
+    // Scan cuts across the measured window. A cut inside a window
+    // the uninterrupted run skipped forces a visit there, splitting
+    // the window: the two legs then elide strictly fewer cycles than
+    // the unbroken run. Stop once a cut provably landed inside a
+    // window; every cut tried along the way — inside or between
+    // windows — must restore bit-identically.
+    bool cut_inside_window = false;
+    for (unsigned k = 1; k < 16 && !cut_inside_window; ++k) {
+        const Cycle at =
+            base.res.warmupEndCycle + base.res.cycles * k / 16;
+        SCOPED_TRACE("checkpoint at cycle " + std::to_string(at));
+        const std::string path = tempPath(ckpt_name);
+        std::uint64_t legs_elided = 0;
+        const RunOutcome resumed = runThroughCheckpoint(
+            sp, traces, at, path, &legs_elided);
+        expectSameSim(base.res, resumed.res);
+        EXPECT_EQ(base.stats, resumed.stats);
+        if (legs_elided < base.res.elidedCycles)
+            cut_inside_window = true;
+        std::remove(path.c_str());
+    }
+    EXPECT_TRUE(cut_inside_window)
+        << "no probed cut landed inside an elided window";
+}
+
+TEST(SkipAheadCheckpoint, UpCutInsideElidedWindowRestores)
+{
+    // TPC-C: its off-chip misses give long elided stall windows, so
+    // the cut scan terminates quickly.
+    expectElidedWindowCutRestores(tpccProfile(), 1, 20000,
+                                  "skip_up.ckpt");
+}
+
+TEST(SkipAheadCheckpoint, Smp4CutInsideElidedWindowRestores)
+{
+    expectElidedWindowCutRestores(tpccProfile(), 4, 6000,
+                                  "skip_smp.ckpt");
+}
+
+TEST(SkipAheadCheckpoint, CheckpointsInterchangeBetweenModes)
+{
+    // The scheduling mode is a host-side concern: it is excluded
+    // from the configuration fingerprint, so a checkpoint cut by a
+    // skip-ahead run restores into a plain run (and vice versa) and
+    // still finishes in the reference bits.
+    constexpr std::size_t kInstrs = 20000;
+    SystemParams sp = sparc64vBase().sys;
+    sp.warmupInstrs = kInstrs / 5;
+    const std::vector<InstrTrace> traces =
+        makeTraces(specint95Profile(), 1, kInstrs);
+    const RunOutcome base = runMode(sp, traces, false);
+    const Cycle at = base.res.warmupEndCycle + base.res.cycles / 2;
+
+    for (bool writer_skips : {false, true}) {
+        SCOPED_TRACE(writer_skips ? "skip writer, plain reader"
+                                  : "plain writer, skip reader");
+        const std::string path = tempPath("skip_xmode.ckpt");
+        {
+            SystemParams cp = sp;
+            cp.skipAhead = writer_skips;
+            cp.checkpoint.atCycle = at;
+            cp.checkpoint.path = path;
+            cp.checkpoint.stopAfter = true;
+            System writer(cp);
+            attachAll(writer, traces);
+            ASSERT_TRUE(writer.run().stoppedAtCheckpoint);
+        }
+        SystemParams rp = sp;
+        rp.skipAhead = !writer_skips;
+        System reader(rp);
+        attachAll(reader, traces);
+        ckpt::restoreSystemCheckpoint(reader, path);
+        const SimResult res = reader.run();
+        expectSameSim(base.res, res);
+        EXPECT_EQ(base.stats, reader.statsDump());
+        std::remove(path.c_str());
+    }
+}
+
+} // namespace
+} // namespace s64v
