@@ -28,10 +28,35 @@ namespace
 {
 
 /**
- * KIPS per finished variant, keyed "<workload>_<mode>". When both
- * modes of a workload are in, the speedup metric is derived — the
- * benchmark registration order (plain before skip) guarantees the
- * plain number exists by the time the skip variant finishes.
+ * One hot-cycle-engine configuration measured by the bench. The
+ * struct-of-arrays scan layouts are unconditional (they are the data
+ * structures themselves), so "plain" is the per-cycle reference loop
+ * over the SoA model and the remaining modes ablate the kernel
+ * layers on top of it.
+ */
+struct EngineMode
+{
+    const char *name; ///< metric-key suffix.
+    bool skip;        ///< skip-ahead scheduling.
+    bool flat;        ///< devirtualized type-partitioned dispatch.
+    bool memo;        ///< quiescence memoization in skipTarget().
+};
+
+constexpr EngineMode kPlain{"plain", false, false, false};
+/** The reference skip-ahead engine: virtual fan-out, no memo. */
+constexpr EngineMode kSkipBase{"skip_base", true, false, false};
+constexpr EngineMode kSkipFlat{"skip_flat", true, true, false};
+constexpr EngineMode kSkipMemo{"skip_memo", true, false, true};
+/** The full hot-cycle engine (the shipping default). */
+constexpr EngineMode kSkipFull{"skip", true, true, true};
+
+/**
+ * KIPS per finished variant, keyed "<workload>_<mode>". When a
+ * non-plain mode of a workload lands, its speedup-vs-plain metric is
+ * derived — the benchmark registration order (plain first per
+ * workload) guarantees the plain number exists by then. The full
+ * engine keeps the legacy "<workload>_speedup" key; ablation modes
+ * record "<workload>_<mode>_speedup".
  */
 std::map<std::string, double> &
 kipsByVariant()
@@ -41,17 +66,20 @@ kipsByVariant()
 }
 
 void
-recordVariant(const std::string &workload, bool skip, double kips)
+recordVariant(const std::string &workload, const EngineMode &mode,
+              double kips)
 {
-    const std::string mode = skip ? "skip" : "plain";
-    kipsByVariant()[workload + "_" + mode] = kips;
-    obs::setBenchMetric(workload + "_" + mode + "_kips", kips);
-    if (!skip)
+    kipsByVariant()[workload + "_" + mode.name] = kips;
+    obs::setBenchMetric(workload + "_" + mode.name + "_kips", kips);
+    if (std::string(mode.name) == "plain")
         return;
     const auto plain = kipsByVariant().find(workload + "_plain");
-    if (plain != kipsByVariant().end() && plain->second > 0.0)
-        obs::setBenchMetric(workload + "_speedup",
-                            kips / plain->second);
+    if (plain == kipsByVariant().end() || plain->second <= 0.0)
+        return;
+    const std::string key = std::string(mode.name) == "skip"
+        ? workload + "_speedup"
+        : workload + "_" + mode.name + "_speedup";
+    obs::setBenchMetric(key, kips / plain->second);
 }
 
 /**
@@ -61,8 +89,8 @@ recordVariant(const std::string &workload, bool skip, double kips)
  */
 void
 simSpeed(benchmark::State &state, const WorkloadProfile &profile,
-         unsigned num_cpus, std::size_t instrs_per_cpu, bool skip,
-         const char *workload)
+         unsigned num_cpus, std::size_t instrs_per_cpu,
+         EngineMode mode, const char *workload)
 {
     TraceGenerator gen(profile, num_cpus);
     std::vector<std::shared_ptr<const InstrTrace>> traces;
@@ -73,7 +101,9 @@ simSpeed(benchmark::State &state, const WorkloadProfile &profile,
     double run_seconds = 0.0;
     for (auto _ : state) {
         MachineParams mp = sparc64vBase(num_cpus);
-        mp.sys.skipAhead = skip;
+        mp.sys.skipAhead = mode.skip;
+        mp.sys.flatDispatch = mode.flat;
+        mp.sys.memoQuiescence = mode.memo;
         PerfModel m(mp);
         for (CpuId c = 0; c < num_cpus; ++c)
             m.loadTrace(c, traces[c]);
@@ -94,7 +124,7 @@ simSpeed(benchmark::State &state, const WorkloadProfile &profile,
     state.counters["KIPS"] = benchmark::Counter(
         total_kinstr, benchmark::Counter::kIsRate);
     if (run_seconds > 0.0)
-        recordVariant(workload, skip, total_kinstr / run_seconds);
+        recordVariant(workload, mode, total_kinstr / run_seconds);
 }
 
 void
@@ -112,25 +142,37 @@ BM_TraceGeneration(benchmark::State &state)
 
 } // namespace
 
-// Plain before skip per workload: recordVariant() derives the
-// speedup metric when the skip variant completes.
+// Plain before the engine modes per workload: recordVariant()
+// derives speedups against the plain number as each mode completes.
+// tpcc_smp4 additionally runs the per-layer ablation matrix — the
+// SMP case is where attribution matters (memoization is what turns
+// the idle-core quiescence scan from O(cores x window) into O(1)).
 BENCHMARK_CAPTURE(simSpeed, tpcc_up_plain, tpccProfile(), 1, 30000,
-                  false, "tpcc_up")
+                  kPlain, "tpcc_up")
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(simSpeed, tpcc_up_skip, tpccProfile(), 1, 30000,
-                  true, "tpcc_up")
+                  kSkipFull, "tpcc_up")
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(simSpeed, specint_up_plain, specint2000Profile(),
-                  1, 30000, false, "specint_up")
+                  1, 30000, kPlain, "specint_up")
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(simSpeed, specint_up_skip, specint2000Profile(),
-                  1, 30000, true, "specint_up")
+                  1, 30000, kSkipFull, "specint_up")
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(simSpeed, tpcc_smp4_plain, tpccProfile(), 4, 8000,
-                  false, "tpcc_smp4")
+                  kPlain, "tpcc_smp4")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(simSpeed, tpcc_smp4_skip_base, tpccProfile(), 4,
+                  8000, kSkipBase, "tpcc_smp4")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(simSpeed, tpcc_smp4_skip_flat, tpccProfile(), 4,
+                  8000, kSkipFlat, "tpcc_smp4")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(simSpeed, tpcc_smp4_skip_memo, tpccProfile(), 4,
+                  8000, kSkipMemo, "tpcc_smp4")
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(simSpeed, tpcc_smp4_skip, tpccProfile(), 4, 8000,
-                  true, "tpcc_smp4")
+                  kSkipFull, "tpcc_smp4")
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TraceGeneration)->Arg(50000)
     ->Unit(benchmark::kMillisecond);

@@ -2,27 +2,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "ckpt/snapshot.hh"
 #include "common/logging.hh"
 
 namespace s64v::stats
 {
-
-void
-Distribution::sample(double v, std::uint64_t n)
-{
-    if (n == 0)
-        return;
-    if (count_ == 0 || v < min_)
-        min_ = v;
-    if (count_ == 0 || v > max_)
-        max_ = v;
-    count_ += n;
-    const double dn = static_cast<double>(n);
-    sum_ += v * dn;
-    sumSq_ += v * v * dn;
-}
 
 double
 Distribution::mean() const
@@ -60,29 +46,11 @@ Histogram::configure(double lo, double hi, unsigned buckets)
     underflow_ = overflow_ = 0;
 }
 
-double
-Histogram::bucketWidth() const
-{
-    return counts_.empty()
-        ? 0.0 : (hi_ - lo_) / static_cast<double>(counts_.size());
-}
-
 void
-Histogram::sample(double v, std::uint64_t n)
+Histogram::sampleUnconfigured() const
 {
-    if (counts_.empty())
-        panic("histogram: sample() before configure()");
-    dist_.sample(v, n);
-    if (v < lo_) {
-        underflow_ += n;
-    } else if (v >= hi_) {
-        overflow_ += n;
-    } else {
-        auto i = static_cast<std::size_t>((v - lo_) / bucketWidth());
-        if (i >= counts_.size()) // numeric edge at hi_.
-            i = counts_.size() - 1;
-        counts_[i] += n;
-    }
+    panic("histogram: sample() before configure()");
+    std::abort(); // panic may return when throw-on-error is armed.
 }
 
 void

@@ -52,8 +52,24 @@ class Distribution
   public:
     Distribution() = default;
 
-    /** Record @p n occurrences of the value @p v. */
-    void sample(double v, std::uint64_t n = 1);
+    /**
+     * Record @p n occurrences of the value @p v. Inline: occupancy
+     * distributions sample every ticked cycle, so this is one of
+     * the hottest leaves of the simulator.
+     */
+    void sample(double v, std::uint64_t n = 1)
+    {
+        if (n == 0)
+            return;
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        count_ += n;
+        const double dn = static_cast<double>(n);
+        sum_ += v * dn;
+        sumSq_ += v * v * dn;
+    }
 
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
@@ -91,8 +107,28 @@ class Histogram
     void configure(double lo, double hi, unsigned buckets);
     bool configured() const { return !counts_.empty(); }
 
-    /** Record @p n occurrences of the value @p v. */
-    void sample(double v, std::uint64_t n = 1);
+    /**
+     * Record @p n occurrences of the value @p v. Inline for the same
+     * reason as Distribution::sample — latency histograms fire on
+     * every commit.
+     */
+    void sample(double v, std::uint64_t n = 1)
+    {
+        if (counts_.empty())
+            sampleUnconfigured();
+        dist_.sample(v, n);
+        if (v < lo_) {
+            underflow_ += n;
+        } else if (v >= hi_) {
+            overflow_ += n;
+        } else {
+            auto i =
+                static_cast<std::size_t>((v - lo_) / bucketWidth());
+            if (i >= counts_.size()) // numeric edge at hi_.
+                i = counts_.size() - 1;
+            counts_[i] += n;
+        }
+    }
 
     const Distribution &dist() const { return dist_; }
     double lo() const { return lo_; }
@@ -101,7 +137,12 @@ class Histogram
     {
         return static_cast<unsigned>(counts_.size());
     }
-    double bucketWidth() const;
+    double bucketWidth() const
+    {
+        return counts_.empty()
+            ? 0.0
+            : (hi_ - lo_) / static_cast<double>(counts_.size());
+    }
     std::uint64_t bucketCount(unsigned i) const { return counts_[i]; }
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
@@ -113,6 +154,8 @@ class Histogram
     void restoreState(ckpt::SnapshotReader &r);
 
   private:
+    [[noreturn]] void sampleUnconfigured() const;
+
     Distribution dist_;
     double lo_ = 0.0;
     double hi_ = 0.0;

@@ -160,7 +160,7 @@ Core::sourcesValid(const WindowEntry &e, Cycle exec_start) const
 void
 Core::replay(WindowEntry &e, Cycle now)
 {
-    e.state = InstrState::Waiting;
+    window_.setState(e, InstrState::Waiting);
     e.predReady = kCycleNever;
     e.actualReady = kCycleNever;
     e.missKnownAt = kCycleNever;
@@ -293,7 +293,7 @@ Core::loadCompletionStage(Cycle cycle)
             // until the cancel broadcast; then they see actualReady.
             e.missKnownAt = lc.missKnownAt;
         }
-        e.state = InstrState::Done;
+        window_.setState(e, InstrState::Done);
         ++activity_;
     }
     lsq_->completedLoads().clear();
@@ -314,7 +314,7 @@ Core::pendingStoreStage(Cycle cycle)
         // predReady holds the agen execute cycle for stores (they
         // produce no register result).
         e.doneCycle = std::max(e.predReady, a);
-        e.state = InstrState::Done;
+        window_.setState(e, InstrState::Done);
         ++activity_;
         it = pendingStores_.erase(it);
     }
@@ -332,12 +332,12 @@ Core::performExec(WindowEntry &e, Cycle exec_start, ExecUnit &unit)
     switch (cls) {
       case InstrClass::Load:
         lsq_->setAddress(e.lsqIndex, false, e.rec.ea, exec_start);
-        e.state = InstrState::Executing;
+        window_.setState(e, InstrState::Executing);
         break;
       case InstrClass::Store:
         lsq_->setAddress(e.lsqIndex, true, e.rec.ea, exec_start);
         e.predReady = exec_start; // agen time (see pendingStoreStage).
-        e.state = InstrState::Executing;
+        window_.setState(e, InstrState::Executing);
         pendingStores_.push_back(e.seq);
         break;
       case InstrClass::BranchCond:
@@ -353,7 +353,7 @@ Core::performExec(WindowEntry &e, Cycle exec_start, ExecUnit &unit)
         e.doneCycle = exec_start;
         e.actualReady = exec_start + forwardDelay();
         e.predReady = e.actualReady;
-        e.state = InstrState::Done;
+        window_.setState(e, InstrState::Done);
         break;
       default: {
         unsigned lat = execLatency(cls);
@@ -374,7 +374,7 @@ Core::performExec(WindowEntry &e, Cycle exec_start, ExecUnit &unit)
         e.doneCycle = done;
         e.actualReady = done + forwardDelay();
         e.predReady = e.actualReady;
-        e.state = InstrState::Done;
+        window_.setState(e, InstrState::Done);
         if (isUnpipelined(cls) ||
             (cls == InstrClass::Special &&
              params_.specialMode == SpecialInstrMode::FixedPenalty)) {
@@ -421,7 +421,7 @@ Core::dispatchStage(Cycle cycle)
     auto dispatch_to = [&](std::uint64_t seq, ExecUnit &unit) {
         ++activity_;
         WindowEntry &e = window_.entry(seq);
-        e.state = InstrState::InFlight;
+        window_.setState(e, InstrState::InFlight);
         e.dispatchCycle = cycle;
         unit.push(seq, exec_start);
         if (e.rec.isLoad()) {
@@ -584,13 +584,13 @@ Core::issueStage(Cycle cycle)
             lastProducer_[rec.dst] = e.seq;
 
         if (rec.cls == InstrClass::Nop) {
-            e.state = InstrState::Done;
+            window_.setState(e, InstrState::Done);
             e.doneCycle = cycle;
             e.predReady = e.actualReady = cycle + 1;
         } else {
             e.rsId = static_cast<std::uint8_t>(rsid);
             station->insert(e.seq);
-            e.state = InstrState::Waiting;
+            window_.setState(e, InstrState::Waiting);
         }
         fetch_->popFront();
     }
@@ -867,17 +867,21 @@ Core::nextWorkCycle(Cycle now) const
     }
 
     // Dispatch of waiting entries (incl. speculative re-dispatch on
-    // the optimistic schedule before a miss-cancel broadcast).
-    for (std::uint64_t seq = window_.headSeq();
-         seq < window_.nextSeq(); ++seq) {
-        const WindowEntry &e = window_.entry(seq);
-        if (e.state != InstrState::Waiting)
-            continue;
+    // the optimistic schedule before a miss-cancel broadcast). The
+    // waiting mask iterates set bits only; candidates combine via
+    // min, so the slot-order walk is equivalent to the seq walk.
+    bool pinned = false;
+    window_.forEachWaiting([&](const WindowEntry &e) -> bool {
         const Cycle c = dispatchCandidate(e, now);
-        if (c <= now)
-            return now;
+        if (c <= now) {
+            pinned = true;
+            return false;
+        }
         consider(c);
-    }
+        return true;
+    });
+    if (pinned)
+        return now;
 
     return cand;
 }

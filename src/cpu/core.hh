@@ -98,6 +98,19 @@ class Core : public Clocked
     /** Component class for the simulator self-profiler. */
     const char *profileClass() const override { return "core"; }
 
+    /**
+     * Monotone activity stamp for the kernel's quiescence
+     * memoization (see CycleKernel::setMemoQuiescence): the sum of
+     * the per-unit activity counters, bumped by every state
+     * transition a tick makes. An unchanged stamp across ticks
+     * proves the pipeline state is frozen, so a cached
+     * nextWorkCycle() answer is still a valid lower bound.
+     */
+    std::uint64_t activityStamp() const override
+    {
+        return activity_ + lsq_->activity() + fetch_->activity();
+    }
+
     std::uint64_t committed() const { return committed_.value(); }
     Cycle lastCommitCycle() const { return lastCommitCycle_; }
 

@@ -96,14 +96,6 @@ FetchUnit::nextWorkCycle(Cycle now) const
     return cand;
 }
 
-bool
-FetchUnit::exhausted() const
-{
-    TraceRecord dummy;
-    return source_ && !source_->peek(dummy) && inflight_.empty() &&
-        queue_.empty();
-}
-
 void
 FetchUnit::formGroup(Cycle cycle)
 {

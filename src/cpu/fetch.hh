@@ -59,8 +59,19 @@ class FetchUnit
      */
     void redirect(Cycle resolve_cycle);
 
-    /** @return true when the trace and all buffers are empty. */
-    bool exhausted() const;
+    /**
+     * @return true when the trace and all buffers are empty. Inline
+     * and ordered cheapest-first: Core::done() polls this every
+     * cycle, and mid-run the fetch queue is almost never empty, so
+     * the virtual trace peek rarely needs to run at all.
+     */
+    bool exhausted() const
+    {
+        if (!queue_.empty() || !inflight_.empty())
+            return false;
+        TraceRecord dummy;
+        return source_ && !source_->peek(dummy);
+    }
 
     /** @return true while fetch waits on an unresolved mispredict. */
     bool stalledOnBranch() const { return stalledOnBranch_; }

@@ -13,6 +13,11 @@ LoadStoreQueue::LoadStoreQueue(const CoreParams &params, CpuId cpu,
     : params_(params), cpu_(cpu), mem_(mem),
       loads_(params.loadQueueEntries),
       stores_(params.storeQueueEntries),
+      lqValid_(params.loadQueueEntries),
+      lqReady_(params.loadQueueEntries),
+      sqValid_(params.storeQueueEntries),
+      sqKnown_(params.storeQueueEntries),
+      sqPending_(params.storeQueueEntries),
       statGroup_("lsq", parent),
       lqOccupancy_(statGroup_.distribution("lq_occupancy",
                                            "load-queue entries held, "
@@ -55,32 +60,30 @@ LoadStoreQueue::bankOf(Addr addr) const
 std::int32_t
 LoadStoreQueue::allocateLoad(std::uint64_t seq)
 {
-    for (std::size_t i = 0; i < loads_.size(); ++i) {
-        if (!loads_[i].valid) {
-            loads_[i] = LsqEntry{};
-            loads_[i].valid = true;
-            loads_[i].seq = seq;
-            ++lqCount_;
-            return static_cast<std::int32_t>(i);
-        }
-    }
-    return -1;
+    const std::int64_t i = lqValid_.findFirstZero();
+    if (i < 0)
+        return -1;
+    loads_[i] = LsqEntry{};
+    loads_[i].valid = true;
+    loads_[i].seq = seq;
+    lqValid_.set(static_cast<std::size_t>(i));
+    ++lqCount_;
+    return static_cast<std::int32_t>(i);
 }
 
 std::int32_t
 LoadStoreQueue::allocateStore(std::uint64_t seq)
 {
-    for (std::size_t i = 0; i < stores_.size(); ++i) {
-        if (!stores_[i].valid) {
-            stores_[i] = LsqEntry{};
-            stores_[i].valid = true;
-            stores_[i].isStore = true;
-            stores_[i].seq = seq;
-            ++sqCount_;
-            return static_cast<std::int32_t>(i);
-        }
-    }
-    return -1;
+    const std::int64_t i = sqValid_.findFirstZero();
+    if (i < 0)
+        return -1;
+    stores_[i] = LsqEntry{};
+    stores_[i].valid = true;
+    stores_[i].isStore = true;
+    stores_[i].seq = seq;
+    sqValid_.set(static_cast<std::size_t>(i));
+    ++sqCount_;
+    return static_cast<std::int32_t>(i);
 }
 
 void
@@ -93,6 +96,10 @@ LoadStoreQueue::setAddress(std::int32_t slot, bool is_store, Addr addr,
     e.addr = addr;
     e.addrKnown = true;
     e.addrReady = addr_ready;
+    if (is_store)
+        sqKnown_.set(static_cast<std::size_t>(slot));
+    else if (!e.issued)
+        lqReady_.set(static_cast<std::size_t>(slot));
 }
 
 void
@@ -102,6 +109,8 @@ LoadStoreQueue::commitStore(std::int32_t slot)
     if (!e.valid || !e.addrKnown)
         panic("committing an invalid or address-less store");
     e.committed = true;
+    if (!e.issued)
+        sqPending_.set(static_cast<std::size_t>(slot));
 }
 
 void
@@ -110,18 +119,18 @@ LoadStoreQueue::freeLoad(std::int32_t slot)
     if (loads_[slot].valid)
         --lqCount_;
     loads_[slot].valid = false;
+    lqValid_.clear(static_cast<std::size_t>(slot));
+    lqReady_.clear(static_cast<std::size_t>(slot));
 }
 
 std::int32_t
 LoadStoreQueue::oldestStore() const
 {
     std::int32_t best = -1;
-    for (std::size_t i = 0; i < stores_.size(); ++i) {
-        if (stores_[i].valid &&
-            (best < 0 || stores_[i].seq < stores_[best].seq)) {
+    sqValid_.forEach([&](std::size_t i) {
+        if (best < 0 || stores_[i].seq < stores_[best].seq)
             best = static_cast<std::int32_t>(i);
-        }
-    }
+    });
     return best;
 }
 
@@ -139,6 +148,10 @@ LoadStoreQueue::tick(Cycle cycle)
         LsqEntry &e = stores_[head];
         if (e.issued && e.completion <= cycle) {
             e.valid = false;
+            const std::size_t slot = static_cast<std::size_t>(head);
+            sqValid_.clear(slot);
+            sqKnown_.clear(slot);
+            sqPending_.clear(slot);
             --sqCount_;
             ++activity_;
         } else {
@@ -147,21 +160,20 @@ LoadStoreQueue::tick(Cycle cycle)
     }
 
     // Collect issue candidates: committed store writes and loads with
-    // generated addresses, oldest first.
+    // generated addresses, oldest first. The struct-of-arrays masks
+    // pre-filter the flag tests; only the time gate remains per load.
     std::vector<Candidate> &cands = candScratch_;
     cands.clear();
-    for (std::size_t i = 0; i < stores_.size(); ++i) {
-        LsqEntry &e = stores_[i];
-        if (e.valid && e.committed && !e.issued)
-            cands.push_back({&e, static_cast<std::int32_t>(i), true});
-    }
-    for (std::size_t i = 0; i < loads_.size(); ++i) {
-        LsqEntry &e = loads_[i];
-        if (e.valid && e.addrKnown && !e.issued &&
-            e.addrReady <= cycle) {
-            cands.push_back({&e, static_cast<std::int32_t>(i), false});
+    sqPending_.forEach([&](std::size_t i) {
+        cands.push_back(
+            {&stores_[i], static_cast<std::int32_t>(i), true});
+    });
+    lqReady_.forEach([&](std::size_t i) {
+        if (loads_[i].addrReady <= cycle) {
+            cands.push_back(
+                {&loads_[i], static_cast<std::int32_t>(i), false});
         }
-    }
+    });
     std::sort(cands.begin(), cands.end(),
               [](const Candidate &a, const Candidate &b) {
                   return a.entry->seq < b.entry->seq;
@@ -186,20 +198,22 @@ LoadStoreQueue::tick(Cycle cycle)
             // same doubleword.
             LsqEntry *fwd = nullptr;
             bool must_wait = false;
-            for (LsqEntry &s : stores_) {
-                if (!s.valid || s.seq >= e.seq || !s.addrKnown)
-                    continue;
+            sqKnown_.forEach([&](std::size_t si) {
+                LsqEntry &s = stores_[si];
+                if (s.seq >= e.seq)
+                    return;
                 if ((s.addr >> 3) != (e.addr >> 3))
-                    continue;
+                    return;
                 if (!fwd || s.seq > fwd->seq)
                     fwd = &s;
-            }
+            });
             if (fwd) {
                 // Data is produced by the store's source register;
                 // the store entry exists until its write completes,
                 // so data is forwardable once the store could commit.
                 if (fwd->addrReady <= cycle) {
                     e.issued = true;
+                    lqReady_.clear(static_cast<std::size_t>(c.slot));
                     e.completion = cycle + 1;
                     ++storeForwards_;
                     ++activity_;
@@ -220,6 +234,7 @@ LoadStoreQueue::tick(Cycle cycle)
             const AccessResult res = mem_.data(cpu_, e.addr, false,
                                                cycle);
             e.issued = true;
+            lqReady_.clear(static_cast<std::size_t>(c.slot));
             e.completion = res.ready;
             ++loadIssues_;
             ++activity_;
@@ -237,6 +252,7 @@ LoadStoreQueue::tick(Cycle cycle)
             const AccessResult res = mem_.data(cpu_, e.addr, true,
                                                cycle);
             e.issued = true;
+            sqPending_.clear(static_cast<std::size_t>(c.slot));
             e.completion = res.ready;
             ++storeIssues_;
             ++activity_;
@@ -256,10 +272,8 @@ LoadStoreQueue::nextWorkCycle(Cycle now) const
     Cycle cand = kCycleNever;
 
     // Committed stores awaiting issue contend for ports every cycle.
-    for (const LsqEntry &e : stores_) {
-        if (e.valid && e.committed && !e.issued)
-            return now;
-    }
+    if (sqPending_.any())
+        return now;
 
     // FIFO release is gated by the oldest store's completion.
     const std::int32_t head = oldestStore();
@@ -274,14 +288,19 @@ LoadStoreQueue::nextWorkCycle(Cycle now) const
     // Loads with generated addresses become issue candidates at
     // addrReady; once candidates they may burn forward-wait or
     // bank-conflict stats every cycle, so they pin the clock.
-    for (const LsqEntry &e : loads_) {
-        if (!(e.valid && e.addrKnown && !e.issued))
-            continue;
-        if (e.addrReady <= now)
-            return now;
-        if (e.addrReady < cand)
-            cand = e.addrReady;
-    }
+    bool pinned = false;
+    lqReady_.forEach([&](std::size_t i) -> bool {
+        const Cycle c = loads_[i].addrReady;
+        if (c <= now) {
+            pinned = true;
+            return false;
+        }
+        if (c < cand)
+            cand = c;
+        return true;
+    });
+    if (pinned)
+        return now;
 
     return cand;
 }
@@ -336,6 +355,34 @@ restoreLsqEntries(ckpt::SnapshotReader &r, std::vector<LsqEntry> &v,
 } // namespace
 
 void
+LoadStoreQueue::rebuildMasks()
+{
+    lqValid_.reset();
+    lqReady_.reset();
+    sqValid_.reset();
+    sqKnown_.reset();
+    sqPending_.reset();
+    for (std::size_t i = 0; i < loads_.size(); ++i) {
+        const LsqEntry &e = loads_[i];
+        if (!e.valid)
+            continue;
+        lqValid_.set(i);
+        if (e.addrKnown && !e.issued)
+            lqReady_.set(i);
+    }
+    for (std::size_t i = 0; i < stores_.size(); ++i) {
+        const LsqEntry &e = stores_[i];
+        if (!e.valid)
+            continue;
+        sqValid_.set(i);
+        if (e.addrKnown)
+            sqKnown_.set(i);
+        if (e.committed && !e.issued)
+            sqPending_.set(i);
+    }
+}
+
+void
 LoadStoreQueue::saveState(ckpt::SnapshotWriter &w) const
 {
     saveLsqEntries(w, loads_);
@@ -358,12 +405,9 @@ LoadStoreQueue::restoreState(ckpt::SnapshotReader &r)
 {
     restoreLsqEntries(r, loads_, "load-queue capacity differs");
     restoreLsqEntries(r, stores_, "store-queue capacity differs");
-    lqCount_ = static_cast<std::size_t>(
-        std::count_if(loads_.begin(), loads_.end(),
-                      [](const LsqEntry &e) { return e.valid; }));
-    sqCount_ = static_cast<std::size_t>(
-        std::count_if(stores_.begin(), stores_.end(),
-                      [](const LsqEntry &e) { return e.valid; }));
+    rebuildMasks();
+    lqCount_ = lqValid_.count();
+    sqCount_ = sqValid_.count();
     completedLoads_.clear();
     const std::uint64_t n = r.getU64();
     for (std::uint64_t i = 0; i < n; ++i) {

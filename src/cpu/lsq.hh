@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitutil.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cpu/core_params.hh"
@@ -165,6 +166,23 @@ class LoadStoreQueue
      *  checks stop rescanning the queues. */
     std::size_t lqCount_ = 0;
     std::size_t sqCount_ = 0;
+
+    /**
+     * Struct-of-arrays indices over the queue slots, maintained at
+     * every flag transition so the per-cycle scans (candidate
+     * collection, FIFO release, forwarding, nextWorkCycle) iterate
+     * set bits instead of branching per entry. Derived state —
+     * rebuilt from the entry flags on restore, never serialized. @{
+     */
+    DenseBits lqValid_;   ///< valid load slots.
+    DenseBits lqReady_;   ///< valid && addrKnown && !issued loads.
+    DenseBits sqValid_;   ///< valid store slots.
+    DenseBits sqKnown_;   ///< valid && addrKnown stores (forwarding).
+    DenseBits sqPending_; ///< valid && committed && !issued stores.
+    /** @} */
+
+    /** Rebuild every mask from the entry flags (restore path). */
+    void rebuildMasks();
 
     stats::Group statGroup_;
     stats::Distribution &lqOccupancy_;

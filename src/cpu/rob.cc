@@ -1,5 +1,7 @@
 #include "cpu/rob.hh"
 
+#include <cstdlib>
+
 #include "ckpt/snapshot.hh"
 #include "common/bitutil.hh"
 #include "common/logging.hh"
@@ -16,6 +18,7 @@ InstrWindow::InstrWindow(unsigned capacity)
     while (sz < capacity_)
         sz <<= 1;
     buf_.resize(sz);
+    waiting_.resize(sz);
 }
 
 WindowEntry &
@@ -28,6 +31,7 @@ InstrWindow::allocate(const TraceRecord &rec, Cycle cycle)
     e.rec = rec;
     e.seq = tail_;
     e.issueCycle = cycle;
+    waiting_.set(slotOf(tail_)); // fresh entries start Waiting.
     ++tail_;
     return e;
 }
@@ -37,24 +41,18 @@ InstrWindow::retireHead()
 {
     if (empty())
         panic("retire from empty window");
+    waiting_.clear(slotOf(head_));
     ++head_;
 }
 
-WindowEntry &
-InstrWindow::entry(std::uint64_t seq)
+void
+InstrWindow::checkRange(std::uint64_t seq) const
 {
-    if (!contains(seq))
-        panic("window entry %llu out of range [%llu, %llu)",
-              static_cast<unsigned long long>(seq),
-              static_cast<unsigned long long>(head_),
-              static_cast<unsigned long long>(tail_));
-    return buf_[seq & (buf_.size() - 1)];
-}
-
-const WindowEntry &
-InstrWindow::entry(std::uint64_t seq) const
-{
-    return const_cast<InstrWindow *>(this)->entry(seq);
+    panic("window entry %llu out of range [%llu, %llu)",
+          static_cast<unsigned long long>(seq),
+          static_cast<unsigned long long>(head_),
+          static_cast<unsigned long long>(tail_));
+    std::abort(); // panic may return when throw-on-error is armed.
 }
 
 
@@ -137,11 +135,14 @@ InstrWindow::restoreState(ckpt::SnapshotReader &r)
     tail_ = r.getU64();
     r.require(tail_ >= head_ && tail_ - head_ <= capacity_,
               "instruction-window occupancy out of range");
+    waiting_.reset();
     for (std::uint64_t seq = head_; seq < tail_; ++seq) {
         WindowEntry &e = entry(seq);
         restoreWindowEntry(r, e);
         r.require(e.seq == seq,
                   "window entry sequence number out of place");
+        if (e.state == InstrState::Waiting)
+            waiting_.set(slotOf(seq));
     }
 }
 

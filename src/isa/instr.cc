@@ -5,98 +5,6 @@
 namespace s64v
 {
 
-bool
-isMemClass(InstrClass c)
-{
-    return c == InstrClass::Load || c == InstrClass::Store;
-}
-
-bool
-isLoadClass(InstrClass c)
-{
-    return c == InstrClass::Load;
-}
-
-bool
-isStoreClass(InstrClass c)
-{
-    return c == InstrClass::Store;
-}
-
-bool
-isBranchClass(InstrClass c)
-{
-    return c == InstrClass::BranchCond || c == InstrClass::BranchUncond ||
-           c == InstrClass::Call || c == InstrClass::Return;
-}
-
-bool
-isCondBranchClass(InstrClass c)
-{
-    return c == InstrClass::BranchCond;
-}
-
-bool
-isFpClass(InstrClass c)
-{
-    return c == InstrClass::FpAdd || c == InstrClass::FpMul ||
-           c == InstrClass::FpMulAdd || c == InstrClass::FpDiv;
-}
-
-bool
-isIntExecClass(InstrClass c)
-{
-    return c == InstrClass::IntAlu || c == InstrClass::IntMul ||
-           c == InstrClass::IntDiv || c == InstrClass::Nop ||
-           c == InstrClass::Special;
-}
-
-bool
-isSpecialClass(InstrClass c)
-{
-    return c == InstrClass::Special;
-}
-
-unsigned
-execLatency(InstrClass c)
-{
-    switch (c) {
-      case InstrClass::IntAlu:
-      case InstrClass::Nop:
-        return 1;
-      case InstrClass::IntMul:
-        return 4;
-      case InstrClass::IntDiv:
-        return 37;
-      case InstrClass::FpAdd:
-        return 4;
-      case InstrClass::FpMul:
-        return 4;
-      case InstrClass::FpMulAdd:
-        return 4;
-      case InstrClass::FpDiv:
-        return 19;
-      case InstrClass::Load:
-      case InstrClass::Store:
-        return 1; // address generation; cache time added separately
-      case InstrClass::BranchCond:
-      case InstrClass::BranchUncond:
-      case InstrClass::Call:
-      case InstrClass::Return:
-        return 1;
-      case InstrClass::Special:
-        return 1; // modelled separately (see SpecialInstrMode)
-      default:
-        panic("execLatency: bad class %d", static_cast<int>(c));
-    }
-}
-
-bool
-isUnpipelined(InstrClass c)
-{
-    return c == InstrClass::IntDiv || c == InstrClass::FpDiv;
-}
-
 const char *
 className(InstrClass c)
 {

@@ -52,26 +52,110 @@ isFpReg(RegId r)
     return r != kNoReg && r >= kFirstFpReg;
 }
 
-/** Static attribute queries on an operation class. @{ */
-bool isMemClass(InstrClass c);
-bool isLoadClass(InstrClass c);
-bool isStoreClass(InstrClass c);
-bool isBranchClass(InstrClass c);
-bool isCondBranchClass(InstrClass c);
-bool isFpClass(InstrClass c);
-bool isIntExecClass(InstrClass c);
-bool isSpecialClass(InstrClass c);
+/**
+ * Static attribute queries on an operation class. Defined inline:
+ * they sit on the per-entry hot paths of the issue/dispatch/commit
+ * scans, where an out-of-line call per query dominates the compare
+ * itself. @{
+ */
+constexpr bool
+isMemClass(InstrClass c)
+{
+    return c == InstrClass::Load || c == InstrClass::Store;
+}
+
+constexpr bool
+isLoadClass(InstrClass c)
+{
+    return c == InstrClass::Load;
+}
+
+constexpr bool
+isStoreClass(InstrClass c)
+{
+    return c == InstrClass::Store;
+}
+
+constexpr bool
+isBranchClass(InstrClass c)
+{
+    return c == InstrClass::BranchCond ||
+        c == InstrClass::BranchUncond || c == InstrClass::Call ||
+        c == InstrClass::Return;
+}
+
+constexpr bool
+isCondBranchClass(InstrClass c)
+{
+    return c == InstrClass::BranchCond;
+}
+
+constexpr bool
+isFpClass(InstrClass c)
+{
+    return c == InstrClass::FpAdd || c == InstrClass::FpMul ||
+        c == InstrClass::FpMulAdd || c == InstrClass::FpDiv;
+}
+
+constexpr bool
+isIntExecClass(InstrClass c)
+{
+    return c == InstrClass::IntAlu || c == InstrClass::IntMul ||
+        c == InstrClass::IntDiv || c == InstrClass::Nop ||
+        c == InstrClass::Special;
+}
+
+constexpr bool
+isSpecialClass(InstrClass c)
+{
+    return c == InstrClass::Special;
+}
 /** @} */
 
 /**
  * Execution latency in cycles for @p c on the SPARC64 V pipelines
  * (loads report the address-generation part only; cache access time
- * is added by the memory model).
+ * is added by the memory model). 0 for an out-of-range class — the
+ * callers all sit behind trace validation.
  */
-unsigned execLatency(InstrClass c);
+constexpr unsigned
+execLatency(InstrClass c)
+{
+    switch (c) {
+      case InstrClass::IntAlu:
+      case InstrClass::Nop:
+        return 1;
+      case InstrClass::IntMul:
+        return 4;
+      case InstrClass::IntDiv:
+        return 37;
+      case InstrClass::FpAdd:
+      case InstrClass::FpMul:
+      case InstrClass::FpMulAdd:
+        return 4;
+      case InstrClass::FpDiv:
+        return 19;
+      case InstrClass::Load:
+      case InstrClass::Store:
+        return 1; // address generation; cache time added separately
+      case InstrClass::BranchCond:
+      case InstrClass::BranchUncond:
+      case InstrClass::Call:
+      case InstrClass::Return:
+        return 1;
+      case InstrClass::Special:
+        return 1; // modelled separately (see SpecialInstrMode)
+      default:
+        return 0;
+    }
+}
 
 /** @return true iff the unit is busy (unpipelined) while executing. */
-bool isUnpipelined(InstrClass c);
+constexpr bool
+isUnpipelined(InstrClass c)
+{
+    return c == InstrClass::IntDiv || c == InstrClass::FpDiv;
+}
 
 /** Short mnemonic-like name for dumps ("int", "fma", "ld", ...). */
 const char *className(InstrClass c);

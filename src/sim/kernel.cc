@@ -28,6 +28,46 @@ CycleKernel::attach(Clocked *component)
     if (!component)
         panic("CycleKernel::attach(nullptr)");
     clocked_.push_back(component);
+    groupFns_.push_back(&CycleKernel::genericGroupTick);
+}
+
+std::size_t
+CycleKernel::genericGroupTick(CycleKernel &k, std::size_t begin,
+                              std::size_t n, Cycle cycle)
+{
+    std::size_t live = 0;
+    for (std::size_t i = begin; i < begin + n; ++i) {
+        Clocked *c = k.clocked_[i];
+        if (c->done())
+            continue;
+        ++live;
+        if (k.canDefer(i, c->activityStamp(), cycle)) {
+            k.deferIdle(i, cycle);
+        } else {
+            k.flushOne(i);
+            c->tick(cycle);
+        }
+    }
+    return live;
+}
+
+void
+CycleKernel::buildSchedule()
+{
+    schedule_.clear();
+    for (std::size_t i = 0; i < clocked_.size(); ++i) {
+        // A group must be homogeneous in both the step function and
+        // the profile class, so per-group timing attributes to one
+        // bucket even for generically attached mixed components.
+        const char *cls = clocked_[i]->profileClass();
+        if (!schedule_.empty() &&
+            schedule_.back().fn == groupFns_[i] &&
+            schedule_.back().cls == cls) {
+            ++schedule_.back().count;
+        } else {
+            schedule_.push_back(TickGroup{i, 1, groupFns_[i], cls});
+        }
+    }
 }
 
 void
@@ -60,17 +100,40 @@ CycleKernel::attachSkipBound(std::function<Cycle(Cycle)> bound)
 }
 
 Cycle
-CycleKernel::skipTarget(Cycle next, std::uint64_t max_cycles) const
+CycleKernel::skipTarget(Cycle next, std::uint64_t max_cycles)
 {
     Cycle target = max_cycles;
     bool any_alive = false;
-    for (const Clocked *c : clocked_) {
+    for (std::size_t i = 0; i < clocked_.size(); ++i) {
+        const Clocked *c = clocked_[i];
         if (c->done())
             continue;
         any_alive = true;
-        if (target <= next)
-            return next;
-        Cycle w = c->nextWorkCycle(next);
+        Cycle w;
+        if (memoQuiescence_) {
+            // Reuse the cached answer while the component's activity
+            // stamp is unchanged (state provably frozen) and the
+            // answer still lies at or past the queried cycle; both
+            // gates together make reuse conservative (see
+            // setMemoQuiescence). No early-out here even once the
+            // skip is pinned: the refreshed entry doubles as the
+            // next cycle's idle-tick deferral proof (canDefer), so
+            // every alive component must be brought up to date.
+            const std::uint64_t stamp = c->activityStamp();
+            MemoEntry &m = memo_[i];
+            if (stamp != Clocked::kNoActivityStamp &&
+                stamp == m.stamp && m.answer >= next) {
+                w = m.answer;
+            } else {
+                w = c->nextWorkCycle(next);
+                m.stamp = stamp;
+                m.answer = w;
+            }
+        } else {
+            if (target <= next)
+                return next;
+            w = c->nextWorkCycle(next);
+        }
         if (w < next)
             w = next;
         if (w < target)
@@ -79,6 +142,8 @@ CycleKernel::skipTarget(Cycle next, std::uint64_t max_cycles) const
     // Every component drained: the very next cycle ends the run as
     // Drained, exactly where the per-cycle loop would end it.
     if (!any_alive)
+        return next;
+    if (target <= next)
         return next;
     for (const ProbeEntry &p : probes_) {
         if (target <= next)
@@ -112,20 +177,61 @@ CycleKernel::run(std::uint64_t max_cycles, Cycle start_cycle)
 {
     stopRequested_ = false;
     elidedCycles_ = 0;
+    buildSchedule();
+    memo_.assign(clocked_.size(), MemoEntry{});
+    pending_.assign(clocked_.size(), PendingElide{});
+    deferIdle_ = skipAhead_ && memoQuiescence_;
+    // Periodic probes read (sampler), reset (warm-up boundary via
+    // its own flushElides) or serialize (checkpoint) stats, so every
+    // deferred idle-tick replay must land before one fires; polled
+    // probes run un-flushed per their documented contract.
+    const auto flushForProbes = [this](Cycle c) {
+        if (!deferIdle_)
+            return;
+        for (const ProbeEntry &p : probes_) {
+            if (!p.polled && p.next == c) {
+                flushElides();
+                return;
+            }
+        }
+    };
     Cycle cycle = start_cycle;
     for (;;) {
         currentCycle_ = cycle;
         bool all_done = true;
         const bool timed = profiler_ && profiler_->sampleCycle(cycle);
         if (timed) {
-            for (Clocked *c : clocked_) {
-                if (!c->done()) {
+            if (flatDispatch_) {
+                // Time each homogeneous group as a whole; splitting
+                // the timer per component would re-introduce the
+                // indirection the flattening removes.
+                for (const TickGroup &g : schedule_) {
+                    const std::uint64_t t0 = nowNs();
+                    const std::size_t live =
+                        g.fn(*this, g.begin, g.count, cycle);
+                    if (live) {
+                        profiler_->recordGroupTicks(g.cls, live,
+                                                    nowNs() - t0);
+                        all_done = false;
+                    }
+                }
+            } else {
+                for (std::size_t i = 0; i < clocked_.size(); ++i) {
+                    Clocked *c = clocked_[i];
+                    if (c->done())
+                        continue;
+                    all_done = false;
+                    if (canDefer(i, c->activityStamp(), cycle)) {
+                        deferIdle(i, cycle);
+                        continue;
+                    }
+                    flushOne(i);
                     const std::uint64_t t0 = nowNs();
                     c->tick(cycle);
                     profiler_->recordTick(*c, nowNs() - t0);
-                    all_done = false;
                 }
             }
+            flushForProbes(cycle);
             const std::uint64_t p0 = nowNs();
             for (ProbeEntry &p : probes_) {
                 if (p.polled) {
@@ -138,12 +244,26 @@ CycleKernel::run(std::uint64_t max_cycles, Cycle start_cycle)
             }
             profiler_->recordProbes(nowNs() - p0);
         } else {
-            for (Clocked *c : clocked_) {
-                if (!c->done()) {
-                    c->tick(cycle);
+            if (flatDispatch_) {
+                for (const TickGroup &g : schedule_) {
+                    if (g.fn(*this, g.begin, g.count, cycle))
+                        all_done = false;
+                }
+            } else {
+                for (std::size_t i = 0; i < clocked_.size(); ++i) {
+                    Clocked *c = clocked_[i];
+                    if (c->done())
+                        continue;
                     all_done = false;
+                    if (canDefer(i, c->activityStamp(), cycle)) {
+                        deferIdle(i, cycle);
+                    } else {
+                        flushOne(i);
+                        c->tick(cycle);
+                    }
                 }
             }
+            flushForProbes(cycle);
             for (ProbeEntry &p : probes_) {
                 if (p.polled) {
                     if (p.fn && !p.fn(cycle))
@@ -156,18 +276,38 @@ CycleKernel::run(std::uint64_t max_cycles, Cycle start_cycle)
         }
         if (all_done)
             return {Stop::Drained, cycle};
-        if (stopRequested_)
+        if (stopRequested_) {
+            flushElides();
             return {Stop::Requested, cycle};
-        if (check::stopRequested())
+        }
+        if (check::stopRequested()) {
+            flushElides();
             return {Stop::Interrupted, cycle};
+        }
         Cycle next = cycle + 1;
         if (skipAhead_ && next < max_cycles) {
             const Cycle target = skipTarget(next, max_cycles);
             if (target > next) {
                 const std::uint64_t n = target - next;
-                for (Clocked *c : clocked_) {
-                    if (!c->done())
+                for (std::size_t i = 0; i < clocked_.size(); ++i) {
+                    Clocked *c = clocked_[i];
+                    if (c->done())
+                        continue;
+                    // Fold the skipped span into an open deferral
+                    // span (they are contiguous by construction) or
+                    // open one when the memo proves this component
+                    // idle; otherwise replay immediately, as the
+                    // reference elision does.
+                    PendingElide &p = pending_[i];
+                    if (p.count) {
+                        p.count += n;
+                    } else if (canDefer(i, c->activityStamp(),
+                                        next)) {
+                        p.from = next;
+                        p.count = n;
+                    } else {
                         c->elide(next, n);
+                    }
                 }
                 elidedCycles_ += n;
                 if (profiler_)
@@ -176,6 +316,7 @@ CycleKernel::run(std::uint64_t max_cycles, Cycle start_cycle)
             }
         }
         if (next >= max_cycles) {
+            flushElides();
             currentCycle_ = next;
             return {Stop::CycleCap, next};
         }

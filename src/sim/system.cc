@@ -124,6 +124,8 @@ System::run()
     kernel_ = std::make_unique<CycleKernel>();
     hitCycleCap_ = false;
     kernel_->setSkipAhead(params_.skipAhead);
+    kernel_->setFlatDispatch(params_.flatDispatch);
+    kernel_->setMemoQuiescence(params_.memoQuiescence);
     // The lazily-timed memory system is never ticked, but in-flight
     // fills and busy shared resources still bound how far the kernel
     // may skip (their completion cycles are where stall
@@ -134,7 +136,7 @@ System::run()
     if (profiler_)
         kernel_->attachProfiler(profiler_);
     for (auto &core : cores_)
-        kernel_->attach(core.get());
+        kernel_->attachTyped(core.get());
     if (watchdog) {
         // Polled, not periodic: a period-1 probe would pin the
         // skip-ahead target to the very next cycle. The horizon keeps
@@ -150,6 +152,7 @@ System::run()
                     const bool prev = throwOnErrorEnabled();
                     setThrowOnError(true);
                     try {
+                        kernel_->flushElides();
                         cont_.nextCycle = cycle + 1;
                         ckpt::writeSystemCheckpoint(
                             *this, params_.emergencyCheckpointPath);
@@ -181,6 +184,10 @@ System::run()
             }
             for (std::size_t i = 0; i < cores_.size(); ++i)
                 cont_.warmupCommitted[i] = cores_[i]->committed();
+            // Polled probes run with idle-tick replays still
+            // deferred; settle them on the side of the boundary they
+            // belong to before the measurement window opens.
+            kernel_->flushElides();
             root_.resetAll();
             res.warmupEndCycle = cycle;
             cont_.warmDone = true;

@@ -80,6 +80,24 @@ struct SystemParams
      * --no-skip-ahead selects the plain loop.
      */
     bool skipAhead = true;
+    /**
+     * Type-partitioned tick dispatch: the kernel ticks the cores
+     * through a devirtualized homogeneous loop instead of the
+     * per-component virtual fan-out. Dispatch order is preserved, so
+     * results are bit-identical by construction (asserted by the
+     * engine-matrix tests and chaos invariant "soa-identity");
+     * --no-flat-dispatch selects the virtual reference loop.
+     */
+    bool flatDispatch = true;
+    /**
+     * Quiescence memoization: the kernel caches each core's
+     * nextWorkCycle() answer keyed on its monotone activity stamp
+     * and re-asks only cores whose stamp moved — the idle cores of
+     * an SMP run stop paying the O(window) scan on every visited
+     * cycle. Conservative by construction (a cached answer can only
+     * shorten a skip); --no-memo-quiescence disables it.
+     */
+    bool memoQuiescence = true;
     /** Self-check depth; see check::InvariantAuditor. */
     check::CheckLevel checkLevel = check::CheckLevel::EndOfRun;
     /** Mid-run snapshot trigger (see CheckpointParams). */
